@@ -1,0 +1,61 @@
+//! Criterion benches for the streaming simulator and its caches.
+use criterion::{criterion_group, criterion_main, Criterion};
+use vod_model::{Gigabytes, VideoId};
+use vod_net::PathSet;
+use vod_sim::{random_single_vho_configs, simulate, Cache, CacheKind, LfuCache, LruCache, PolicyKind, SimConfig};
+use vod_trace::{generate_trace, synthesize_library, LibraryConfig, TraceConfig};
+
+fn bench_simulator(c: &mut Criterion) {
+    let net = vod_net::topologies::mesh_backbone(10, 16, 5);
+    let paths = PathSet::shortest_paths(&net);
+    let lib = synthesize_library(&LibraryConfig::default_for(300, 7, 5));
+    let trace = generate_trace(&lib, &net, &TraceConfig::default_for(4000.0, 7, 5));
+    let disks = vec![Gigabytes::new(60.0); 10];
+    let vhos = random_single_vho_configs(&lib, &disks, CacheKind::Lru, 5);
+    c.bench_function("simulate_28k_requests_lru", |b| {
+        b.iter(|| {
+            simulate(&net, &paths, &lib, &trace, &vhos, &PolicyKind::NearestReplica,
+                &SimConfig { seed: 5, ..Default::default() }).total_requests
+        })
+    });
+}
+
+fn bench_caches(c: &mut Criterion) {
+    c.bench_function("lru_insert_touch_1k", |b| {
+        b.iter(|| {
+            let mut cache = LruCache::new(100.0);
+            for i in 0..1000u32 {
+                cache.insert(VideoId::new(i % 200), 1.0);
+                cache.touch(VideoId::new(i % 50));
+            }
+            cache.len()
+        })
+    });
+    c.bench_function("lfu_insert_touch_1k", |b| {
+        b.iter(|| {
+            let mut cache = LfuCache::new(100.0);
+            for i in 0..1000u32 {
+                cache.insert(VideoId::new(i % 200), 1.0);
+                cache.touch(VideoId::new(i % 50));
+            }
+            cache.len()
+        })
+    });
+}
+
+fn bench_paths(c: &mut Criterion) {
+    let net = vod_net::topologies::backbone55();
+    c.bench_function("shortest_paths_backbone55", |b| {
+        b.iter(|| PathSet::shortest_paths(&net).diameter())
+    });
+    let lib = synthesize_library(&LibraryConfig::default_for(2000, 7, 5));
+    let net10 = vod_net::topologies::mesh_backbone(10, 16, 5);
+    c.bench_function("generate_trace_2k_videos_week", |b| {
+        b.iter(|| {
+            generate_trace(&lib, &net10, &TraceConfig::default_for(10_000.0, 7, 5)).len()
+        })
+    });
+}
+
+criterion_group!(benches, bench_simulator, bench_caches, bench_paths);
+criterion_main!(benches);

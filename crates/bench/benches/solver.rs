@@ -1,0 +1,61 @@
+//! Criterion benches for the solver stack: EPF scaling with library
+//! size (Table III's shape), the direct simplex baseline, and the
+//! facility-location block solvers.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vod_core::block::UflProblem;
+use vod_core::{direct::build_direct_lp, solve_fractional, DiskConfig, EpfConfig, MipInstance};
+use vod_trace::{synthesize_library, synthetic_demand, LibraryConfig, TraceConfig};
+
+fn instance(n_videos: usize, n_vhos: usize) -> MipInstance {
+    let net = vod_net::topologies::mesh_backbone(n_vhos, n_vhos + n_vhos / 2, 3);
+    let lib = synthesize_library(&LibraryConfig::default_for(n_videos, 7, 3));
+    let demand = synthetic_demand(&lib, &net, &TraceConfig::default_for(n_videos as f64, 7, 3));
+    MipInstance::new(net, lib, demand, &DiskConfig::UniformRatio { ratio: 2.0 }, 1.0, 0.0, None)
+}
+
+fn bench_epf_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("epf_library_scaling");
+    g.sample_size(10);
+    for n in [200usize, 400, 800] {
+        let inst = instance(n, 10);
+        let cfg = EpfConfig { max_passes: 20, seed: 3, polish_iters: 0, ..Default::default() };
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| solve_fractional(&inst, &cfg).1.block_steps)
+        });
+    }
+    g.finish();
+}
+
+fn bench_simplex_baseline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simplex_direct_lp");
+    g.sample_size(10);
+    for n in [10usize, 20, 40] {
+        let inst = instance(n, 5);
+        let direct = build_direct_lp(&inst);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| vod_lp::solve_lp(&direct.lp).unwrap().objective)
+        });
+    }
+    g.finish();
+}
+
+fn bench_block_solvers(c: &mut Criterion) {
+    use rand::Rng;
+    let mut rng = vod_model::rng::rng_from_seed(8);
+    let p = UflProblem {
+        facility_cost: (0..55).map(|_| rng.gen_range(0.0..5.0)).collect(),
+        service: (0..30)
+            .map(|_| (0..55).map(|_| rng.gen_range(0.0..10.0)).collect())
+            .collect(),
+    };
+    c.bench_function("ufl_local_search_fast_55x30", |b| {
+        b.iter(|| p.solve_local_search_fast().open.len())
+    });
+    c.bench_function("ufl_local_search_full_55x30", |b| {
+        b.iter(|| p.solve_local_search().open.len())
+    });
+    c.bench_function("ufl_dual_ascent_55x30", |b| b.iter(|| p.dual_ascent_bound()));
+}
+
+criterion_group!(benches, bench_epf_scaling, bench_simplex_baseline, bench_block_solvers);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Fig. 2 — working-set size during peak hours: for each VHO, the
+//! number of distinct videos (and their GB) requested during the peak
+//! hour of the busiest Friday and Saturday, versus the library size.
+use vod_bench::{fmt, save_results, Scale, Scenario, Table};
+use vod_trace::analysis;
+
+fn main() {
+    let s = Scenario::operational(Scale::from_args(), 2010);
+    // First full week's Friday (day 4) and Saturday (day 5).
+    let lib_gb = s.catalog.total_size().value();
+    let mut table = Table::new(
+        "Fig. 2 — working set during peak hours (per VHO)",
+        &["VHO", "Fri videos", "Fri GB", "Sat videos", "Sat GB", "Sat % of library"],
+    );
+    let fri = analysis::peak_hour_of_day(&s.trace, 4);
+    let sat = analysis::peak_hour_of_day(&s.trace, 5);
+    let ws_fri = analysis::working_sets(&s.trace, &s.catalog, s.net.num_nodes(), fri);
+    let ws_sat = analysis::working_sets(&s.trace, &s.catalog, s.net.num_nodes(), sat);
+    let mut max_frac: f64 = 0.0;
+    for (f, t) in ws_fri.iter().zip(&ws_sat) {
+        let frac = t.size.value() / lib_gb * 100.0;
+        max_frac = max_frac.max(frac);
+        table.row(vec![
+            f.vho.to_string(),
+            f.distinct_videos.to_string(),
+            fmt(f.size.value()),
+            t.distinct_videos.to_string(),
+            fmt(t.size.value()),
+            fmt(frac),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nmax working set = {:.1} % of the library (paper: up to ~25 %); \
+         library = {:.0} GB",
+        max_frac, lib_gb
+    );
+    save_results("fig02_working_set", &table);
+}

@@ -1,0 +1,40 @@
+//! Fig. 5 — peak link bandwidth (max over links, per 5-minute bucket)
+//! over the evaluation weeks, for MIP vs Random+LRU vs Random+LFU vs
+//! Top-K+LRU. The paper's headline: the MIP serves everything with
+//! roughly half the peak bandwidth of the caching schemes.
+use vod_bench::comparison::run_comparison;
+use vod_bench::{fmt, save_results, Defaults, Scale, Scenario, Table};
+
+fn main() {
+    let s = Scenario::operational(Scale::from_args(), 2010);
+    let d = Defaults::for_scale(s.scale);
+    let top_k = if s.catalog.len() >= 2000 { 100 } else { 20 };
+    let outcomes = run_comparison(&s, &d, top_k);
+    let mut table = Table::new(
+        "Fig. 5 — peak link bandwidth over the evaluation period",
+        &["strategy", "max (Mb/s)", "p99 bucket (Mb/s)", "median bucket (Mb/s)", "vs MIP"],
+    );
+    let mip_max = outcomes[0].max_link_mbps;
+    for o in &outcomes {
+        let mut sorted = o.peak_series_mbps.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let pct = |p: f64| sorted[((sorted.len() - 1) as f64 * p) as usize];
+        table.row(vec![
+            o.name.clone(),
+            fmt(o.max_link_mbps),
+            fmt(pct(0.99)),
+            fmt(pct(0.5)),
+            format!("{:.2}x", o.max_link_mbps / mip_max),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nMIP peak {} Mb/s vs worst baseline {} Mb/s (paper: 1364 vs 2938 Mb/s) — \
+         the link-capacity input to the MIP was {} Mb/s; slight excess over it \
+         comes from new-release estimation error absorbed by the 5 % LRU cache",
+        fmt(mip_max),
+        fmt(outcomes.iter().skip(1).map(|o| o.max_link_mbps).fold(0.0, f64::max)),
+        fmt(d.link_gbps * 1000.0)
+    );
+    save_results("fig05_peak_bandwidth", &outcomes);
+}

@@ -1,0 +1,31 @@
+//! Fig. 6 — aggregate bandwidth across all links (GB carried per
+//! 5-minute bucket) for the four strategies, plus the total
+//! size-weighted hop transfer. The MIP consistently moves fewer bytes.
+use vod_bench::comparison::run_comparison;
+use vod_bench::{fmt, save_results, Defaults, Scale, Scenario, Table};
+
+fn main() {
+    let s = Scenario::operational(Scale::from_args(), 2010);
+    let d = Defaults::for_scale(s.scale);
+    let top_k = if s.catalog.len() >= 2000 { 100 } else { 20 };
+    let outcomes = run_comparison(&s, &d, top_k);
+    let mut table = Table::new(
+        "Fig. 6 — aggregate transfer across all links",
+        &["strategy", "total GB-hop", "mean GB / 5 min", "peak GB / 5 min", "local %", "vs MIP"],
+    );
+    let mip_total = outcomes[0].total_gb_hops;
+    for o in &outcomes {
+        let mean = o.transfer_series_gb.iter().sum::<f64>() / o.transfer_series_gb.len() as f64;
+        let peak = o.transfer_series_gb.iter().cloned().fold(0.0, f64::max);
+        table.row(vec![
+            o.name.clone(),
+            fmt(o.total_gb_hops),
+            fmt(mean),
+            fmt(peak),
+            fmt(o.local_fraction * 100.0),
+            format!("{:.2}x", o.total_gb_hops / mip_total),
+        ]);
+    }
+    table.print();
+    save_results("fig06_aggregate_transfer", &outcomes);
+}

@@ -1,0 +1,72 @@
+//! Fig. 13 — required link capacity vs library size on the
+//! Rocketfuel-like Tiscali / Sprint / Ebone networks, with request
+//! volume proportional to library size and 2x aggregate disk. The
+//! paper's finding: capacity normalized by library size stays flat, and
+//! Tiscali (more, smaller VHOs) needs the most.
+use vod_bench::{save_results, Scale, Table};
+use vod_core::feasibility::{min_link_capacity, Scenario as FeasScenario};
+use vod_core::{DiskConfig, EpfConfig};
+use vod_model::Mbps;
+use vod_trace::{synthesize_library, synthetic_demand, LibraryConfig, TraceConfig};
+
+fn main() {
+    let scale = Scale::from_args();
+    let sizes: Vec<usize> = match scale {
+        Scale::Quick => vec![500, 1000],
+        Scale::Default => vec![1000, 2000, 5000],
+        Scale::Full => vec![5000, 10_000, 20_000, 50_000],
+    };
+    let nets = [
+        ("Tiscali", vod_net::topologies::tiscali()),
+        ("Sprint", vod_net::topologies::sprint()),
+        ("Ebone", vod_net::topologies::ebone()),
+    ];
+    let cfg = EpfConfig {
+        max_passes: 100,
+        seed: 13,
+        ..Default::default()
+    };
+    let mut table = Table::new(
+        "Fig. 13 — min link capacity (Mb/s per 1000 videos) vs library size",
+        &["library", "Tiscali", "Sprint", "Ebone"],
+    );
+    let mut payload = Vec::new();
+    for &n_videos in &sizes {
+        let mut row = vec![n_videos.to_string()];
+        for (name, net) in &nets {
+            // Requests proportional to library size (Section VII-E).
+            let days = 7;
+            let lib = synthesize_library(&LibraryConfig::default_for(n_videos, days, 13));
+            let tc = TraceConfig::default_for(n_videos as f64 * 2.5, days, 13);
+            let demand = synthetic_demand(&lib, net, &tc);
+            let fs = FeasScenario {
+                network: net,
+                catalog: &lib,
+                demand: &demand,
+                alpha: 1.0,
+                beta: 0.0,
+            };
+            let cap = min_link_capacity(
+                &fs,
+                &DiskConfig::UniformRatio { ratio: 2.0 },
+                Mbps::new(0.2),
+                Mbps::from_gbps(20.0),
+                0.15,
+                &cfg,
+            );
+            let norm = cap.map(|c| c.value() / (n_videos as f64 / 1000.0));
+            row.push(
+                norm.map(|v| format!("{v:.1}"))
+                    .unwrap_or_else(|| "infeasible".into()),
+            );
+            payload.push((n_videos, name.to_string(), norm));
+        }
+        table.row(row);
+    }
+    table.print();
+    println!(
+        "\npaper's shape: normalized capacity ~flat in library size; \
+         Tiscali highest (most locations → least disk each)"
+    );
+    save_results("fig13_capacity_vs_library", &payload);
+}

@@ -1,0 +1,54 @@
+//! Section V-D — rounding quality vs library size: optimality gap
+//! (certified, against the Lagrangian bound) and constraint violation
+//! of the final integer solution, plus the rounding *degradation* over
+//! the fractional solution. The paper reports the gap shrinking from
+//! 4.1 % at 5 K videos to 1.0 % at 200 K, and violations under ~4 %.
+use vod_bench::{fmt, save_results, Scale, Table};
+use vod_core::{solve_placement, DiskConfig, EpfConfig, MipInstance};
+use vod_trace::{synthesize_library, synthetic_demand, LibraryConfig, TraceConfig};
+
+fn main() {
+    let scale = Scale::from_args();
+    let sizes: Vec<usize> = match scale {
+        Scale::Quick => vec![300, 1000],
+        Scale::Default => vec![1000, 3000, 10_000],
+        Scale::Full => vec![5000, 20_000, 50_000],
+    };
+    let net = vod_net::topologies::sprint();
+    let mut table = Table::new(
+        "Section V-D — rounding quality vs library size",
+        &["library", "videos re-solved", "certified gap %", "rounding degradation %", "violation %"],
+    );
+    let mut payload = Vec::new();
+    for &n in &sizes {
+        let lib = synthesize_library(&LibraryConfig::default_for(n, 7, 17));
+        let tc = TraceConfig::default_for(n as f64 * 1.5, 7, 17);
+        let demand = synthetic_demand(&lib, &net, &tc);
+        let inst = MipInstance::new(net.clone(), lib, demand,
+            &DiskConfig::UniformRatio { ratio: 2.0 }, 1.0, 0.0, None);
+        let out = solve_placement(&inst, &EpfConfig { max_passes: 250, seed: 17, ..Default::default() });
+        let degradation =
+            (out.rounding.objective - out.fractional.objective) / out.fractional.objective;
+        table.row(vec![
+            n.to_string(),
+            out.rounding.videos_rounded.to_string(),
+            fmt(out.rounding.optimality_gap.unwrap_or(f64::NAN) * 100.0),
+            fmt(degradation * 100.0),
+            fmt(out.rounding.max_violation * 100.0),
+        ]);
+        payload.push((
+            n,
+            out.rounding.videos_rounded,
+            out.rounding.optimality_gap,
+            degradation,
+            out.rounding.max_violation,
+        ));
+    }
+    table.print();
+    println!(
+        "\npaper: gap 4.1 % @5K → 1.0 % @200K; violation 4.4 % → 0.8 %. Our \
+         certified gaps include Lagrangian-bound slack (see DESIGN.md §4); the \
+         degradation column isolates what rounding itself costs."
+    );
+    save_results("rounding_quality", &payload);
+}

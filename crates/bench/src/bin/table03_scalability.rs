@@ -1,0 +1,97 @@
+//! Table III — running time and memory: the EPF decomposition vs the
+//! generic dense-simplex LP ("CPLEX" stand-in) as the library grows.
+//! The generic solver's time explodes superlinearly and its dense
+//! tableau exhausts memory at sizes the decomposition shrugs off.
+use std::time::Instant;
+use vod_bench::{fmt, save_results, Scale, Table};
+use vod_core::{direct::build_direct_lp, solve_fractional, DiskConfig, EpfConfig, MipInstance};
+use vod_trace::{synthesize_library, synthetic_demand, LibraryConfig, TraceConfig};
+
+fn instance(n_videos: usize, net: &vod_net::Network, seed: u64) -> MipInstance {
+    let days = 7;
+    let lib = synthesize_library(&LibraryConfig::default_for(n_videos, days, seed));
+    let tc = TraceConfig::default_for(n_videos as f64 * 1.2, days, seed);
+    let demand = synthetic_demand(&lib, net, &tc);
+    MipInstance::new(
+        net.clone(), lib, demand,
+        &DiskConfig::UniformRatio { ratio: 2.0 }, 1.0, 0.0, None,
+    )
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let mut table = Table::new(
+        "Table III — running time and memory vs library size",
+        &["library", "simplex time (s)", "simplex mem (MB)", "EPF time (s)", "EPF mem (MB)", "speedup"],
+    );
+    // The generic simplex is only tractable on miniature libraries —
+    // that is the point. Run it on a small net so it finishes at all.
+    let small_net = vod_net::topologies::mesh_backbone(6, 9, 3);
+    let simplex_sizes: &[usize] = match scale {
+        Scale::Quick => &[20, 40],
+        _ => &[20, 40, 80, 160],
+    };
+    let mut payload = Vec::new();
+    for &n in simplex_sizes {
+        let inst = instance(n, &small_net, 3);
+        let direct = build_direct_lp(&inst);
+        let mem_mb = direct.lp.tableau_bytes() as f64 / 1e6;
+        let t0 = Instant::now();
+        let res = vod_lp::solve_lp(&direct.lp);
+        let simplex_t = t0.elapsed().as_secs_f64();
+        assert!(res.is_ok(), "simplex failed on {n} videos");
+        let cfg = EpfConfig { max_passes: 150, seed: 3, ..Default::default() };
+        let t0 = Instant::now();
+        let (_, stats) = solve_fractional(&inst, &cfg);
+        let epf_t = t0.elapsed().as_secs_f64();
+        table.row(vec![
+            format!("{n} (6-VHO net)"),
+            fmt(simplex_t),
+            fmt(mem_mb),
+            fmt(epf_t),
+            fmt(stats.approx_bytes as f64 / 1e6),
+            format!("{:.0}x", simplex_t / epf_t.max(1e-9)),
+        ]);
+        payload.push((n, simplex_t, mem_mb, epf_t, stats.approx_bytes as f64 / 1e6));
+    }
+    // The decomposition alone, at scale, on the Rocketfuel nets
+    // (geometric mean across the three networks, as in the paper).
+    let epf_sizes: Vec<usize> = match scale {
+        Scale::Quick => vec![1000, 2000],
+        Scale::Default => vec![2000, 5000, 10_000, 20_000],
+        Scale::Full => vec![5000, 20_000, 50_000, 100_000, 200_000],
+    };
+    let nets = [
+        vod_net::topologies::tiscali(),
+        vod_net::topologies::sprint(),
+        vod_net::topologies::ebone(),
+    ];
+    for &n in &epf_sizes {
+        let mut times = Vec::new();
+        let mut mems = Vec::new();
+        for net in &nets {
+            let inst = instance(n, net, 3);
+            let cfg = EpfConfig { max_passes: 60, seed: 3, ..Default::default() };
+            let t0 = Instant::now();
+            let (_, stats) = solve_fractional(&inst, &cfg);
+            times.push(t0.elapsed().as_secs_f64());
+            mems.push(stats.approx_bytes as f64 / 1e6);
+        }
+        let geo = |xs: &[f64]| (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp();
+        table.row(vec![
+            format!("{n} (3 nets, geo-mean)"),
+            "-".into(), "-".into(),
+            fmt(geo(&times)),
+            fmt(geo(&mems)),
+            "-".into(),
+        ]);
+        payload.push((n, f64::NAN, f64::NAN, geo(&times), geo(&mems)));
+    }
+    table.print();
+    println!(
+        "\npaper's shape: simplex time superlinear with a dense-tableau memory \
+         wall; EPF near-linear in library size (their 5K→20K: 894s→5420s CPLEX \
+         vs 1.4s→2.6s EPF)"
+    );
+    save_results("table03_scalability", &payload);
+}

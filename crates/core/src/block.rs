@@ -1,0 +1,472 @@
+//! The per-video block subproblem: (fractional) uncapacitated facility
+//! location.
+//!
+//! Section V-C: after Lagrangizing the coupling constraints, each
+//! video's subproblem over `F^m = {Σ_i x_ij = 1, x_ij ≤ y_i, x, y ≥ 0}`
+//! is an uncapacitated facility-location problem (UFL) with facility
+//! costs from the disk duals and service costs from the objective plus
+//! link duals. Two solvers are provided:
+//!
+//! - [`UflProblem::solve_local_search`]: a Charikar–Guha-style
+//!   add/drop/swap local search over *integral* solutions (Section V-D
+//!   cites [11]); an integral solution is a vertex of `F^m`, so it is a
+//!   valid gradient-descent direction and, in the rounding pass, a
+//!   valid integer assignment.
+//! - [`UflProblem::dual_ascent_bound`]: an Erlenkotter-style dual
+//!   ascent producing a *feasible dual* solution, i.e. a valid lower
+//!   bound on the fractional block optimum. The Lagrangian bound
+//!   `LR(λ)` of the Appendix needs the exact block minimum; a feasible
+//!   dual lower-bounds it, so summing these keeps the global bound
+//!   valid (see DESIGN.md §4).
+
+/// A (small) UFL instance: `n` candidate facilities (the VHOs), a
+/// nonnegative opening cost per facility, and for every client a dense
+/// vector of nonnegative service costs.
+#[derive(Debug, Clone)]
+pub struct UflProblem {
+    pub facility_cost: Vec<f64>,
+    /// `service[c][i]` = cost of serving client `c` from facility `i`.
+    pub service: Vec<Vec<f64>>,
+}
+
+/// An integral UFL solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UflSolution {
+    /// Open facilities, sorted ascending.
+    pub open: Vec<usize>,
+    /// `assign[c]` = the open facility serving client `c`.
+    pub assign: Vec<usize>,
+}
+
+const TOL: f64 = 1e-12;
+
+impl UflProblem {
+    pub fn n_facilities(&self) -> usize {
+        self.facility_cost.len()
+    }
+
+    pub fn n_clients(&self) -> usize {
+        self.service.len()
+    }
+
+    /// Total cost of a solution.
+    pub fn cost(&self, sol: &UflSolution) -> f64 {
+        let open_cost: f64 = sol.open.iter().map(|&i| self.facility_cost[i]).sum();
+        let service_cost: f64 = self
+            .service
+            .iter()
+            .zip(&sol.assign)
+            .map(|(row, &i)| row[i])
+            .sum();
+        open_cost + service_cost
+    }
+
+    fn assert_valid(&self) {
+        let n = self.n_facilities();
+        assert!(n > 0, "UFL needs at least one facility");
+        debug_assert!(self.facility_cost.iter().all(|&f| f >= 0.0 && f.is_finite()));
+        debug_assert!(self
+            .service
+            .iter()
+            .all(|row| row.len() == n && row.iter().all(|&c| c >= 0.0 && c.is_finite())));
+    }
+
+    /// Greedy start + add/drop/swap local search.
+    ///
+    /// Every solution opens at least one facility even with zero
+    /// clients — the MIP's constraints (3)+(4) imply `Σ_i y_i^m ≥ 1`
+    /// (each video must be stored somewhere).
+    pub fn solve_local_search(&self) -> UflSolution {
+        self.local_search(true)
+    }
+
+    /// Add/drop-only local search: O(|V|·|C|) per round instead of the
+    /// O(|V|²·|C|) swap scan. Slightly weaker solutions, but the EPF
+    /// pass loop only needs descent *directions* — it calls this
+    /// thousands of times per video, while the rounding pass (which
+    /// commits integer decisions) uses the full search.
+    pub fn solve_local_search_fast(&self) -> UflSolution {
+        self.local_search(false)
+    }
+
+    fn local_search(&self, with_swaps: bool) -> UflSolution {
+        self.assert_valid();
+        let n = self.n_facilities();
+        let n_clients = self.n_clients();
+
+        // Start: the single facility minimizing open + total service.
+        let mut best_single = 0;
+        let mut best_single_cost = f64::MAX;
+        for i in 0..n {
+            let c: f64 =
+                self.facility_cost[i] + self.service.iter().map(|row| row[i]).sum::<f64>();
+            if c < best_single_cost {
+                best_single_cost = c;
+                best_single = i;
+            }
+        }
+        let mut open = vec![false; n];
+        open[best_single] = true;
+        let mut assign = vec![best_single; n_clients];
+
+        // Local search: first-improvement add / drop / swap moves.
+        let max_rounds = 4 * n + 16;
+        for _round in 0..max_rounds {
+            let mut improved = false;
+
+            // ADD moves: open k, reassign clients that benefit.
+            for k in 0..n {
+                if open[k] {
+                    continue;
+                }
+                let gain: f64 = self
+                    .service
+                    .iter()
+                    .zip(&assign)
+                    .map(|(row, &cur)| (row[cur] - row[k]).max(0.0))
+                    .sum::<f64>()
+                    - self.facility_cost[k];
+                if gain > TOL {
+                    open[k] = true;
+                    for (row, a) in self.service.iter().zip(assign.iter_mut()) {
+                        if row[k] < row[*a] {
+                            *a = k;
+                        }
+                    }
+                    improved = true;
+                }
+            }
+
+            // DROP moves: close k if rerouting its clients to their
+            // best other open facility saves the opening cost.
+            let open_count = open.iter().filter(|&&o| o).count();
+            if open_count > 1 {
+                for k in 0..n {
+                    if !open[k] {
+                        continue;
+                    }
+                    if open.iter().filter(|&&o| o).count() == 1 {
+                        break;
+                    }
+                    let mut reroute_penalty = 0.0;
+                    let mut feasible = true;
+                    let mut new_assign = assign.clone();
+                    for (c, (row, &cur)) in self.service.iter().zip(&assign).enumerate() {
+                        if cur == k {
+                            let alt = (0..n)
+                                .filter(|&i| i != k && open[i])
+                                .min_by(|&a, &b| row[a].partial_cmp(&row[b]).unwrap());
+                            match alt {
+                                Some(alt) => {
+                                    reroute_penalty += row[alt] - row[k];
+                                    new_assign[c] = alt;
+                                }
+                                None => {
+                                    feasible = false;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    if feasible && self.facility_cost[k] - reroute_penalty > TOL {
+                        open[k] = false;
+                        assign = new_assign;
+                        improved = true;
+                    }
+                }
+            }
+
+            // SWAP moves: replace open k by closed k2.
+            if !with_swaps {
+                if !improved {
+                    break;
+                }
+                continue;
+            }
+            for k in 0..n {
+                if !open[k] {
+                    continue;
+                }
+                for k2 in 0..n {
+                    if open[k2] {
+                        continue;
+                    }
+                    // Cost after the swap: every client picks its best
+                    // among (open \ {k}) ∪ {k2}.
+                    let mut delta = self.facility_cost[k2] - self.facility_cost[k];
+                    let mut new_assign = assign.clone();
+                    for (c, (row, &cur)) in self.service.iter().zip(&assign).enumerate() {
+                        let best = (0..n)
+                            .filter(|&i| (open[i] && i != k) || i == k2)
+                            .min_by(|&a, &b| row[a].partial_cmp(&row[b]).unwrap())
+                            .expect("k2 is always available");
+                        delta += row[best] - row[cur];
+                        new_assign[c] = best;
+                    }
+                    if delta < -TOL {
+                        open[k] = false;
+                        open[k2] = true;
+                        assign = new_assign;
+                        improved = true;
+                        break;
+                    }
+                }
+            }
+
+            if !improved {
+                break;
+            }
+        }
+
+        // Drop opened-but-unused facilities (keep at least one).
+        let mut used = vec![false; n];
+        for &a in &assign {
+            used[a] = true;
+        }
+        let mut open_list: Vec<usize> = (0..n).filter(|&i| open[i] && used[i]).collect();
+        if open_list.is_empty() {
+            // No clients: keep the cheapest open facility.
+            let keep = (0..n)
+                .filter(|&i| open[i])
+                .min_by(|&a, &b| {
+                    self.facility_cost[a]
+                        .partial_cmp(&self.facility_cost[b])
+                        .unwrap()
+                })
+                .expect("at least one facility is open");
+            open_list.push(keep);
+        }
+        UflSolution {
+            open: open_list,
+            assign,
+        }
+    }
+
+    /// Erlenkotter-style dual ascent: returns a valid lower bound on
+    /// the *fractional* UFL optimum (and hence on the integral one).
+    ///
+    /// Maintains dual feasibility `Σ_c (v_c − s_ci)⁺ ≤ f_i` throughout;
+    /// the bound is `Σ_c v_c`. With zero clients the bound is the
+    /// cheapest opening cost (one copy is always required).
+    pub fn dual_ascent_bound(&self) -> f64 {
+        self.assert_valid();
+        let n = self.n_facilities();
+        if self.service.is_empty() {
+            return self
+                .facility_cost
+                .iter()
+                .cloned()
+                .fold(f64::MAX, f64::min);
+        }
+        // v_c starts at the client's cheapest service cost (feasible:
+        // every (v_c - s_ci)+ is 0 at the argmin and negative terms
+        // don't count... they are zero for all i with s_ci >= v_c).
+        let mut v: Vec<f64> = self
+            .service
+            .iter()
+            .map(|row| row.iter().cloned().fold(f64::MAX, f64::min))
+            .collect();
+        // Remaining budget of each facility.
+        let mut budget: Vec<f64> = (0..n)
+            .map(|i| {
+                let used: f64 = v
+                    .iter()
+                    .zip(&self.service)
+                    .map(|(&vc, row)| (vc - row[i]).max(0.0))
+                    .sum();
+                self.facility_cost[i] - used
+            })
+            .collect();
+        debug_assert!(budget.iter().all(|&b| b >= -1e-9));
+
+        // Ascend until no client can be raised (DUALOC-style); process
+        // clients in ascending-v order each pass, which empirically
+        // tightens the bound substantially.
+        for _pass in 0..30 {
+            let mut order: Vec<usize> = (0..v.len()).collect();
+            order.sort_by(|&a, &b| v[a].partial_cmp(&v[b]).unwrap().then(a.cmp(&b)));
+            let mut raised = 0.0;
+            for c in order {
+                let row = &self.service[c];
+                // Max uniform raise of v_c keeping all facilities
+                // within budget: for facility i the raise may consume
+                // budget only beyond max(s_ci, v_c).
+                let mut delta = f64::MAX;
+                for i in 0..n {
+                    let headroom = (row[i] - v[c]).max(0.0) + budget[i].max(0.0);
+                    delta = delta.min(headroom);
+                }
+                if delta > 1e-12 && delta < f64::MAX {
+                    for i in 0..n {
+                        let inc = (v[c] + delta - row[i].max(v[c])).max(0.0);
+                        budget[i] -= inc;
+                    }
+                    v[c] += delta;
+                    raised += delta;
+                }
+            }
+            if raised < 1e-12 {
+                break;
+            }
+        }
+        v.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_bound_sandwich(p: &UflProblem) {
+        let sol = p.solve_local_search();
+        let ub = p.cost(&sol);
+        let lb = p.dual_ascent_bound();
+        assert!(
+            lb <= ub + 1e-9,
+            "dual bound {lb} must not exceed heuristic cost {ub}"
+        );
+        // Solution invariants.
+        assert!(!sol.open.is_empty());
+        for &a in &sol.assign {
+            assert!(sol.open.contains(&a), "client assigned to closed facility");
+        }
+    }
+
+    #[test]
+    fn single_facility_trivial() {
+        let p = UflProblem {
+            facility_cost: vec![3.0],
+            service: vec![vec![1.0], vec![2.0]],
+        };
+        let sol = p.solve_local_search();
+        assert_eq!(sol.open, vec![0]);
+        assert_eq!(p.cost(&sol), 6.0);
+        assert!(p.dual_ascent_bound() <= 6.0 + 1e-9);
+    }
+
+    #[test]
+    fn opens_second_facility_when_worth_it() {
+        // Facility 0 cheap to open but far from client 1; facility 1
+        // expensive but essential.
+        let p = UflProblem {
+            facility_cost: vec![1.0, 2.0],
+            service: vec![vec![0.0, 10.0], vec![10.0, 0.0]],
+        };
+        let sol = p.solve_local_search();
+        assert_eq!(sol.open, vec![0, 1]);
+        assert_eq!(p.cost(&sol), 3.0);
+        check_bound_sandwich(&p);
+    }
+
+    #[test]
+    fn consolidates_when_opening_costly() {
+        let p = UflProblem {
+            facility_cost: vec![100.0, 100.0],
+            service: vec![vec![1.0, 2.0], vec![2.0, 1.0]],
+        };
+        let sol = p.solve_local_search();
+        assert_eq!(sol.open.len(), 1);
+        assert_eq!(p.cost(&sol), 103.0);
+        check_bound_sandwich(&p);
+    }
+
+    #[test]
+    fn swap_escapes_local_trap() {
+        // Start greedy would pick facility 0 (cheap overall), but the
+        // true optimum is facility 2 alone.
+        let p = UflProblem {
+            facility_cost: vec![0.0, 50.0, 1.0],
+            service: vec![
+                vec![5.0, 0.0, 0.5],
+                vec![5.0, 0.0, 0.5],
+                vec![5.0, 0.0, 0.5],
+            ],
+        };
+        let sol = p.solve_local_search();
+        assert_eq!(sol.open, vec![2]);
+        assert!((p.cost(&sol) - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_clients_opens_cheapest() {
+        let p = UflProblem {
+            facility_cost: vec![5.0, 2.0, 7.0],
+            service: vec![],
+        };
+        let sol = p.solve_local_search();
+        assert_eq!(sol.open, vec![1]);
+        assert_eq!(p.dual_ascent_bound(), 2.0);
+    }
+
+    #[test]
+    fn free_facilities_serve_everyone_locally() {
+        // Zero facility costs: open everything useful, serve at min.
+        let p = UflProblem {
+            facility_cost: vec![0.0; 3],
+            service: vec![vec![4.0, 1.0, 9.0], vec![0.5, 3.0, 9.0]],
+        };
+        let sol = p.solve_local_search();
+        assert!((p.cost(&sol) - 1.5).abs() < 1e-9);
+        // Dual bound equals optimum here (LP tight).
+        assert!((p.dual_ascent_bound() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dual_bound_reasonably_tight_random() {
+        use rand::Rng;
+        let mut rng = vod_model::rng::rng_from_seed(99);
+        for _case in 0..50 {
+            let n = rng.gen_range(2..8);
+            let c = rng.gen_range(1..10);
+            let p = UflProblem {
+                facility_cost: (0..n).map(|_| rng.gen_range(0.0..5.0)).collect(),
+                service: (0..c)
+                    .map(|_| (0..n).map(|_| rng.gen_range(0.0..10.0)).collect())
+                    .collect(),
+            };
+            check_bound_sandwich(&p);
+            // On small instances the gap should typically be modest.
+            let lb = p.dual_ascent_bound();
+            let ub = p.cost(&p.solve_local_search());
+            assert!(ub <= 3.0 * lb.max(0.5), "loose: lb={lb} ub={ub}");
+        }
+    }
+
+    #[test]
+    fn local_search_beats_naive_baselines() {
+        use rand::Rng;
+        let mut rng = vod_model::rng::rng_from_seed(7);
+        for _ in 0..20 {
+            let n = rng.gen_range(3..10);
+            let c = rng.gen_range(1..12);
+            let p = UflProblem {
+                facility_cost: (0..n).map(|_| rng.gen_range(0.0..8.0)).collect(),
+                service: (0..c)
+                    .map(|_| (0..n).map(|_| rng.gen_range(0.0..10.0)).collect())
+                    .collect(),
+            };
+            let got = p.cost(&p.solve_local_search());
+            // Baseline 1: everything open.
+            let all = UflSolution {
+                open: (0..n).collect(),
+                assign: p
+                    .service
+                    .iter()
+                    .map(|row| {
+                        (0..n)
+                            .min_by(|&a, &b| row[a].partial_cmp(&row[b]).unwrap())
+                            .unwrap()
+                    })
+                    .collect(),
+            };
+            assert!(got <= p.cost(&all) + 1e-9);
+            // Baseline 2: best single facility.
+            let best_single = (0..n)
+                .map(|i| {
+                    p.facility_cost[i] + p.service.iter().map(|r| r[i]).sum::<f64>()
+                })
+                .fold(f64::MAX, f64::min);
+            assert!(got <= best_single + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Feasibility-region searches (Fig. 11, Fig. 13, Tables IV and V).
+//!
+//! A (disk, link-capacity) operating point is *feasible* when the EPF
+//! solver, run in pure feasibility mode, reaches `δ_c(z) ≤ ε` within
+//! its pass budget. Binary searches over the disk multiplier or the
+//! uniform link capacity trace out the paper's trade-off curves.
+
+use crate::epf::{solve_fractional, EpfConfig};
+use crate::instance::{DiskConfig, MipInstance};
+use vod_model::Mbps;
+use vod_net::Network;
+use vod_trace::DemandInput;
+
+/// Whether the given instance admits an ε-feasible fractional solution
+/// within the solver's pass budget.
+pub fn is_feasible(inst: &MipInstance, cfg: &EpfConfig) -> bool {
+    if inst.quick_feasibility_check().is_err() {
+        return false;
+    }
+    let (_, stats) = solve_fractional(inst, &cfg.feasibility());
+    stats.converged
+}
+
+/// Everything needed to rebuild instances while sweeping one knob.
+pub struct Scenario<'a> {
+    pub network: &'a Network,
+    pub catalog: &'a vod_model::Catalog,
+    pub demand: &'a DemandInput,
+    pub alpha: f64,
+    pub beta: f64,
+}
+
+impl Scenario<'_> {
+    fn instance(&self, disk: &DiskConfig, capacity: Mbps) -> MipInstance {
+        let mut net = self.network.clone();
+        net.set_uniform_capacity(capacity);
+        MipInstance::new(
+            net,
+            self.catalog.clone(),
+            self.demand.clone(),
+            disk,
+            self.alpha,
+            self.beta,
+            None,
+        )
+    }
+}
+
+/// Fig. 11: the minimum aggregate-disk multiplier (relative to the
+/// library size) at which all requests can be served under the given
+/// uniform link capacity. Binary search to `tol` between `lo` and
+/// `hi` multipliers; `None` if even `hi` is infeasible.
+///
+/// `shape` builds a [`DiskConfig`] from a multiplier (uniform or
+/// tiered).
+pub fn min_disk_ratio(
+    scenario: &Scenario<'_>,
+    capacity: Mbps,
+    shape: impl Fn(f64) -> DiskConfig,
+    lo: f64,
+    hi: f64,
+    tol: f64,
+    cfg: &EpfConfig,
+) -> Option<f64> {
+    assert!(lo > 0.0 && hi > lo && tol > 0.0);
+    if !is_feasible(&scenario.instance(&shape(hi), capacity), cfg) {
+        return None;
+    }
+    let (mut lo, mut hi) = (lo, hi);
+    if is_feasible(&scenario.instance(&shape(lo), capacity), cfg) {
+        return Some(lo);
+    }
+    while hi - lo > tol {
+        let mid = 0.5 * (lo + hi);
+        if is_feasible(&scenario.instance(&shape(mid), capacity), cfg) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(hi)
+}
+
+/// Tables IV/V, Fig. 13: the minimum uniform link capacity at which the
+/// instance is feasible with the given disk configuration. Binary
+/// search between `lo` and `hi` (Mb/s) to relative tolerance `rel_tol`;
+/// `None` if even `hi` is infeasible.
+pub fn min_link_capacity(
+    scenario: &Scenario<'_>,
+    disk: &DiskConfig,
+    lo: Mbps,
+    hi: Mbps,
+    rel_tol: f64,
+    cfg: &EpfConfig,
+) -> Option<Mbps> {
+    assert!(lo.value() > 0.0 && hi.value() > lo.value() && rel_tol > 0.0);
+    if !is_feasible(&scenario.instance(disk, hi), cfg) {
+        return None;
+    }
+    if is_feasible(&scenario.instance(disk, lo), cfg) {
+        return Some(lo);
+    }
+    let (mut lo, mut hi) = (lo.value(), hi.value());
+    while (hi - lo) / hi > rel_tol {
+        let mid = 0.5 * (lo + hi);
+        if is_feasible(&scenario.instance(disk, Mbps::new(mid)), cfg) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(Mbps::new(hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vod_net::topologies;
+    use vod_trace::{
+        analysis, generate_trace, synthesize_library, LibraryConfig, TraceConfig,
+    };
+
+    struct World {
+        net: Network,
+        catalog: vod_model::Catalog,
+        demand: DemandInput,
+    }
+
+    fn world(seed: u64) -> World {
+        let net = topologies::mesh_backbone(6, 9, seed);
+        let catalog = synthesize_library(&LibraryConfig::default_for(60, 7, seed));
+        let trace = generate_trace(&catalog, &net, &TraceConfig::default_for(600.0, 7, seed));
+        let windows = analysis::select_peak_windows(&trace, &catalog, 3600, 2);
+        let demand = DemandInput::from_trace(&trace, &catalog, net.num_nodes(), windows);
+        World {
+            net,
+            catalog,
+            demand,
+        }
+    }
+
+    fn cfg(seed: u64) -> EpfConfig {
+        EpfConfig {
+            max_passes: 60,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn disk_ratio_monotone_in_capacity() {
+        let w = world(31);
+        let scenario = Scenario {
+            network: &w.net,
+            catalog: &w.catalog,
+            demand: &w.demand,
+            alpha: 1.0,
+            beta: 0.0,
+        };
+        let shape = |r: f64| DiskConfig::UniformRatio { ratio: r };
+        let tight = min_disk_ratio(
+            &scenario,
+            Mbps::from_gbps(0.05),
+            shape,
+            1.05,
+            12.0,
+            0.25,
+            &cfg(31),
+        );
+        let loose = min_disk_ratio(
+            &scenario,
+            Mbps::from_gbps(2.0),
+            shape,
+            1.05,
+            12.0,
+            0.25,
+            &cfg(31),
+        );
+        let loose = loose.expect("ample capacity must be feasible");
+        if let Some(tight) = tight {
+            assert!(
+                tight >= loose - 0.25,
+                "smaller links cannot need less disk: tight {tight} loose {loose}"
+            );
+        }
+        // With generous links, close to one copy each suffices.
+        assert!(loose < 4.0, "loose-capacity disk need too large: {loose}");
+    }
+
+    #[test]
+    fn capacity_search_finds_threshold() {
+        let w = world(32);
+        let scenario = Scenario {
+            network: &w.net,
+            catalog: &w.catalog,
+            demand: &w.demand,
+            alpha: 1.0,
+            beta: 0.0,
+        };
+        let disk = DiskConfig::UniformRatio { ratio: 2.0 };
+        let cap = min_link_capacity(
+            &scenario,
+            &disk,
+            Mbps::new(1.0),
+            Mbps::from_gbps(5.0),
+            0.2,
+            &cfg(32),
+        )
+        .expect("5 Gb/s must be enough");
+        assert!(cap.value() >= 1.0 && cap.value() <= 5000.0);
+        // Verify the found point really is feasible.
+        let mut net = w.net.clone();
+        net.set_uniform_capacity(cap);
+        let inst = MipInstance::new(
+            net,
+            w.catalog.clone(),
+            w.demand.clone(),
+            &disk,
+            1.0,
+            0.0,
+            None,
+        );
+        assert!(is_feasible(&inst, &cfg(32)));
+    }
+
+    #[test]
+    fn infeasible_when_hi_insufficient() {
+        let w = world(33);
+        let scenario = Scenario {
+            network: &w.net,
+            catalog: &w.catalog,
+            demand: &w.demand,
+            alpha: 1.0,
+            beta: 0.0,
+        };
+        // Disk below one library copy can never work.
+        assert_eq!(
+            min_link_capacity(
+                &scenario,
+                &DiskConfig::UniformRatio { ratio: 0.5 },
+                Mbps::new(1.0),
+                Mbps::from_gbps(100.0),
+                0.2,
+                &cfg(33),
+            ),
+            None
+        );
+    }
+}

@@ -1,0 +1,222 @@
+//! Exact branch-and-bound over the simplex, for tiny mixed-integer
+//! programs.
+//!
+//! Used to obtain *exact* MIP optima on miniature placement instances,
+//! against which the EPF + rounding pipeline's optimality gap is
+//! validated (the paper reports 1–4 % gaps, Section V-D). Depth-first
+//! search branching on the most fractional integer variable, pruning by
+//! the LP relaxation bound.
+
+use crate::problem::{Cmp, LinearProgram, LpError, LpSolution};
+use crate::simplex::solve_lp;
+
+/// Result of a branch-and-bound run.
+#[derive(Debug, Clone)]
+pub struct MipOutcome {
+    pub solution: LpSolution,
+    /// Nodes explored.
+    pub nodes: usize,
+    /// False if the node limit was hit before the tree was exhausted
+    /// (the returned incumbent may then be suboptimal).
+    pub proven_optimal: bool,
+}
+
+const INT_TOL: f64 = 1e-6;
+
+/// Solve `lp` requiring `integer_vars` to take integer values.
+///
+/// `node_limit` bounds the search; if it is exhausted the best
+/// incumbent found so far is returned with `proven_optimal = false`,
+/// or `Err(IterationLimit)` if none was found.
+pub fn solve_mip(
+    lp: &LinearProgram,
+    integer_vars: &[usize],
+    node_limit: usize,
+) -> Result<MipOutcome, LpError> {
+    // A node is a set of branching bounds: (var, is_upper, value).
+    type Branches = Vec<(usize, bool, f64)>;
+    let mut stack: Vec<Branches> = vec![Vec::new()];
+    let mut incumbent: Option<LpSolution> = None;
+    let mut nodes = 0usize;
+    let mut exhausted = true;
+
+    while let Some(branches) = stack.pop() {
+        if nodes >= node_limit {
+            exhausted = false;
+            break;
+        }
+        nodes += 1;
+        let mut node_lp = lp.clone();
+        for &(v, is_upper, val) in &branches {
+            if is_upper {
+                node_lp.add_constraint(vec![(v, 1.0)], Cmp::Le, val);
+            } else {
+                node_lp.add_constraint(vec![(v, 1.0)], Cmp::Ge, val);
+            }
+        }
+        let relax = match solve_lp(&node_lp) {
+            Ok(s) => s,
+            Err(LpError::Infeasible) => continue,
+            Err(e) => return Err(e),
+        };
+        if let Some(best) = &incumbent {
+            if relax.objective >= best.objective - 1e-9 {
+                continue; // bound prune
+            }
+        }
+        // Most fractional integer variable.
+        let frac = integer_vars
+            .iter()
+            .map(|&v| (v, (relax.x[v] - relax.x[v].round()).abs()))
+            .filter(|&(_, f)| f > INT_TOL)
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        match frac {
+            None => {
+                // Integral: new incumbent (round off numerical fuzz).
+                let mut sol = relax;
+                for &v in integer_vars {
+                    sol.x[v] = sol.x[v].round();
+                }
+                sol.objective = lp.objective_value(&sol.x);
+                if incumbent
+                    .as_ref()
+                    .map_or(true, |b| sol.objective < b.objective)
+                {
+                    incumbent = Some(sol);
+                }
+            }
+            Some((v, _)) => {
+                let val = relax.x[v];
+                let mut down = branches.clone();
+                down.push((v, true, val.floor()));
+                let mut up = branches;
+                up.push((v, false, val.ceil()));
+                // DFS: explore the "up" branch first (placement MIPs
+                // tend to need y = 1 for popular videos).
+                stack.push(down);
+                stack.push(up);
+            }
+        }
+    }
+
+    match incumbent {
+        Some(solution) => Ok(MipOutcome {
+            solution,
+            nodes,
+            proven_optimal: exhausted,
+        }),
+        None if exhausted => Err(LpError::Infeasible),
+        None => Err(LpError::IterationLimit),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Cmp, LinearProgram};
+
+    #[test]
+    fn knapsack() {
+        // max 10a + 13b + 7c, 3a + 4b + 2c <= 6, binary.
+        // Best: a + c (wt 5, val 17) vs b + c (wt 6, val 20) → 20.
+        let mut lp = LinearProgram::new();
+        let a = lp.add_var(-10.0, Some(1.0));
+        let b = lp.add_var(-13.0, Some(1.0));
+        let c = lp.add_var(-7.0, Some(1.0));
+        lp.add_constraint(vec![(a, 3.0), (b, 4.0), (c, 2.0)], Cmp::Le, 6.0);
+        let out = solve_mip(&lp, &[a, b, c], 1000).unwrap();
+        assert!(out.proven_optimal);
+        assert!((out.solution.objective + 20.0).abs() < 1e-6);
+        assert_eq!(out.solution.x[a].round() as i32, 0);
+        assert_eq!(out.solution.x[b].round() as i32, 1);
+        assert_eq!(out.solution.x[c].round() as i32, 1);
+    }
+
+    #[test]
+    fn integrality_gap_instance() {
+        // min y1 + y2 s.t. y1 + y2 >= 1.5 → LP 1.5, MIP 2 (e.g. 1+1).
+        let mut lp = LinearProgram::new();
+        let y1 = lp.add_var(1.0, Some(1.0));
+        let y2 = lp.add_var(1.0, Some(1.0));
+        lp.add_constraint(vec![(y1, 1.0), (y2, 1.0)], Cmp::Ge, 1.5);
+        let relax = crate::simplex::solve_lp(&lp).unwrap();
+        assert!((relax.objective - 1.5).abs() < 1e-6);
+        let out = solve_mip(&lp, &[y1, y2], 100).unwrap();
+        assert!((out.solution.objective - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_mip() {
+        // 2y = 1 with y integer in [0, 1] is infeasible.
+        let mut lp = LinearProgram::new();
+        let y = lp.add_var(1.0, Some(1.0));
+        lp.add_constraint(vec![(y, 2.0)], Cmp::Eq, 1.0);
+        assert!(matches!(
+            solve_mip(&lp, &[y], 100),
+            Err(LpError::Infeasible)
+        ));
+    }
+
+    #[test]
+    fn mixed_integer_keeps_continuous_fractional() {
+        // min -x - y, x <= 1.5 (continuous), y <= 1.5 (integer),
+        // x + y <= 2.6 → y = 1, x = 1.5.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(-1.0, Some(1.5));
+        let y = lp.add_var(-1.0, Some(1.5));
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 2.6);
+        let out = solve_mip(&lp, &[y], 100).unwrap();
+        assert!((out.solution.x[x] - 1.5).abs() < 1e-6);
+        assert!((out.solution.x[y] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn facility_location_miniature() {
+        // 2 facilities, 2 clients. Opening costs 5 and 100; service
+        // costs f1: [1, 1], f2: [0, 0]. With binaries, opening only
+        // f1 (cost 5 + 2) beats opening f2 (100) or both.
+        let mut lp = LinearProgram::new();
+        let y1 = lp.add_var(5.0, Some(1.0));
+        let y2 = lp.add_var(100.0, Some(1.0));
+        let mut x = [[0usize; 2]; 2];
+        let service = [[1.0, 1.0], [0.0, 0.0]];
+        for i in 0..2 {
+            for j in 0..2 {
+                x[i][j] = lp.add_var(service[i][j], None);
+            }
+        }
+        for j in 0..2 {
+            lp.add_constraint(vec![(x[0][j], 1.0), (x[1][j], 1.0)], Cmp::Eq, 1.0);
+        }
+        let ys = [y1, y2];
+        for i in 0..2 {
+            for j in 0..2 {
+                lp.add_constraint(vec![(x[i][j], 1.0), (ys[i], -1.0)], Cmp::Le, 0.0);
+            }
+        }
+        let out = solve_mip(&lp, &[y1, y2], 1000).unwrap();
+        assert!((out.solution.objective - 7.0).abs() < 1e-6);
+        assert!((out.solution.x[y1] - 1.0).abs() < 1e-6);
+        assert!(out.solution.x[y2].abs() < 1e-6);
+    }
+
+    #[test]
+    fn node_limit_behaviour() {
+        let mut lp = LinearProgram::new();
+        let vars: Vec<usize> = (0..6).map(|_| lp.add_var(-1.0, Some(1.0))).collect();
+        lp.add_constraint(vars.iter().map(|&v| (v, 1.0)).collect(), Cmp::Le, 2.5);
+        // Generous limit: proven optimum of -2 (two variables at 1).
+        let full = solve_mip(&lp, &vars, 5000).unwrap();
+        assert!(full.proven_optimal);
+        assert!((full.solution.objective + 2.0).abs() < 1e-6);
+        // Tiny limit: either no incumbent yet (IterationLimit) or an
+        // unproven feasible incumbent — never a wrong "proven" claim.
+        match solve_mip(&lp, &vars, 3) {
+            Ok(out) => {
+                assert!(!out.proven_optimal);
+                assert!(lp.max_violation(&out.solution.x) < 1e-6);
+            }
+            Err(e) => assert!(matches!(e, LpError::IterationLimit)),
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Simulated time and the time windows used for link constraints.
+//!
+//! The paper enforces link-bandwidth constraints at a small set of time
+//! slices `T` (Section VI-B), each a window of configurable length
+//! (Table V studies 1 s … 1 day). Simulated time is measured in whole
+//! seconds from the start of the trace; a month-long trace fits
+//! comfortably in a `u64`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A point in simulated time, in seconds since trace start.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SimTime(pub u64);
+
+pub const SECOND: u64 = 1;
+pub const MINUTE: u64 = 60;
+pub const HOUR: u64 = 3600;
+pub const DAY: u64 = 86_400;
+pub const WEEK: u64 = 7 * DAY;
+
+impl SimTime {
+    pub const ZERO: Self = Self(0);
+
+    #[inline]
+    pub const fn new(secs: u64) -> Self {
+        Self(secs)
+    }
+
+    #[inline]
+    pub const fn secs(self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Day index (0-based) this instant falls in.
+    #[inline]
+    pub const fn day(self) -> u64 {
+        self.0 / DAY
+    }
+
+    /// Hour-of-day (0..24) this instant falls in.
+    #[inline]
+    pub const fn hour_of_day(self) -> u64 {
+        (self.0 % DAY) / HOUR
+    }
+
+    /// Day-of-week (0 = the weekday the trace starts on).
+    #[inline]
+    pub const fn day_of_week(self) -> u64 {
+        self.day() % 7
+    }
+
+    #[inline]
+    pub fn saturating_sub(self, rhs: Self) -> Self {
+        Self(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: u64) -> Self {
+        Self(self.0 + rhs)
+    }
+}
+
+impl Sub for SimTime {
+    type Output = u64;
+    #[inline]
+    fn sub(self, rhs: Self) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "d{}+{:02}:{:02}:{:02}",
+            self.day(),
+            self.hour_of_day(),
+            (self.0 % HOUR) / MINUTE,
+            self.0 % MINUTE
+        )
+    }
+}
+
+/// A half-open window `[start, end)` of simulated time.
+///
+/// Time slices `t ∈ T` of the MIP are `TimeWindow`s: constraint (6) is
+/// enforced against the concurrent-stream profile measured inside each
+/// window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TimeWindow {
+    pub start: SimTime,
+    pub end: SimTime,
+}
+
+impl TimeWindow {
+    pub fn new(start: SimTime, end: SimTime) -> Self {
+        assert!(start <= end, "window start must not exceed end");
+        Self { start, end }
+    }
+
+    /// Window of `len` seconds beginning at `start`.
+    pub fn of_len(start: SimTime, len: u64) -> Self {
+        Self::new(start, start + len)
+    }
+
+    #[inline]
+    pub fn len_secs(&self) -> u64 {
+        self.end - self.start
+    }
+
+    #[inline]
+    pub fn contains(&self, t: SimTime) -> bool {
+        self.start <= t && t < self.end
+    }
+
+    /// Whether a stream active during `[s, e)` overlaps this window.
+    #[inline]
+    pub fn overlaps(&self, s: SimTime, e: SimTime) -> bool {
+        s < self.end && self.start < e
+    }
+
+    /// Partition `[0, horizon)` into consecutive windows of `len` secs
+    /// (the last window may be shorter).
+    pub fn tile(horizon: SimTime, len: u64) -> Vec<TimeWindow> {
+        assert!(len > 0, "window length must be positive");
+        let mut out = Vec::new();
+        let mut s = 0;
+        while s < horizon.secs() {
+            let e = (s + len).min(horizon.secs());
+            out.push(TimeWindow::new(SimTime(s), SimTime(e)));
+            s = e;
+        }
+        out
+    }
+}
+
+impl fmt::Display for TimeWindow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calendar_accessors() {
+        let t = SimTime::new(2 * DAY + 5 * HOUR + 7 * MINUTE + 9);
+        assert_eq!(t.day(), 2);
+        assert_eq!(t.hour_of_day(), 5);
+        assert_eq!(t.day_of_week(), 2);
+        assert_eq!(t.to_string(), "d2+05:07:09");
+    }
+
+    #[test]
+    fn day_of_week_wraps() {
+        assert_eq!(SimTime::new(9 * DAY).day_of_week(), 2);
+    }
+
+    #[test]
+    fn window_contains_and_overlaps() {
+        let w = TimeWindow::of_len(SimTime::new(100), 50);
+        assert!(w.contains(SimTime::new(100)));
+        assert!(w.contains(SimTime::new(149)));
+        assert!(!w.contains(SimTime::new(150)));
+        // Stream that ends exactly at window start does not overlap.
+        assert!(!w.overlaps(SimTime::new(50), SimTime::new(100)));
+        assert!(w.overlaps(SimTime::new(50), SimTime::new(101)));
+        assert!(w.overlaps(SimTime::new(149), SimTime::new(500)));
+        assert!(!w.overlaps(SimTime::new(150), SimTime::new(500)));
+    }
+
+    #[test]
+    fn tiling_covers_horizon() {
+        let tiles = TimeWindow::tile(SimTime::new(250), 100);
+        assert_eq!(tiles.len(), 3);
+        assert_eq!(tiles[0].len_secs(), 100);
+        assert_eq!(tiles[2].len_secs(), 50);
+        assert_eq!(tiles[2].end, SimTime::new(250));
+    }
+
+    #[test]
+    #[should_panic(expected = "window length must be positive")]
+    fn zero_window_rejected() {
+        let _ = TimeWindow::tile(SimTime::new(10), 0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Physical units used throughout the model.
+//!
+//! The paper expresses disk capacities and video sizes in gigabytes and
+//! link capacities and stream bitrates in megabits per second (Table I).
+//! We keep both as `f64` newtype wrappers with explicit conversions so
+//! that the solver and the simulator can never silently mix them up.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+macro_rules! unit_newtype {
+    ($(#[$doc:meta])* $name:ident, $suffix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            pub const ZERO: Self = Self(0.0);
+
+            #[inline]
+            pub const fn new(v: f64) -> Self {
+                Self(v)
+            }
+
+            #[inline]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!("{:.3} ", $suffix), self.0)
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        /// Ratio of two quantities of the same unit (dimensionless).
+        impl Div for $name {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|x| x.0).sum())
+            }
+        }
+    };
+}
+
+unit_newtype!(
+    /// An amount of storage, in gigabytes (`D_i`, `s^m` in Table I).
+    Gigabytes,
+    "GB"
+);
+
+unit_newtype!(
+    /// A data rate, in megabits per second (`B_l`, `r^m` in Table I).
+    Mbps,
+    "Mb/s"
+);
+
+impl Gigabytes {
+    /// Construct from megabytes (video sizes in Section VII-A are given
+    /// as 100 MB / 500 MB / 1 GB / 2 GB).
+    #[inline]
+    pub fn from_mb(mb: f64) -> Self {
+        Self(mb / 1000.0)
+    }
+
+    /// Gigabits contained in this many gigabytes (1 byte = 8 bits).
+    #[inline]
+    pub fn gigabits(self) -> f64 {
+        self.0 * 8.0
+    }
+}
+
+impl Mbps {
+    /// Construct from gigabits per second (link capacities in Section
+    /// VII are quoted in Gb/s).
+    #[inline]
+    pub fn from_gbps(gbps: f64) -> Self {
+        Self(gbps * 1000.0)
+    }
+
+    /// This rate expressed in Gb/s.
+    #[inline]
+    pub fn gbps(self) -> f64 {
+        self.0 / 1000.0
+    }
+
+    /// Data volume transferred at this rate over `seconds`, in gigabytes.
+    #[inline]
+    pub fn volume_over(self, seconds: f64) -> Gigabytes {
+        // Mb/s * s = Mb; /8 = MB; /1000 = GB.
+        Gigabytes(self.0 * seconds / 8.0 / 1000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_behaves() {
+        let a = Gigabytes::new(1.5);
+        let b = Gigabytes::new(0.5);
+        assert_eq!((a + b).value(), 2.0);
+        assert_eq!((a - b).value(), 1.0);
+        assert_eq!((a * 2.0).value(), 3.0);
+        assert_eq!((a / 3.0).value(), 0.5);
+        assert_eq!(a / b, 3.0);
+        assert_eq!((-b).value(), -0.5);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Gigabytes::from_mb(500.0).value(), 0.5);
+        assert_eq!(Mbps::from_gbps(1.0).value(), 1000.0);
+        assert_eq!(Mbps::new(2500.0).gbps(), 2.5);
+    }
+
+    #[test]
+    fn stream_volume() {
+        // A 2 Mb/s stream for one hour moves 0.9 GB.
+        let v = Mbps::new(2.0).volume_over(3600.0);
+        assert!((v.value() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_and_compare() {
+        let total: Mbps = vec![Mbps::new(1.0), Mbps::new(2.0), Mbps::new(3.0)]
+            .into_iter()
+            .sum();
+        assert_eq!(total.value(), 6.0);
+        assert_eq!(Mbps::new(1.0).max(Mbps::new(2.0)), Mbps::new(2.0));
+        assert_eq!(Mbps::new(1.0).min(Mbps::new(2.0)), Mbps::new(1.0));
+    }
+
+    #[test]
+    fn display_includes_unit() {
+        assert_eq!(Gigabytes::new(1.0).to_string(), "1.000 GB");
+        assert_eq!(Mbps::new(2.0).to_string(), "2.000 Mb/s");
+    }
+}

@@ -1,0 +1,332 @@
+//! Topology generators for every network the evaluation uses.
+//!
+//! The paper's experiments run on (Table IV): a 55-node / 76-edge
+//! backbone modeled on a deployed IPTV service, a 54-edge spanning
+//! tree over the same VHOs, a full mesh, and three Rocketfuel-measured
+//! ISP maps — Tiscali (49 nodes / 86 edges), Sprint (33/69) and Ebone
+//! (23/38). The operational topologies are proprietary, so we generate
+//! deterministic synthetic graphs with exactly the published node and
+//! edge counts (see DESIGN.md §1 for why this preserves the relevant
+//! behaviour): nodes are placed geometrically, joined in a ring for
+//! biconnectivity, and the remaining edge budget is spent on chords
+//! biased toward short distances and high-population "hub" metros,
+//! which reproduces the hop-count and degree skew of real backbones.
+
+use crate::graph::{make_nodes, Network, Node};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use vod_model::rng::derive_rng;
+use vod_model::{Mbps, VhoId};
+
+/// Default uniform capacity assigned by generators; experiments
+/// override it via [`Network::set_uniform_capacity`].
+pub const DEFAULT_CAPACITY: Mbps = Mbps(1000.0);
+
+/// Seed namespace for topology construction, so that topology
+/// randomness never collides with trace or solver randomness.
+const TOPO_STREAM: u64 = 0x544F_504F; // "TOPO"
+
+/// Heavy-tailed metro populations: rank-`r` metro has weight
+/// `1 / r^0.6`, assignment of ranks to node ids shuffled by `seed`.
+/// Weights are normalized to mean 1 so request volumes scale with the
+/// node count.
+pub fn metro_populations(n: usize, seed: u64) -> Vec<f64> {
+    assert!(n > 0);
+    let mut ranked: Vec<f64> = (1..=n).map(|r| 1.0 / (r as f64).powf(0.6)).collect();
+    let mean: f64 = ranked.iter().sum::<f64>() / n as f64;
+    for w in &mut ranked {
+        *w /= mean;
+    }
+    let mut rng = derive_rng(seed, TOPO_STREAM ^ 1);
+    ranked.shuffle(&mut rng);
+    ranked
+}
+
+/// Generate a mesh backbone with `n` nodes and exactly `undirected_edges`
+/// undirected edges (so `2 * undirected_edges` directed links).
+///
+/// Construction: seeded uniform positions in the unit square; a ring in
+/// angular order around the centroid (guarantees biconnectivity, as in
+/// real backbones built from SONET rings); chords added in order of a
+/// score mixing Euclidean proximity and endpoint populations (hubs
+/// attract chords, yielding Rocketfuel-like degree skew).
+pub fn mesh_backbone(n: usize, undirected_edges: usize, seed: u64) -> Network {
+    assert!(n >= 3, "mesh backbone needs at least 3 nodes");
+    assert!(
+        undirected_edges >= n,
+        "need at least n edges for the ring ({n} nodes, {undirected_edges} edges)"
+    );
+    let max_edges = n * (n - 1) / 2;
+    assert!(
+        undirected_edges <= max_edges,
+        "at most n(n-1)/2 = {max_edges} undirected edges possible"
+    );
+
+    let mut rng = derive_rng(seed, TOPO_STREAM);
+    let positions: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
+    let populations = metro_populations(n, seed);
+
+    // Ring in angular order around the centroid.
+    let cx = positions.iter().map(|p| p.0).sum::<f64>() / n as f64;
+    let cy = positions.iter().map(|p| p.1).sum::<f64>() / n as f64;
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        let ang = |i: usize| (positions[i].1 - cy).atan2(positions[i].0 - cx);
+        ang(a).partial_cmp(&ang(b)).unwrap().then(a.cmp(&b))
+    });
+
+    let mut present = vec![false; n * n];
+    let mut edges: Vec<(VhoId, VhoId)> = Vec::with_capacity(undirected_edges);
+    let add = |a: usize, b: usize, present: &mut Vec<bool>, edges: &mut Vec<(VhoId, VhoId)>| {
+        let (lo, hi) = (a.min(b), a.max(b));
+        if lo != hi && !present[lo * n + hi] {
+            present[lo * n + hi] = true;
+            edges.push((VhoId::from_index(lo), VhoId::from_index(hi)));
+            true
+        } else {
+            false
+        }
+    };
+    for k in 0..n {
+        add(order[k], order[(k + 1) % n], &mut present, &mut edges);
+    }
+
+    // Chords: score = distance / (pop_a * pop_b)^0.5 — prefer short
+    // links between big metros. Deterministic sort, stable tie-break.
+    let mut candidates: Vec<(f64, usize, usize)> = Vec::new();
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if !present[a * n + b] {
+                let d = ((positions[a].0 - positions[b].0).powi(2)
+                    + (positions[a].1 - positions[b].1).powi(2))
+                .sqrt();
+                let score = d / (populations[a] * populations[b]).sqrt();
+                candidates.push((score, a, b));
+            }
+        }
+    }
+    candidates.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap().then((x.1, x.2).cmp(&(y.1, y.2))));
+    for &(_, a, b) in &candidates {
+        if edges.len() >= undirected_edges {
+            break;
+        }
+        add(a, b, &mut present, &mut edges);
+    }
+    assert_eq!(edges.len(), undirected_edges);
+
+    let nodes = make_nodes(&populations);
+    Network::from_undirected_edges(nodes, &edges, DEFAULT_CAPACITY)
+}
+
+/// The default evaluation backbone: 55 VHOs, 76 bidirectional links
+/// ("70+ bidirectional links", Section VII-A), from a fixed seed.
+pub fn backbone55() -> Network {
+    mesh_backbone(55, 76, 0xBACB05E)
+}
+
+/// Rocketfuel-like Tiscali: 49 nodes, 86 undirected links (Table IV).
+pub fn tiscali() -> Network {
+    mesh_backbone(49, 86, 0x715C_A11)
+}
+
+/// Rocketfuel-like Sprint: 33 nodes, 69 undirected links (Table IV).
+pub fn sprint() -> Network {
+    mesh_backbone(33, 69, 0x5921_47)
+}
+
+/// Rocketfuel-like Ebone: 23 nodes, 38 undirected links (Table IV).
+pub fn ebone() -> Network {
+    mesh_backbone(23, 38, 0xEB_0E)
+}
+
+/// Spanning tree over the same nodes as `net` (BFS tree from node 0),
+/// preserving node populations — the hypothetical *tree* topology of
+/// Table IV (55 nodes → 54 links for the default backbone).
+pub fn spanning_tree_of(net: &Network) -> Network {
+    assert!(net.is_strongly_connected());
+    let n = net.num_nodes();
+    let mut seen = vec![false; n];
+    seen[0] = true;
+    let mut queue = std::collections::VecDeque::from([VhoId::new(0)]);
+    let mut edges = Vec::with_capacity(n.saturating_sub(1));
+    while let Some(u) = queue.pop_front() {
+        for &(w, _) in net.neighbors(u) {
+            if !seen[w.index()] {
+                seen[w.index()] = true;
+                edges.push((u, w));
+                queue.push_back(w);
+            }
+        }
+    }
+    Network::from_undirected_edges(net.nodes().to_vec(), &edges, DEFAULT_CAPACITY)
+}
+
+/// Full mesh over the same nodes as `net` (Table IV: 55 nodes → 1485
+/// undirected links).
+pub fn full_mesh_of(net: &Network) -> Network {
+    let n = net.num_nodes();
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            edges.push((VhoId::from_index(a), VhoId::from_index(b)));
+        }
+    }
+    Network::from_undirected_edges(net.nodes().to_vec(), &edges, DEFAULT_CAPACITY)
+}
+
+/// Restrict `net` to its `k` highest-population nodes, re-linking with
+/// a fresh mesh of the given edge count. Used by Table IV, which keeps
+/// only the top-n VHOs by request count when comparing against the
+/// smaller Rocketfuel maps.
+pub fn top_k_subnetwork(net: &Network, k: usize, undirected_edges: usize, seed: u64) -> Network {
+    assert!(k >= 3 && k <= net.num_nodes());
+    let mut idx: Vec<usize> = (0..net.num_nodes()).collect();
+    idx.sort_by(|&a, &b| {
+        net.nodes()[b]
+            .population
+            .partial_cmp(&net.nodes()[a].population)
+            .unwrap()
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx.sort();
+    let pops: Vec<f64> = idx.iter().map(|&i| net.nodes()[i].population).collect();
+    let sub = mesh_backbone(k, undirected_edges, seed);
+    let nodes: Vec<Node> = pops
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| Node {
+            id: VhoId::from_index(i),
+            name: format!("top-{i}"),
+            population: p,
+        })
+        .collect();
+    Network::from_directed_links(nodes, sub.links().to_vec())
+}
+
+// ------------------------- simple shapes for tests -------------------------
+
+/// A path graph 0-1-2-…-(n-1).
+pub fn line(n: usize) -> Network {
+    assert!(n >= 2);
+    let edges: Vec<_> = (0..n - 1)
+        .map(|i| (VhoId::from_index(i), VhoId::from_index(i + 1)))
+        .collect();
+    Network::from_undirected_edges(make_nodes(&vec![1.0; n]), &edges, DEFAULT_CAPACITY)
+}
+
+/// A cycle graph.
+pub fn ring(n: usize) -> Network {
+    assert!(n >= 3);
+    let edges: Vec<_> = (0..n)
+        .map(|i| (VhoId::from_index(i), VhoId::from_index((i + 1) % n)))
+        .collect();
+    Network::from_undirected_edges(make_nodes(&vec![1.0; n]), &edges, DEFAULT_CAPACITY)
+}
+
+/// A star with node 0 at the hub.
+pub fn star(n: usize) -> Network {
+    assert!(n >= 2);
+    let edges: Vec<_> = (1..n)
+        .map(|i| (VhoId::new(0), VhoId::from_index(i)))
+        .collect();
+    Network::from_undirected_edges(make_nodes(&vec![1.0; n]), &edges, DEFAULT_CAPACITY)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::PathSet;
+
+    #[test]
+    fn backbone55_counts_match_paper() {
+        let net = backbone55();
+        assert_eq!(net.num_nodes(), 55);
+        assert_eq!(net.num_undirected_edges(), 76);
+        assert!(net.is_strongly_connected());
+    }
+
+    #[test]
+    fn rocketfuel_counts_match_table_iv() {
+        for (net, n, e) in [(tiscali(), 49, 86), (sprint(), 33, 69), (ebone(), 23, 38)] {
+            assert_eq!(net.num_nodes(), n);
+            assert_eq!(net.num_undirected_edges(), e);
+            assert!(net.is_strongly_connected());
+        }
+    }
+
+    #[test]
+    fn tree_and_mesh_of_backbone() {
+        let net = backbone55();
+        let tree = spanning_tree_of(&net);
+        assert_eq!(tree.num_nodes(), 55);
+        assert_eq!(tree.num_undirected_edges(), 54);
+        assert!(tree.is_strongly_connected());
+        let mesh = full_mesh_of(&net);
+        assert_eq!(mesh.num_undirected_edges(), 55 * 54 / 2);
+        let ps = PathSet::shortest_paths(&mesh);
+        assert_eq!(ps.diameter(), 1);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = backbone55();
+        let b = backbone55();
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = mesh_backbone(20, 30, 1);
+        let b = mesh_backbone(20, 30, 2);
+        assert_ne!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn populations_heavy_tailed_and_normalized() {
+        let pops = metro_populations(55, 7);
+        let mean = pops.iter().sum::<f64>() / 55.0;
+        assert!((mean - 1.0).abs() < 1e-9);
+        let max = pops.iter().cloned().fold(f64::MIN, f64::max);
+        let min = pops.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max / min > 5.0, "population skew should be significant");
+    }
+
+    #[test]
+    fn tree_has_longer_paths_than_mesh() {
+        // Table IV's premise: fewer links → longer routes → more
+        // capacity needed.
+        let net = backbone55();
+        let tree = spanning_tree_of(&net);
+        let ps_net = PathSet::shortest_paths(&net);
+        let ps_tree = PathSet::shortest_paths(&tree);
+        assert!(ps_tree.mean_hops() > ps_net.mean_hops());
+    }
+
+    #[test]
+    fn top_k_keeps_biggest_metros() {
+        let net = backbone55();
+        let sub = top_k_subnetwork(&net, 23, 38, 9);
+        assert_eq!(sub.num_nodes(), 23);
+        assert_eq!(sub.num_undirected_edges(), 38);
+        // The smallest kept population must be >= the largest dropped.
+        let mut all: Vec<f64> = net.nodes().iter().map(|n| n.population).collect();
+        all.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let kept_min = sub
+            .nodes()
+            .iter()
+            .map(|n| n.population)
+            .fold(f64::MAX, f64::min);
+        assert!(kept_min >= all[23] - 1e-12);
+    }
+
+    #[test]
+    fn simple_shapes() {
+        assert_eq!(line(4).num_undirected_edges(), 3);
+        assert_eq!(ring(5).num_undirected_edges(), 5);
+        assert_eq!(star(6).num_undirected_edges(), 5);
+        assert_eq!(PathSet::shortest_paths(&star(6)).diameter(), 2);
+    }
+}

@@ -1,0 +1,158 @@
+//! Small statistical sampling utilities.
+//!
+//! The offline crate set does not include `rand_distr`, so the Poisson
+//! and Gaussian samplers the trace generator needs are implemented
+//! here: Box–Muller for normals, Knuth's product method for small-mean
+//! Poisson, and a normal approximation for large means (relative error
+//! of the approximation is far below the stochastic noise of the
+//! experiments).
+
+use rand::Rng;
+
+/// Standard normal sample via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Guard against log(0).
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Sample from a lognormal with the given *logarithmic* std dev `sigma`
+/// and unit median.
+pub fn lognormal<R: Rng + ?Sized>(rng: &mut R, sigma: f64) -> f64 {
+    (sigma * standard_normal(rng)).exp()
+}
+
+/// Poisson sample with mean `lambda >= 0`.
+///
+/// Knuth's product method for `lambda < 30` (exact); Gaussian
+/// approximation `round(lambda + sqrt(lambda)·Z)` clamped at zero for
+/// larger means.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    assert!(lambda >= 0.0 && lambda.is_finite(), "invalid Poisson mean");
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        let z = standard_normal(rng);
+        let v = lambda + lambda.sqrt() * z;
+        if v < 0.0 {
+            0
+        } else {
+            v.round() as u64
+        }
+    }
+}
+
+/// Sample an index from a cumulative weight table (binary search).
+///
+/// `cum` must be non-decreasing with a positive final entry.
+pub fn sample_cumulative<R: Rng + ?Sized>(rng: &mut R, cum: &[f64]) -> usize {
+    let total = *cum.last().expect("empty cumulative table");
+    debug_assert!(total > 0.0, "cumulative table must have positive mass");
+    let x = rng.gen::<f64>() * total;
+    // partition_point: first index with cum[idx] > x.
+    cum.partition_point(|&c| c <= x).min(cum.len() - 1)
+}
+
+/// Build a cumulative table from weights (negative weights rejected).
+pub fn cumulative(weights: &[f64]) -> Vec<f64> {
+    let mut acc = 0.0;
+    weights
+        .iter()
+        .map(|&w| {
+            assert!(w >= 0.0, "negative weight");
+            acc += w;
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vod_model::rng::rng_from_seed;
+
+    #[test]
+    fn poisson_mean_small() {
+        let mut rng = rng_from_seed(1);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| poisson(&mut rng, 3.5) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 3.5).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_mean_large() {
+        let mut rng = rng_from_seed(2);
+        let n = 5_000;
+        let mean: f64 = (0..n).map(|_| poisson(&mut rng, 200.0) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 200.0).abs() < 2.0, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_zero() {
+        let mut rng = rng_from_seed(3);
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = rng_from_seed(4);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_median_near_one() {
+        let mut rng = rng_from_seed(5);
+        let mut s: Vec<f64> = (0..10_001).map(|_| lognormal(&mut rng, 0.8)).collect();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = s[5000];
+        assert!((median - 1.0).abs() < 0.1, "median {median}");
+        assert!(s.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn cumulative_sampling_respects_weights() {
+        let cum = cumulative(&[1.0, 0.0, 3.0]);
+        assert_eq!(cum, vec![1.0, 1.0, 4.0]);
+        let mut rng = rng_from_seed(6);
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[sample_cumulative(&mut rng, &cum)] += 1;
+        }
+        assert_eq!(counts[1], 0, "zero-weight bucket must never be drawn");
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let draw = |seed| {
+            let mut rng = rng_from_seed(seed);
+            (0..16).map(|_| poisson(&mut rng, 5.0)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "negative weight")]
+    fn negative_weight_rejected() {
+        let _ = cumulative(&[1.0, -0.5]);
+    }
+}

@@ -1,0 +1,161 @@
+//! Request traces: the raw input of every experiment.
+
+use serde::{Deserialize, Serialize};
+use vod_model::{SimTime, TimeWindow, VhoId, VideoId};
+
+/// One VoD request: user in metro `vho` asks for `video` at `time`.
+/// The stream then stays active for the video's duration (the paper's
+/// `f_j^m(t)` counts these still-active streams).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    pub time: SimTime,
+    pub vho: VhoId,
+    pub video: VideoId,
+}
+
+/// A time-sorted sequence of requests over a fixed horizon.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Trace {
+    horizon: SimTime,
+    requests: Vec<Request>,
+}
+
+impl Trace {
+    /// Build a trace; requests are sorted by time (stably, so equal
+    /// timestamps keep generation order for determinism).
+    pub fn new(horizon: SimTime, mut requests: Vec<Request>) -> Self {
+        requests.sort_by_key(|r| r.time);
+        assert!(
+            requests.last().map_or(true, |r| r.time < horizon),
+            "request beyond trace horizon"
+        );
+        Self { horizon, requests }
+    }
+
+    #[inline]
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    #[inline]
+    pub fn requests(&self) -> &[Request] {
+        &self.requests
+    }
+
+    /// Requests with `start <= time < end` (binary search on the sorted
+    /// vector).
+    pub fn slice(&self, window: TimeWindow) -> &[Request] {
+        let lo = self.requests.partition_point(|r| r.time < window.start);
+        let hi = self.requests.partition_point(|r| r.time < window.end);
+        &self.requests[lo..hi]
+    }
+
+    /// Requests per consecutive bucket of `bucket_secs` over the whole
+    /// horizon (used to locate peak hours).
+    pub fn bucket_counts(&self, bucket_secs: u64) -> Vec<u64> {
+        assert!(bucket_secs > 0);
+        let n = (self.horizon.secs() + bucket_secs - 1) / bucket_secs;
+        let mut counts = vec![0u64; n as usize];
+        for r in &self.requests {
+            counts[(r.time.secs() / bucket_secs) as usize] += 1;
+        }
+        counts
+    }
+
+    /// Restrict to a sub-range (e.g., the evaluation weeks after the
+    /// warm-up period), keeping absolute timestamps.
+    pub fn restricted(&self, window: TimeWindow) -> Trace {
+        Trace {
+            horizon: self.horizon.min(window.end),
+            requests: self.slice(window).to_vec(),
+        }
+    }
+}
+
+impl std::ops::Index<usize> for Trace {
+    type Output = Request;
+    fn index(&self, i: usize) -> &Request {
+        &self.requests[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(t: u64, v: u16, m: u32) -> Request {
+        Request {
+            time: SimTime::new(t),
+            vho: VhoId::new(v),
+            video: VideoId::new(m),
+        }
+    }
+
+    #[test]
+    fn constructor_sorts_stably() {
+        let t = Trace::new(
+            SimTime::new(100),
+            vec![req(50, 0, 1), req(10, 1, 2), req(50, 2, 3)],
+        );
+        assert_eq!(t[0].time, SimTime::new(10));
+        // Equal timestamps keep insertion order.
+        assert_eq!(t[1].vho, VhoId::new(0));
+        assert_eq!(t[2].vho, VhoId::new(2));
+    }
+
+    #[test]
+    fn slicing_is_half_open() {
+        let t = Trace::new(
+            SimTime::new(100),
+            (0..10).map(|i| req(i * 10, 0, i as u32)).collect(),
+        );
+        let s = t.slice(TimeWindow::new(SimTime::new(20), SimTime::new(50)));
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0].time, SimTime::new(20));
+        assert_eq!(s[2].time, SimTime::new(40));
+    }
+
+    #[test]
+    fn bucket_counts_cover_horizon() {
+        let t = Trace::new(
+            SimTime::new(95),
+            vec![req(0, 0, 0), req(5, 0, 1), req(90, 0, 2)],
+        );
+        let c = t.bucket_counts(10);
+        assert_eq!(c.len(), 10);
+        assert_eq!(c[0], 2);
+        assert_eq!(c[9], 1);
+        assert_eq!(c.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn restriction_preserves_timestamps() {
+        let t = Trace::new(SimTime::new(100), (0..10).map(|i| req(i * 10, 0, 0)).collect());
+        let r = t.restricted(TimeWindow::new(SimTime::new(30), SimTime::new(60)));
+        assert_eq!(r.len(), 3);
+        assert_eq!(r[0].time, SimTime::new(30));
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond trace horizon")]
+    fn horizon_enforced() {
+        let _ = Trace::new(SimTime::new(10), vec![req(10, 0, 0)]);
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        let t = Trace::new(SimTime::new(100), vec![]);
+        assert!(t.is_empty());
+        assert_eq!(t.bucket_counts(50), vec![0, 0]);
+    }
+}

@@ -1,0 +1,103 @@
+//! Strategy shootout: the paper's headline comparison (Figs. 5–6) in
+//! miniature — MIP placement vs Random+LRU, Random+LFU and Top-K+LRU
+//! on the same disks, same trace, same network.
+//!
+//! Run with: `cargo run --release --example strategy_shootout`
+
+use vodplace::prelude::*;
+use vodplace::sim::{
+    mip_vho_configs, random_single_vho_configs, top_k_vho_configs,
+};
+
+fn main() {
+    let seed = 7;
+    let mut network = vodplace::net::topologies::mesh_backbone(12, 19, seed);
+    network.set_uniform_capacity(Mbps::from_gbps(1.0));
+    let library = synthesize_library(&LibraryConfig::default_for(600, 14, seed));
+    let trace = generate_trace(&library, &network, &TraceConfig::default_for(6000.0, 14, seed));
+    let paths = PathSet::shortest_paths(&network);
+
+    // Demand history = week 1; evaluation = week 2.
+    let week = 7 * 86_400;
+    let history = trace.restricted(TimeWindow::new(SimTime::ZERO, SimTime::new(week)));
+    let windows = vodplace::trace::analysis::select_peak_windows(&history, &library, 3600, 2);
+    let demand = DemandInput::from_trace(&history, &library, network.num_nodes(), windows);
+
+    // Solve the MIP on 95% of each disk, keeping 5% as LRU complement.
+    let cache_frac = 0.05;
+    let ratio = 2.0;
+    let instance = MipInstance::new(
+        network.clone(),
+        library.clone(),
+        demand,
+        &DiskConfig::UniformRatio {
+            ratio: ratio * (1.0 - cache_frac),
+        },
+        1.0,
+        0.0,
+        None,
+    );
+    let out = solve_placement(
+        &instance,
+        &EpfConfig {
+            max_passes: 100,
+            seed,
+            ..Default::default()
+        },
+    );
+    println!(
+        "MIP solved: violation {:.2} %, gap {:.2} %",
+        out.rounding.max_violation * 100.0,
+        out.rounding.optimality_gap.unwrap_or(f64::NAN) * 100.0
+    );
+
+    // Full disks for the baselines (they use the same total space).
+    let full_disks: Vec<Gigabytes> = DiskConfig::UniformRatio { ratio }
+        .capacities(&network, library.total_size());
+    let ranked = instance.demand.aggregate.rank_videos();
+
+    let sim_cfg = SimConfig {
+        measure_from: SimTime::new(week),
+        seed,
+        ..Default::default()
+    };
+    let run = |name: &str, vhos: Vec<VhoConfig>, policy: PolicyKind| {
+        let rep = simulate(&network, &paths, &library, &trace, &vhos, &policy, &sim_cfg);
+        println!(
+            "{name:<14} peak link {:7.1} Mb/s | transfer {:9.1} GB·hop | local {:5.1} %",
+            rep.max_link_mbps,
+            rep.total_gb_hops,
+            rep.local_fraction() * 100.0
+        );
+        rep
+    };
+
+    println!("\nweek-2 evaluation (same aggregate disk for all):");
+    let mip = run(
+        "MIP",
+        mip_vho_configs(&out.placement, &full_disks, cache_frac, CacheKind::Lru),
+        PolicyKind::MipRouting(out.placement.clone()),
+    );
+    let lru = run(
+        "Random+LRU",
+        random_single_vho_configs(&library, &full_disks, CacheKind::Lru, seed),
+        PolicyKind::NearestReplica,
+    );
+    let lfu = run(
+        "Random+LFU",
+        random_single_vho_configs(&library, &full_disks, CacheKind::Lfu, seed),
+        PolicyKind::NearestReplica,
+    );
+    let topk = run(
+        "Top-20+LRU",
+        top_k_vho_configs(&library, &ranked, 20, &full_disks, seed),
+        PolicyKind::NearestReplica,
+    );
+
+    println!(
+        "\npeak-bandwidth ratio vs MIP: LRU {:.2}×, LFU {:.2}×, Top-K {:.2}×",
+        lru.max_link_mbps / mip.max_link_mbps,
+        lfu.max_link_mbps / mip.max_link_mbps,
+        topk.max_link_mbps / mip.max_link_mbps,
+    );
+}
