@@ -2,7 +2,10 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use vod_model::{Gigabytes, VideoId};
 use vod_net::PathSet;
-use vod_sim::{random_single_vho_configs, simulate, Cache, CacheKind, LfuCache, LruCache, PolicyKind, SimConfig};
+use vod_sim::{
+    random_single_vho_configs, simulate, Cache, CacheKind, LfuCache, LruCache, PolicyKind,
+    SimConfig,
+};
 use vod_trace::{generate_trace, synthesize_library, LibraryConfig, TraceConfig};
 
 fn bench_simulator(c: &mut Criterion) {
@@ -14,8 +17,19 @@ fn bench_simulator(c: &mut Criterion) {
     let vhos = random_single_vho_configs(&lib, &disks, CacheKind::Lru, 5);
     c.bench_function("simulate_28k_requests_lru", |b| {
         b.iter(|| {
-            simulate(&net, &paths, &lib, &trace, &vhos, &PolicyKind::NearestReplica,
-                &SimConfig { seed: 5, ..Default::default() }).total_requests
+            simulate(
+                &net,
+                &paths,
+                &lib,
+                &trace,
+                &vhos,
+                &PolicyKind::NearestReplica,
+                &SimConfig {
+                    seed: 5,
+                    ..Default::default()
+                },
+            )
+            .total_requests
         })
     });
 }
@@ -51,9 +65,7 @@ fn bench_paths(c: &mut Criterion) {
     let lib = synthesize_library(&LibraryConfig::default_for(2000, 7, 5));
     let net10 = vod_net::topologies::mesh_backbone(10, 16, 5);
     c.bench_function("generate_trace_2k_videos_week", |b| {
-        b.iter(|| {
-            generate_trace(&lib, &net10, &TraceConfig::default_for(10_000.0, 7, 5)).len()
-        })
+        b.iter(|| generate_trace(&lib, &net10, &TraceConfig::default_for(10_000.0, 7, 5)).len())
     });
 }
 

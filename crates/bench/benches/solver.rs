@@ -10,7 +10,15 @@ fn instance(n_videos: usize, n_vhos: usize) -> MipInstance {
     let net = vod_net::topologies::mesh_backbone(n_vhos, n_vhos + n_vhos / 2, 3);
     let lib = synthesize_library(&LibraryConfig::default_for(n_videos, 7, 3));
     let demand = synthetic_demand(&lib, &net, &TraceConfig::default_for(n_videos as f64, 7, 3));
-    MipInstance::new(net, lib, demand, &DiskConfig::UniformRatio { ratio: 2.0 }, 1.0, 0.0, None)
+    MipInstance::new(
+        net,
+        lib,
+        demand,
+        &DiskConfig::UniformRatio { ratio: 2.0 },
+        1.0,
+        0.0,
+        None,
+    )
 }
 
 fn bench_epf_scaling(c: &mut Criterion) {
@@ -18,7 +26,12 @@ fn bench_epf_scaling(c: &mut Criterion) {
     g.sample_size(10);
     for n in [200usize, 400, 800] {
         let inst = instance(n, 10);
-        let cfg = EpfConfig { max_passes: 20, seed: 3, polish_iters: 0, ..Default::default() };
+        let cfg = EpfConfig {
+            max_passes: 20,
+            seed: 3,
+            polish_iters: 0,
+            ..Default::default()
+        };
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| solve_fractional(&inst, &cfg).1.block_steps)
         });
@@ -33,7 +46,11 @@ fn bench_simplex_baseline(c: &mut Criterion) {
         let inst = instance(n, 5);
         let direct = build_direct_lp(&inst);
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| vod_lp::solve_lp(&direct.lp).unwrap().objective)
+            b.iter(|| {
+                vod_lp::solve_lp(&direct.lp)
+                    .expect("exact LP solve failed")
+                    .objective
+            })
         });
     }
     g.finish();
@@ -54,8 +71,15 @@ fn bench_block_solvers(c: &mut Criterion) {
     c.bench_function("ufl_local_search_full_55x30", |b| {
         b.iter(|| p.solve_local_search().open.len())
     });
-    c.bench_function("ufl_dual_ascent_55x30", |b| b.iter(|| p.dual_ascent_bound()));
+    c.bench_function("ufl_dual_ascent_55x30", |b| {
+        b.iter(|| p.dual_ascent_bound())
+    });
 }
 
-criterion_group!(benches, bench_epf_scaling, bench_simplex_baseline, bench_block_solvers);
+criterion_group!(
+    benches,
+    bench_epf_scaling,
+    bench_simplex_baseline,
+    bench_block_solvers
+);
 criterion_main!(benches);

@@ -10,7 +10,14 @@ fn main() {
     let lib_gb = s.catalog.total_size().value();
     let mut table = Table::new(
         "Fig. 2 — working set during peak hours (per VHO)",
-        &["VHO", "Fri videos", "Fri GB", "Sat videos", "Sat GB", "Sat % of library"],
+        &[
+            "VHO",
+            "Fri videos",
+            "Fri GB",
+            "Sat videos",
+            "Sat GB",
+            "Sat % of library",
+        ],
     );
     let fri = analysis::peak_hour_of_day(&s.trace, 4);
     let sat = analysis::peak_hour_of_day(&s.trace, 5);

@@ -7,8 +7,12 @@ use vod_trace::analysis;
 
 fn main() {
     let s = Scenario::operational(Scale::from_args(), 2010);
-    let windows: [(u64, &str); 4] =
-        [(HOUR, "1 hour"), (4 * HOUR, "4 hours"), (12 * HOUR, "12 hours"), (DAY, "1 day")];
+    let windows: [(u64, &str); 4] = [
+        (HOUR, "1 hour"),
+        (4 * HOUR, "4 hours"),
+        (12 * HOUR, "12 hours"),
+        (DAY, "1 day"),
+    ];
     let mut table = Table::new(
         "Fig. 3 — request-mix cosine similarity vs window size",
         &["window", "mean", "min", "max"],

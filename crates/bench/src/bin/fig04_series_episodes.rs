@@ -28,7 +28,11 @@ fn main() {
         .expect("library has series");
     let eps = analysis::episode_daily_counts(&s.trace, &s.catalog, best_series);
     let days = s.trace.horizon().secs() / 86_400;
-    let mut headers: Vec<String> = vec!["episode".into(), "release day".into(), "peak day reqs".into()];
+    let mut headers: Vec<String> = vec![
+        "episode".into(),
+        "release day".into(),
+        "peak day reqs".into(),
+    ];
     headers.extend((0..days).map(|d| format!("d{d}")));
     let hdr_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut table = Table::new(
@@ -40,11 +44,21 @@ fn main() {
         let video = s
             .catalog
             .iter()
-            .find(|v| v.kind == vod_model::VideoKind::SeriesEpisode { series: best_series, episode: *ep })
-            .unwrap();
+            .find(|v| {
+                v.kind
+                    == vod_model::VideoKind::SeriesEpisode {
+                        series: best_series,
+                        episode: *ep,
+                    }
+            })
+            .expect("episode exists in catalog");
         let peak = daily.iter().copied().max().unwrap_or(0);
         peaks.push(peak);
-        let mut row = vec![ep.to_string(), video.release_day.to_string(), peak.to_string()];
+        let mut row = vec![
+            ep.to_string(),
+            video.release_day.to_string(),
+            peak.to_string(),
+        ];
         row.extend(daily.iter().map(|c| c.to_string()));
         table.row(row);
     }
@@ -58,7 +72,10 @@ fn main() {
         println!(
             "\nrelease-day peak ratios between consecutive episodes: {:?} \
              (paper's example: 7000 vs 8700 ≈ 1.24)",
-            ratios.iter().map(|r| (r * 100.0).round() / 100.0).collect::<Vec<_>>()
+            ratios
+                .iter()
+                .map(|r| (r * 100.0).round() / 100.0)
+                .collect::<Vec<_>>()
         );
     }
     save_results("fig04_series_episodes", &table);

@@ -12,13 +12,19 @@ fn main() {
     let outcomes = run_comparison(&s, &d, top_k);
     let mut table = Table::new(
         "Fig. 5 — peak link bandwidth over the evaluation period",
-        &["strategy", "max (Mb/s)", "p99 bucket (Mb/s)", "median bucket (Mb/s)", "vs MIP"],
+        &[
+            "strategy",
+            "max (Mb/s)",
+            "p99 bucket (Mb/s)",
+            "median bucket (Mb/s)",
+            "vs MIP",
+        ],
     );
     let mip_max = outcomes[0].max_link_mbps;
     for o in &outcomes {
         let mut sorted = o.peak_series_mbps.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let pct = |p: f64| sorted[((sorted.len() - 1) as f64 * p) as usize];
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let pct = |p: f64| sorted[vod_model::narrow::count_usize((sorted.len() - 1) as f64 * p)];
         table.row(vec![
             o.name.clone(),
             fmt(o.max_link_mbps),
@@ -33,7 +39,11 @@ fn main() {
          the link-capacity input to the MIP was {} Mb/s; slight excess over it \
          comes from new-release estimation error absorbed by the 5 % LRU cache",
         fmt(mip_max),
-        fmt(outcomes.iter().skip(1).map(|o| o.max_link_mbps).fold(0.0, f64::max)),
+        fmt(outcomes
+            .iter()
+            .skip(1)
+            .map(|o| o.max_link_mbps)
+            .fold(0.0, f64::max)),
         fmt(d.link_gbps * 1000.0)
     );
     save_results("fig05_peak_bandwidth", &outcomes);

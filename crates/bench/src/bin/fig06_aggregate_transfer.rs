@@ -11,7 +11,14 @@ fn main() {
     let outcomes = run_comparison(&s, &d, top_k);
     let mut table = Table::new(
         "Fig. 6 — aggregate transfer across all links",
-        &["strategy", "total GB-hop", "mean GB / 5 min", "peak GB / 5 min", "local %", "vs MIP"],
+        &[
+            "strategy",
+            "total GB-hop",
+            "mean GB / 5 min",
+            "peak GB / 5 min",
+            "local %",
+            "vs MIP",
+        ],
     );
     let mip_total = outcomes[0].total_gb_hops;
     for o in &outcomes {

@@ -12,11 +12,19 @@ fn main() {
     net.set_uniform_capacity(vod_model::Mbps::from_gbps(d.link_gbps));
     let demand = s.demand_of_week(0, &d);
     let inst = vod_core::MipInstance::new(
-        net, s.catalog.clone(), demand, &s.mip_disk(&d), 1.0, 0.0, None,
+        net,
+        s.catalog.clone(),
+        demand,
+        &s.mip_disk(&d),
+        1.0,
+        0.0,
+        None,
     );
     let out = solve_placement(&inst, &s.epf_config());
     let ranked = inst.demand.aggregate.rank_videos();
-    let split = out.placement.disk_usage_by_popularity(&inst.catalog, &ranked);
+    let split = out
+        .placement
+        .disk_usage_by_popularity(&inst.catalog, &ranked);
     let mut table = Table::new(
         "Fig. 7 — per-VHO pinned disk by popularity class (GB)",
         &["VHO", "top-100", "next 20 %", "tail", "total"],

@@ -11,7 +11,13 @@ fn main() {
     net.set_uniform_capacity(vod_model::Mbps::from_gbps(d.link_gbps));
     let demand = s.demand_of_week(0, &d);
     let inst = vod_core::MipInstance::new(
-        net, s.catalog.clone(), demand, &s.mip_disk(&d), 1.0, 0.0, None,
+        net,
+        s.catalog.clone(),
+        demand,
+        &s.mip_disk(&d),
+        1.0,
+        0.0,
+        None,
     );
     let out = solve_placement(&inst, &s.epf_config());
     let ranked = inst.demand.aggregate.rank_videos();
@@ -24,7 +30,7 @@ fn main() {
     let mut r = 1usize;
     while r <= counts.len() {
         table.row(vec![r.to_string(), counts[r - 1].to_string()]);
-        r = (r * 3 + 1) / 2;
+        r = (r * 3).div_ceil(2);
     }
     table.print();
     let multi = counts.iter().filter(|&&c| c > 1).count();
@@ -34,7 +40,7 @@ fn main() {
          10th most popular has {} (paper: <30 of 55 VHOs hold the 10th most popular)",
         multi,
         counts.len(),
-        counts.iter().max().unwrap(),
+        counts.iter().max().copied().unwrap_or(0),
         v,
         counts.get(9).copied().unwrap_or(0)
     );

@@ -31,14 +31,38 @@ fn main() {
         &["metric", "value"],
     );
     let total = rep.total_requests as f64;
-    table.row(vec!["requests (measured)".into(), rep.total_requests.to_string()]);
-    table.row(vec!["served from pinned copy %".into(), fmt(rep.served_local_pinned as f64 / total * 100.0)]);
-    table.row(vec!["served from local cache %".into(), fmt(rep.served_local_cached as f64 / total * 100.0)]);
-    table.row(vec!["served remotely %".into(), fmt(rep.served_remote as f64 / total * 100.0)]);
-    table.row(vec!["cache insertions".into(), rep.cache.insertions.to_string()]);
-    table.row(vec!["cache evictions (cycling)".into(), rep.cache.evictions.to_string()]);
-    table.row(vec!["uncachable (all-pinned) requests".into(), rep.cache.rejections.to_string()]);
-    table.row(vec!["uncachable % of remote fetches".into(), fmt(rep.cache.rejections as f64 / rep.served_remote.max(1) as f64 * 100.0)]);
+    table.row(vec![
+        "requests (measured)".into(),
+        rep.total_requests.to_string(),
+    ]);
+    table.row(vec![
+        "served from pinned copy %".into(),
+        fmt(rep.served_local_pinned as f64 / total * 100.0),
+    ]);
+    table.row(vec![
+        "served from local cache %".into(),
+        fmt(rep.served_local_cached as f64 / total * 100.0),
+    ]);
+    table.row(vec![
+        "served remotely %".into(),
+        fmt(rep.served_remote as f64 / total * 100.0),
+    ]);
+    table.row(vec![
+        "cache insertions".into(),
+        rep.cache.insertions.to_string(),
+    ]);
+    table.row(vec![
+        "cache evictions (cycling)".into(),
+        rep.cache.evictions.to_string(),
+    ]);
+    table.row(vec![
+        "uncachable (all-pinned) requests".into(),
+        rep.cache.rejections.to_string(),
+    ]);
+    table.row(vec![
+        "uncachable % of remote fetches".into(),
+        fmt(rep.cache.rejections as f64 / rep.served_remote.max(1) as f64 * 100.0),
+    ]);
     table.print();
     println!(
         "\npaper: ~60 % of requests served remotely, ~20 % uncachable, heavy cycling; \

@@ -14,7 +14,13 @@ fn main() {
     net.set_uniform_capacity(vod_model::Mbps::from_gbps(d.link_gbps));
     let mut table = Table::new(
         "Table II — MIP vs LRU caching with origin servers",
-        &["disk", "scheme", "peak link (Mb/s)", "max aggregate (GB/5min)", "hit rate %"],
+        &[
+            "disk",
+            "scheme",
+            "peak link (Mb/s)",
+            "max aggregate (GB/5min)",
+            "hit rate %",
+        ],
     );
     let sim_cfg = SimConfig {
         measure_from: SimTime::new(7 * 86_400),
@@ -30,19 +36,35 @@ fn main() {
             net.clone(),
             s.catalog.clone(),
             demand,
-            &DiskConfig::UniformRatio { ratio: ratio * (1.0 - d.cache_frac) },
+            &DiskConfig::UniformRatio {
+                ratio: ratio * (1.0 - d.cache_frac),
+            },
             1.0,
             0.0,
             None,
         );
         let out = solve_placement(&inst, &s.epf_config());
         let vhos = mip_vho_configs(&out.placement, &disks, d.cache_frac, CacheKind::Lru);
-        let mip = simulate(&net, &s.paths, &s.catalog, &s.trace, &vhos,
-            &PolicyKind::MipRouting(out.placement.clone()), &sim_cfg);
+        let mip = simulate(
+            &net,
+            &s.paths,
+            &s.catalog,
+            &s.trace,
+            &vhos,
+            &PolicyKind::MipRouting(out.placement.clone()),
+            &sim_cfg,
+        );
         // LRU + origins.
         let vhos = origin_vho_configs(&s.catalog, &s.paths, &disks, 4, CacheKind::Lru);
-        let lru = simulate(&net, &s.paths, &s.catalog, &s.trace, &vhos,
-            &PolicyKind::NearestReplica, &sim_cfg);
+        let lru = simulate(
+            &net,
+            &s.paths,
+            &s.catalog,
+            &s.trace,
+            &vhos,
+            &PolicyKind::NearestReplica,
+            &sim_cfg,
+        );
         for (name, rep) in [("MIP", &mip), ("LRU+origins", &lru)] {
             table.row(vec![
                 format!("{ratio}x"),

@@ -29,16 +29,38 @@ fn main() {
     };
     let mut table = Table::new(
         "Fig. 11 — feasibility region: min aggregate disk (x library)",
-        &["link (Gb/s)", "uniform VHOs", "tiered VHOs", "library floor"],
+        &[
+            "link (Gb/s)",
+            "uniform VHOs",
+            "tiered VHOs",
+            "library floor",
+        ],
     );
     let mut payload = Vec::new();
     for &gbps in caps_gbps {
         let cap = Mbps::from_gbps(gbps);
-        let uni = min_disk_ratio(&fs, cap, |r| DiskConfig::UniformRatio { ratio: r },
-            1.02, 12.0, 0.15, &cfg);
-        let tier = min_disk_ratio(&fs, cap,
-            |r| DiskConfig::Tiered { ratio: r, n_large, n_medium },
-            1.02, 12.0, 0.15, &cfg);
+        let uni = min_disk_ratio(
+            &fs,
+            cap,
+            |r| DiskConfig::UniformRatio { ratio: r },
+            1.02,
+            12.0,
+            0.15,
+            &cfg,
+        );
+        let tier = min_disk_ratio(
+            &fs,
+            cap,
+            |r| DiskConfig::Tiered {
+                ratio: r,
+                n_large,
+                n_medium,
+            },
+            1.02,
+            12.0,
+            0.15,
+            &cfg,
+        );
         let f = |x: Option<f64>| x.map(|v| format!("{v:.2}")).unwrap_or("infeasible".into());
         table.row(vec![format!("{gbps}"), f(uni), f(tier), "1.00".into()]);
         payload.push((gbps, uni, tier));

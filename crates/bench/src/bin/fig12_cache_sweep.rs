@@ -17,25 +17,52 @@ fn main() {
     // cache's error-absorbing role is visible), replayed on week 1.
     let history = s.week(0);
     let future = s.week(1);
-    let est = EstimateConfig { window_secs: d.window_secs, n_windows: d.n_windows };
+    let est = EstimateConfig {
+        window_secs: d.window_secs,
+        n_windows: d.n_windows,
+    };
     let mut table = Table::new(
         "Fig. 12 — complementary-cache share sweep",
         &["cache %", "peak link (Mb/s)", "total GB-hop", "local %"],
     );
     let mut payload = Vec::new();
     for frac in [0.0, 0.05, 0.10, 0.15, 0.25] {
-        let demand = estimate_demand(EstimatorKind::History, &s.catalog, s.net.num_nodes(),
-            &history, &future, 7, 7, &est);
+        let demand = estimate_demand(
+            EstimatorKind::History,
+            &s.catalog,
+            s.net.num_nodes(),
+            &history,
+            &future,
+            7,
+            7,
+            &est,
+        );
         let inst = vod_core::MipInstance::new(
-            net.clone(), s.catalog.clone(), demand,
-            &DiskConfig::UniformRatio { ratio: d.disk_ratio * (1.0 - frac) },
-            1.0, 0.0, None,
+            net.clone(),
+            s.catalog.clone(),
+            demand,
+            &DiskConfig::UniformRatio {
+                ratio: d.disk_ratio * (1.0 - frac),
+            },
+            1.0,
+            0.0,
+            None,
         );
         let out = solve_placement(&inst, &s.epf_config());
         let vhos = mip_vho_configs(&out.placement, &full_disks, frac, CacheKind::Lru);
-        let rep = simulate(&net, &s.paths, &s.catalog, &future, &vhos,
+        let rep = simulate(
+            &net,
+            &s.paths,
+            &s.catalog,
+            &future,
+            &vhos,
             &PolicyKind::MipRouting(out.placement.clone()),
-            &SimConfig { measure_from: SimTime::new(7 * 86_400), seed: s.seed, ..Default::default() });
+            &SimConfig {
+                measure_from: SimTime::new(7 * 86_400),
+                seed: s.seed,
+                ..Default::default()
+            },
+        );
         table.row(vec![
             format!("{:.0}", frac * 100.0),
             fmt(rep.max_link_mbps),

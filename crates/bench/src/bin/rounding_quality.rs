@@ -17,16 +17,36 @@ fn main() {
     let net = vod_net::topologies::sprint();
     let mut table = Table::new(
         "Section V-D — rounding quality vs library size",
-        &["library", "videos re-solved", "certified gap %", "rounding degradation %", "violation %"],
+        &[
+            "library",
+            "videos re-solved",
+            "certified gap %",
+            "rounding degradation %",
+            "violation %",
+        ],
     );
     let mut payload = Vec::new();
     for &n in &sizes {
         let lib = synthesize_library(&LibraryConfig::default_for(n, 7, 17));
         let tc = TraceConfig::default_for(n as f64 * 1.5, 7, 17);
         let demand = synthetic_demand(&lib, &net, &tc);
-        let inst = MipInstance::new(net.clone(), lib, demand,
-            &DiskConfig::UniformRatio { ratio: 2.0 }, 1.0, 0.0, None);
-        let out = solve_placement(&inst, &EpfConfig { max_passes: 250, seed: 17, ..Default::default() });
+        let inst = MipInstance::new(
+            net.clone(),
+            lib,
+            demand,
+            &DiskConfig::UniformRatio { ratio: 2.0 },
+            1.0,
+            0.0,
+            None,
+        );
+        let out = solve_placement(
+            &inst,
+            &EpfConfig {
+                max_passes: 250,
+                seed: 17,
+                ..Default::default()
+            },
+        );
         let degradation =
             (out.rounding.objective - out.fractional.objective) / out.fractional.objective;
         table.row(vec![

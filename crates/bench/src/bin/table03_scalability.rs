@@ -13,8 +13,13 @@ fn instance(n_videos: usize, net: &vod_net::Network, seed: u64) -> MipInstance {
     let tc = TraceConfig::default_for(n_videos as f64 * 1.2, days, seed);
     let demand = synthetic_demand(&lib, net, &tc);
     MipInstance::new(
-        net.clone(), lib, demand,
-        &DiskConfig::UniformRatio { ratio: 2.0 }, 1.0, 0.0, None,
+        net.clone(),
+        lib,
+        demand,
+        &DiskConfig::UniformRatio { ratio: 2.0 },
+        1.0,
+        0.0,
+        None,
     )
 }
 
@@ -22,7 +27,14 @@ fn main() {
     let scale = Scale::from_args();
     let mut table = Table::new(
         "Table III — running time and memory vs library size",
-        &["library", "simplex time (s)", "simplex mem (MB)", "EPF time (s)", "EPF mem (MB)", "speedup"],
+        &[
+            "library",
+            "simplex time (s)",
+            "simplex mem (MB)",
+            "EPF time (s)",
+            "EPF mem (MB)",
+            "speedup",
+        ],
     );
     // The generic simplex is only tractable on miniature libraries —
     // that is the point. Run it on a small net so it finishes at all.
@@ -40,7 +52,11 @@ fn main() {
         let res = vod_lp::solve_lp(&direct.lp);
         let simplex_t = t0.elapsed().as_secs_f64();
         assert!(res.is_ok(), "simplex failed on {n} videos");
-        let cfg = EpfConfig { max_passes: 150, seed: 3, ..Default::default() };
+        let cfg = EpfConfig {
+            max_passes: 150,
+            seed: 3,
+            ..Default::default()
+        };
         let t0 = Instant::now();
         let (_, stats) = solve_fractional(&inst, &cfg);
         let epf_t = t0.elapsed().as_secs_f64();
@@ -71,7 +87,11 @@ fn main() {
         let mut mems = Vec::new();
         for net in &nets {
             let inst = instance(n, net, 3);
-            let cfg = EpfConfig { max_passes: 60, seed: 3, ..Default::default() };
+            let cfg = EpfConfig {
+                max_passes: 60,
+                seed: 3,
+                ..Default::default()
+            };
             let t0 = Instant::now();
             let (_, stats) = solve_fractional(&inst, &cfg);
             times.push(t0.elapsed().as_secs_f64());
@@ -80,7 +100,8 @@ fn main() {
         let geo = |xs: &[f64]| (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp();
         table.row(vec![
             format!("{n} (3 nets, geo-mean)"),
-            "-".into(), "-".into(),
+            "-".into(),
+            "-".into(),
             fmt(geo(&times)),
             fmt(geo(&mems)),
             "-".into(),

@@ -25,16 +25,27 @@ fn main() {
     // Same-node-set variants reuse the same demand.
     for (name, net) in [("backbone", &s.net), ("tree", &tree), ("full mesh", &mesh)] {
         let fs = FeasScenario {
-            network: net, catalog: &s.catalog, demand: &demand_full,
-            alpha: 1.0, beta: 0.0,
+            network: net,
+            catalog: &s.catalog,
+            demand: &demand_full,
+            alpha: 1.0,
+            beta: 0.0,
         };
-        let cap = min_link_capacity(&fs, &disk, Mbps::new(0.5), Mbps::from_gbps(50.0), 0.12, &cfg);
+        let cap = min_link_capacity(
+            &fs,
+            &disk,
+            Mbps::new(0.5),
+            Mbps::from_gbps(50.0),
+            0.12,
+            &cfg,
+        );
         let val = cap.map(|c| c.gbps());
         table.row(vec![
             name.into(),
             net.num_nodes().to_string(),
             net.num_undirected_edges().to_string(),
-            val.map(|v| format!("{v:.3}")).unwrap_or("infeasible".into()),
+            val.map(|v| format!("{v:.3}"))
+                .unwrap_or("infeasible".into()),
         ]);
         payload.push((name.to_string(), net.num_nodes(), val));
     }
@@ -46,7 +57,10 @@ fn main() {
         for r in week0.requests() {
             counts[r.vho.index()] += 1;
         }
-        counts.iter().enumerate()
+        counts
+            .iter()
+            .enumerate()
+            // lint:allow(raw-index): remaps node indices when subsetting the backbone
             .map(|(i, &c)| (c, vod_model::VhoId::from_index(i)))
             .collect()
     };
@@ -61,28 +75,52 @@ fn main() {
         // nodes carry no demand but still contribute storage/links).
         let k = net.num_nodes().min(s.net.num_nodes());
         let keep: Vec<vod_model::VhoId> = by_requests.iter().take(k).map(|&(_, v)| v).collect();
-        let remap: std::collections::HashMap<vod_model::VhoId, vod_model::VhoId> = keep
-            .iter().enumerate()
+        let remap: std::collections::BTreeMap<vod_model::VhoId, vod_model::VhoId> = keep
+            .iter()
+            .enumerate()
+            // lint:allow(raw-index): remaps node indices when subsetting the backbone
             .map(|(new, &old)| (old, vod_model::VhoId::from_index(new)))
             .collect();
         let reqs: Vec<vod_trace::Request> = week0
-            .requests().iter()
-            .filter_map(|r| remap.get(&r.vho).map(|&nv| vod_trace::Request { vho: nv, ..*r }))
+            .requests()
+            .iter()
+            .filter_map(|r| {
+                remap
+                    .get(&r.vho)
+                    .map(|&nv| vod_trace::Request { vho: nv, ..*r })
+            })
             .collect();
         let sub_trace = vod_trace::Trace::new(week0.horizon(), reqs);
-        let windows = vod_trace::analysis::select_peak_windows(&sub_trace, &s.catalog, d.window_secs, d.n_windows);
-        let demand = vod_trace::DemandInput::from_trace(&sub_trace, &s.catalog, net.num_nodes(), windows);
+        let windows = vod_trace::analysis::select_peak_windows(
+            &sub_trace,
+            &s.catalog,
+            d.window_secs,
+            d.n_windows,
+        );
+        let demand =
+            vod_trace::DemandInput::from_trace(&sub_trace, &s.catalog, net.num_nodes(), windows);
         let fs = FeasScenario {
-            network: &net, catalog: &s.catalog, demand: &demand,
-            alpha: 1.0, beta: 0.0,
+            network: &net,
+            catalog: &s.catalog,
+            demand: &demand,
+            alpha: 1.0,
+            beta: 0.0,
         };
-        let cap = min_link_capacity(&fs, &disk, Mbps::new(0.5), Mbps::from_gbps(50.0), 0.12, &cfg);
+        let cap = min_link_capacity(
+            &fs,
+            &disk,
+            Mbps::new(0.5),
+            Mbps::from_gbps(50.0),
+            0.12,
+            &cfg,
+        );
         let val = cap.map(|c| c.gbps());
         table.row(vec![
             name.into(),
             net.num_nodes().to_string(),
             net.num_undirected_edges().to_string(),
-            val.map(|v| format!("{v:.3}")).unwrap_or("infeasible".into()),
+            val.map(|v| format!("{v:.3}"))
+                .unwrap_or("infeasible".into()),
         ]);
         payload.push((name.to_string(), net.num_nodes(), val));
     }

@@ -17,37 +17,94 @@ fn main() {
     let week = s.week(0);
     let mut table = Table::new(
         "Table V — peak-window size vs bandwidth",
-        &["window", "feasibility capacity (Gb/s)", "max in-window (Gb/s)", "max whole week (Gb/s)"],
+        &[
+            "window",
+            "feasibility capacity (Gb/s)",
+            "max in-window (Gb/s)",
+            "max whole week (Gb/s)",
+        ],
     );
     let mut payload = Vec::new();
-    for (secs, label) in [(1, "1 second"), (MINUTE, "1 minute"), (HOUR, "1 hour"), (DAY, "1 day")] {
-        let windows = vod_trace::analysis::select_peak_windows(&week, &s.catalog, secs, d.n_windows);
-        let demand = vod_trace::DemandInput::from_trace(&week, &s.catalog, s.net.num_nodes(), windows.clone());
+    for (secs, label) in [
+        (1, "1 second"),
+        (MINUTE, "1 minute"),
+        (HOUR, "1 hour"),
+        (DAY, "1 day"),
+    ] {
+        let windows =
+            vod_trace::analysis::select_peak_windows(&week, &s.catalog, secs, d.n_windows);
+        let demand = vod_trace::DemandInput::from_trace(
+            &week,
+            &s.catalog,
+            s.net.num_nodes(),
+            windows.clone(),
+        );
         // Minimum capacity at which this window choice is feasible.
         let fs = FeasScenario {
-            network: &s.net, catalog: &s.catalog, demand: &demand,
-            alpha: 1.0, beta: 0.0,
+            network: &s.net,
+            catalog: &s.catalog,
+            demand: &demand,
+            alpha: 1.0,
+            beta: 0.0,
         };
-        let cap = min_link_capacity(&fs, &s.mip_disk(&d), Mbps::new(0.5), Mbps::from_gbps(40.0), 0.12, &s.probe_config());
+        let cap = min_link_capacity(
+            &fs,
+            &s.mip_disk(&d),
+            Mbps::new(0.5),
+            Mbps::from_gbps(40.0),
+            0.12,
+            &s.probe_config(),
+        );
         let Some(cap) = cap else {
-            table.row(vec![label.into(), "infeasible".into(), "-".into(), "-".into()]);
+            table.row(vec![
+                label.into(),
+                "infeasible".into(),
+                "-".into(),
+                "-".into(),
+            ]);
             continue;
         };
         // Solve at that capacity and replay the same week.
         let mut net = s.net.clone();
         net.set_uniform_capacity(cap);
-        let inst = MipInstance::new(net.clone(), s.catalog.clone(), demand, &s.mip_disk(&d), 1.0, 0.0, None);
+        let inst = MipInstance::new(
+            net.clone(),
+            s.catalog.clone(),
+            demand,
+            &s.mip_disk(&d),
+            1.0,
+            0.0,
+            None,
+        );
         let out = solve_placement(&inst, &s.epf_config());
         let disks = s.full_disks(&d);
         let vhos = mip_vho_configs(&out.placement, &disks, 0.0, CacheKind::Lru);
-        let rep = simulate(&net, &s.paths, &s.catalog, &week, &vhos,
+        let rep = simulate(
+            &net,
+            &s.paths,
+            &s.catalog,
+            &week,
+            &vhos,
             &PolicyKind::MipRouting(out.placement.clone()),
-            &SimConfig { seed: s.seed, insert_on_miss: false, ..Default::default() });
+            &SimConfig {
+                seed: s.seed,
+                insert_on_miss: false,
+                ..Default::default()
+            },
+        );
         // Max load inside the enforced windows vs over the whole week.
-        let in_window = rep.peak_link_mbps.iter().enumerate()
+        let in_window = rep
+            .peak_link_mbps
+            .iter()
+            .enumerate()
             .filter(|&(b, _)| {
                 let t = b as u64 * rep.bucket_secs;
-                windows.iter().any(|w| w.overlaps(vod_model::SimTime::new(t), vod_model::SimTime::new(t + rep.bucket_secs)))
+                windows.iter().any(|w| {
+                    w.overlaps(
+                        vod_model::SimTime::new(t),
+                        vod_model::SimTime::new(t + rep.bucket_secs),
+                    )
+                })
             })
             .map(|(_, &v)| v)
             .fold(0.0, f64::max);
@@ -57,7 +114,12 @@ fn main() {
             fmt(in_window / 1000.0),
             fmt(rep.max_link_mbps / 1000.0),
         ]);
-        payload.push((label.to_string(), cap.gbps(), in_window / 1000.0, rep.max_link_mbps / 1000.0));
+        payload.push((
+            label.to_string(),
+            cap.gbps(),
+            in_window / 1000.0,
+            rep.max_link_mbps / 1000.0,
+        ));
     }
     table.print();
     println!(

@@ -28,7 +28,10 @@ fn run(
 ) -> RowOut {
     let mut net = s.net.clone();
     net.set_uniform_capacity(vod_model::Mbps::from_gbps(d.link_gbps));
-    let est = EstimateConfig { window_secs: d.window_secs, n_windows: d.n_windows };
+    let est = EstimateConfig {
+        window_secs: d.window_secs,
+        n_windows: d.n_windows,
+    };
     let epf = s.epf_config();
     let disks = s.full_disks(d);
     let horizon_days = s.trace.horizon().secs() / DAY;
@@ -42,25 +45,57 @@ fn run(
     while day < horizon_days {
         let period_end = (day + period_days).min(horizon_days);
         let history = s.trace.restricted(TimeWindow::new(
-            SimTime::new((day - 7) * DAY), SimTime::new(day * DAY)));
+            SimTime::new((day - 7) * DAY),
+            SimTime::new(day * DAY),
+        ));
         let future = s.trace.restricted(TimeWindow::new(
-            SimTime::new(day * DAY), SimTime::new(period_end * DAY)));
-        let demand = estimate_demand(estimator, &s.catalog, s.net.num_nodes(),
-            &history, &future, day, period_end - day, &est);
+            SimTime::new(day * DAY),
+            SimTime::new(period_end * DAY),
+        ));
+        let demand = estimate_demand(
+            estimator,
+            &s.catalog,
+            s.net.num_nodes(),
+            &history,
+            &future,
+            day,
+            period_end - day,
+            &est,
+        );
         let pc = prev.as_ref().map(|p| PlacementCost {
-            weight: 1.0, previous: Some(p.holder_lists()), origin: VhoId::new(0),
+            weight: 1.0,
+            previous: Some(p.holder_lists()),
+            // lint:allow(raw-index): update transfers are anchored at VHO 0 by convention
+            origin: VhoId::new(0),
         });
-        let inst = MipInstance::new(net.clone(), s.catalog.clone(), demand,
-            &s.mip_disk(d), 1.0, 0.0, pc.as_ref());
+        let inst = MipInstance::new(
+            net.clone(),
+            s.catalog.clone(),
+            demand,
+            &s.mip_disk(d),
+            1.0,
+            0.0,
+            pc.as_ref(),
+        );
         let out = solve_placement(&inst, &epf);
         if let Some(p) = &prev {
             migrated += out.placement.migration_copies_from(p);
         }
         // No complementary cache in this experiment (paper, Table VI).
         let vhos = mip_vho_configs(&out.placement, &disks, 0.0, CacheKind::Lru);
-        let rep = simulate(&net, &s.paths, &s.catalog, &future, &vhos,
+        let rep = simulate(
+            &net,
+            &s.paths,
+            &s.catalog,
+            &future,
+            &vhos,
             &PolicyKind::MipRouting(out.placement.clone()),
-            &SimConfig { seed: s.seed, insert_on_miss: false, ..Default::default() });
+            &SimConfig {
+                seed: s.seed,
+                insert_on_miss: false,
+                ..Default::default()
+            },
+        );
         max_mbps = max_mbps.max(rep.max_link_mbps);
         gb_hops += rep.total_gb_hops;
         local += rep.served_local_pinned + rep.served_local_cached;
@@ -84,12 +119,24 @@ fn main() {
         run(&s, &d, 14, EstimatorKind::History, "once in 2 weeks"),
         run(&s, &d, 7, EstimatorKind::History, "weekly"),
         run(&s, &d, 1, EstimatorKind::History, "daily"),
-        run(&s, &d, 7, EstimatorKind::Perfect, "perfect estimate (weekly)"),
+        run(
+            &s,
+            &d,
+            7,
+            EstimatorKind::Perfect,
+            "perfect estimate (weekly)",
+        ),
         run(&s, &d, 7, EstimatorKind::NoEstimate, "no estimate (weekly)"),
     ];
     let mut table = Table::new(
         "Table VI — update frequency & estimation accuracy (no cache)",
-        &["schedule", "max BW (Gb/s)", "total GB-hop", "locally served", "copies migrated"],
+        &[
+            "schedule",
+            "max BW (Gb/s)",
+            "total GB-hop",
+            "locally served",
+            "copies migrated",
+        ],
     );
     let mut payload = Vec::new();
     for r in &runs {
@@ -100,7 +147,13 @@ fn main() {
             fmt(r.local),
             r.migrated.to_string(),
         ]);
-        payload.push((r.label.clone(), r.max_gbps, r.total_gb_hops, r.local, r.migrated));
+        payload.push((
+            r.label.clone(),
+            r.max_gbps,
+            r.total_gb_hops,
+            r.local,
+            r.migrated,
+        ));
     }
     table.print();
     println!(

@@ -4,17 +4,16 @@
 //! Top-K+LRU on identical disks, links and requests.
 
 use crate::{Defaults, Scenario};
-use serde::Serialize;
 use vod_core::{solve_placement, MipInstance, Placement, PlacementCost};
 use vod_estimate::{estimate_demand, EstimateConfig, EstimatorKind};
 use vod_model::{SimTime, VhoId};
 use vod_sim::{
-    mip_vho_configs, random_single_vho_configs, simulate, top_k_vho_configs, CacheKind,
-    PolicyKind, SimConfig, SimReport,
+    mip_vho_configs, random_single_vho_configs, simulate, top_k_vho_configs, CacheKind, PolicyKind,
+    SimConfig, SimReport,
 };
 
 /// One strategy's measured outcome over the evaluation period.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct StrategyOutcome {
     pub name: String,
     /// Peak link bandwidth per 5-minute bucket (Fig. 5's series),
@@ -26,6 +25,20 @@ pub struct StrategyOutcome {
     pub total_gb_hops: f64,
     pub local_fraction: f64,
     pub uncachable: u64,
+}
+
+impl vod_json::ToJson for StrategyOutcome {
+    fn to_value(&self) -> vod_json::Value {
+        vod_json::obj(vec![
+            ("name", self.name.to_value()),
+            ("peak_series_mbps", self.peak_series_mbps.to_value()),
+            ("transfer_series_gb", self.transfer_series_gb.to_value()),
+            ("max_link_mbps", self.max_link_mbps.to_value()),
+            ("total_gb_hops", self.total_gb_hops.to_value()),
+            ("local_fraction", self.local_fraction.to_value()),
+            ("uncachable", self.uncachable.to_value()),
+        ])
+    }
 }
 
 fn outcome_from(name: &str, rep: &SimReport, from_bucket: usize) -> StrategyOutcome {
@@ -90,6 +103,7 @@ pub fn run_comparison(s: &Scenario, d: &Defaults, top_k: usize) -> Vec<StrategyO
         let pc = prev.as_ref().map(|p| PlacementCost {
             weight: 1.0,
             previous: Some(p.holder_lists()),
+            // lint:allow(raw-index): update transfers are anchored at VHO 0 by convention
             origin: VhoId::new(0),
         });
         let inst = MipInstance::new(
@@ -117,8 +131,12 @@ pub fn run_comparison(s: &Scenario, d: &Defaults, top_k: usize) -> Vec<StrategyO
         );
         let lo = ((w * week_secs) / 300) as usize;
         let hi = (((w + 1) * week_secs) / 300) as usize;
-        peak_series.extend_from_slice(&rep.peak_link_mbps[lo.min(rep.peak_link_mbps.len())..hi.min(rep.peak_link_mbps.len())]);
-        transfer_series.extend_from_slice(&rep.transfer_gb[lo.min(rep.transfer_gb.len())..hi.min(rep.transfer_gb.len())]);
+        peak_series.extend_from_slice(
+            &rep.peak_link_mbps[lo.min(rep.peak_link_mbps.len())..hi.min(rep.peak_link_mbps.len())],
+        );
+        transfer_series.extend_from_slice(
+            &rep.transfer_gb[lo.min(rep.transfer_gb.len())..hi.min(rep.transfer_gb.len())],
+        );
         gb_hops += rep.total_gb_hops;
         local += rep.served_local_pinned + rep.served_local_cached;
         total_reqs += rep.total_requests;

@@ -14,16 +14,22 @@
 //! Results are printed as Markdown tables (mirroring the paper's rows
 //! and series) and persisted as JSON under `results/`.
 
-use serde::Serialize;
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::float_cmp,
+        clippy::cast_possible_truncation
+    )
+)]
 
 pub mod comparison;
 use std::path::PathBuf;
 use vod_core::{DiskConfig, EpfConfig};
+use vod_json::{obj, ToJson, Value};
 use vod_model::{Catalog, SimTime, TimeWindow};
 use vod_net::{Network, PathSet};
-use vod_trace::{
-    generate_trace, synthesize_library, LibraryConfig, Trace, TraceConfig,
-};
+use vod_trace::{generate_trace, synthesize_library, LibraryConfig, Trace, TraceConfig};
 
 /// Experiment scale, parsed from argv.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +53,7 @@ impl Scale {
 }
 
 /// The shared operational scenario.
+#[derive(Debug)]
 pub struct Scenario {
     pub net: Network,
     pub paths: PathSet,
@@ -57,6 +64,7 @@ pub struct Scenario {
 }
 
 /// Paper-default knobs used across experiments.
+#[derive(Debug)]
 pub struct Defaults {
     /// Fraction of each disk reserved for the complementary LRU cache.
     pub cache_frac: f64,
@@ -201,7 +209,7 @@ impl Scenario {
 }
 
 /// A Markdown/JSON result table.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Table {
     pub title: String,
     pub headers: Vec<String>,
@@ -226,21 +234,37 @@ impl Table {
     pub fn print(&self) {
         println!("\n## {}\n", self.title);
         println!("| {} |", self.headers.join(" | "));
-        println!("|{}|", self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+        println!(
+            "|{}|",
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
+        );
         for r in &self.rows {
             println!("| {} |", r.join(" | "));
         }
     }
 }
 
+impl ToJson for Table {
+    fn to_value(&self) -> Value {
+        obj(vec![
+            ("title", self.title.to_value()),
+            ("headers", self.headers.to_value()),
+            ("rows", self.rows.to_value()),
+        ])
+    }
+}
+
 /// Write an experiment's result tables (plus free-form metadata) to
 /// `results/<name>.json`.
-pub fn save_results<T: Serialize>(name: &str, payload: &T) {
+pub fn save_results<T: ToJson + ?Sized>(name: &str, payload: &T) {
     let dir = results_dir();
     std::fs::create_dir_all(&dir).expect("create results dir");
     let path = dir.join(format!("{name}.json"));
-    let json = serde_json::to_string_pretty(payload).expect("serialize results");
-    std::fs::write(&path, json).expect("write results file");
+    std::fs::write(&path, vod_json::to_string_pretty(payload)).expect("write results file");
     println!("\n[results written to {}]", path.display());
 }
 

@@ -64,7 +64,10 @@ impl UflProblem {
     fn assert_valid(&self) {
         let n = self.n_facilities();
         assert!(n > 0, "UFL needs at least one facility");
-        debug_assert!(self.facility_cost.iter().all(|&f| f >= 0.0 && f.is_finite()));
+        debug_assert!(self
+            .facility_cost
+            .iter()
+            .all(|&f| f >= 0.0 && f.is_finite()));
         debug_assert!(self
             .service
             .iter()
@@ -98,8 +101,7 @@ impl UflProblem {
         let mut best_single = 0;
         let mut best_single_cost = f64::MAX;
         for i in 0..n {
-            let c: f64 =
-                self.facility_cost[i] + self.service.iter().map(|row| row[i]).sum::<f64>();
+            let c: f64 = self.facility_cost[i] + self.service.iter().map(|row| row[i]).sum::<f64>();
             if c < best_single_cost {
                 best_single_cost = c;
                 best_single = i;
@@ -155,7 +157,7 @@ impl UflProblem {
                         if cur == k {
                             let alt = (0..n)
                                 .filter(|&i| i != k && open[i])
-                                .min_by(|&a, &b| row[a].partial_cmp(&row[b]).unwrap());
+                                .min_by(|&a, &b| row[a].total_cmp(&row[b]));
                             match alt {
                                 Some(alt) => {
                                     reroute_penalty += row[alt] - row[k];
@@ -198,7 +200,7 @@ impl UflProblem {
                     for (c, (row, &cur)) in self.service.iter().zip(&assign).enumerate() {
                         let best = (0..n)
                             .filter(|&i| (open[i] && i != k) || i == k2)
-                            .min_by(|&a, &b| row[a].partial_cmp(&row[b]).unwrap())
+                            .min_by(|&a, &b| row[a].total_cmp(&row[b]))
                             .expect("k2 is always available");
                         delta += row[best] - row[cur];
                         new_assign[c] = best;
@@ -228,11 +230,7 @@ impl UflProblem {
             // No clients: keep the cheapest open facility.
             let keep = (0..n)
                 .filter(|&i| open[i])
-                .min_by(|&a, &b| {
-                    self.facility_cost[a]
-                        .partial_cmp(&self.facility_cost[b])
-                        .unwrap()
-                })
+                .min_by(|&a, &b| self.facility_cost[a].total_cmp(&self.facility_cost[b]))
                 .expect("at least one facility is open");
             open_list.push(keep);
         }
@@ -252,11 +250,7 @@ impl UflProblem {
         self.assert_valid();
         let n = self.n_facilities();
         if self.service.is_empty() {
-            return self
-                .facility_cost
-                .iter()
-                .cloned()
-                .fold(f64::MAX, f64::min);
+            return self.facility_cost.iter().cloned().fold(f64::MAX, f64::min);
         }
         // v_c starts at the client's cheapest service cost (feasible:
         // every (v_c - s_ci)+ is 0 at the argmin and negative terms
@@ -284,7 +278,7 @@ impl UflProblem {
         // tightens the bound substantially.
         for _pass in 0..30 {
             let mut order: Vec<usize> = (0..v.len()).collect();
-            order.sort_by(|&a, &b| v[a].partial_cmp(&v[b]).unwrap().then(a.cmp(&b)));
+            order.sort_by(|&a, &b| v[a].total_cmp(&v[b]).then(a.cmp(&b)));
             let mut raised = 0.0;
             for c in order {
                 let row = &self.service[c];
@@ -452,19 +446,13 @@ mod tests {
                 assign: p
                     .service
                     .iter()
-                    .map(|row| {
-                        (0..n)
-                            .min_by(|&a, &b| row[a].partial_cmp(&row[b]).unwrap())
-                            .unwrap()
-                    })
+                    .map(|row| (0..n).min_by(|&a, &b| row[a].total_cmp(&row[b])).unwrap())
                     .collect(),
             };
             assert!(got <= p.cost(&all) + 1e-9);
             // Baseline 2: best single facility.
             let best_single = (0..n)
-                .map(|i| {
-                    p.facility_cost[i] + p.service.iter().map(|r| r[i]).sum::<f64>()
-                })
+                .map(|i| p.facility_cost[i] + p.service.iter().map(|r| r[i]).sum::<f64>())
                 .fold(f64::MAX, f64::min);
             assert!(got <= best_single + 1e-9);
         }

@@ -13,6 +13,7 @@ use vod_lp::{Cmp, LinearProgram};
 
 /// The direct formulation plus the variable index maps needed to read
 /// a solution back.
+#[derive(Debug)]
 pub struct DirectLp {
     pub lp: LinearProgram,
     /// `y_vars[m][i]` — index of `y_i^m`.
@@ -52,6 +53,7 @@ pub fn build_direct_lp(inst: &MipInstance) -> DirectLp {
                 (0..v)
                     .map(|i| {
                         let cost = c.demand_gb
+                            // lint:allow(raw-index): LP columns are dense over VHO indices
                             * inst.cost(vod_model::VhoId::from_index(i), c.j);
                         lp.add_var(cost, None)
                     })
@@ -86,14 +88,14 @@ pub fn build_direct_lp(inst: &MipInstance) -> DirectLp {
     }
 
     // (5) disk capacity per VHO.
-    for i in 0..v {
+    for (i, disk) in inst.disks.iter().enumerate() {
         let terms: Vec<(usize, f64)> = inst
             .blocks()
             .iter()
             .enumerate()
             .map(|(m, data)| (y_vars[m][i], data.size_gb))
             .collect();
-        lp.add_constraint(terms, Cmp::Le, inst.disks[i].value());
+        lp.add_constraint(terms, Cmp::Le, disk.value());
     }
 
     // (6) link bandwidth per (link, window).
@@ -106,10 +108,11 @@ pub fn build_direct_lp(inst: &MipInstance) -> DirectLp {
                     if rate == 0.0 {
                         continue;
                     }
-                    for i in 0..v {
+                    for (i, &xv) in x_vars[m][c_idx].iter().enumerate() {
+                        // lint:allow(raw-index): LP columns are dense over VHO indices
                         let iv = vod_model::VhoId::from_index(i);
                         if inst.paths.path(iv, client.j).contains(&link.id) {
-                            terms.push((x_vars[m][c_idx][i], rate));
+                            terms.push((xv, rate));
                         }
                     }
                 }
@@ -178,7 +181,11 @@ mod tests {
         let agg = DemandMatrix::from_rows(
             3,
             vec![
-                vec![(VhoId::new(0), 10.0), (VhoId::new(1), 10.0), (VhoId::new(2), 10.0)],
+                vec![
+                    (VhoId::new(0), 10.0),
+                    (VhoId::new(1), 10.0),
+                    (VhoId::new(2), 10.0),
+                ],
                 vec![(VhoId::new(0), 5.0)],
                 vec![(VhoId::new(1), 4.0)],
                 vec![(VhoId::new(2), 3.0)],
@@ -275,11 +282,7 @@ mod tests {
         let direct = build_direct_lp(&inst);
         let v = inst.n_vhos();
         let expected_y = inst.n_videos() * v;
-        let expected_x: usize = inst
-            .blocks()
-            .iter()
-            .map(|b| b.clients.len() * v)
-            .sum();
+        let expected_x: usize = inst.blocks().iter().map(|b| b.clients.len() * v).sum();
         assert_eq!(direct.lp.num_vars(), expected_y + expected_x);
         assert!(direct.lp.num_constraints() > expected_x);
     }

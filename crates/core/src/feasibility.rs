@@ -22,6 +22,7 @@ pub fn is_feasible(inst: &MipInstance, cfg: &EpfConfig) -> bool {
 }
 
 /// Everything needed to rebuild instances while sweeping one knob.
+#[derive(Debug)]
 pub struct Scenario<'a> {
     pub network: &'a Network,
     pub catalog: &'a vod_model::Catalog,
@@ -116,9 +117,7 @@ pub fn min_link_capacity(
 mod tests {
     use super::*;
     use vod_net::topologies;
-    use vod_trace::{
-        analysis, generate_trace, synthesize_library, LibraryConfig, TraceConfig,
-    };
+    use vod_trace::{analysis, generate_trace, synthesize_library, LibraryConfig, TraceConfig};
 
     struct World {
         net: Network,

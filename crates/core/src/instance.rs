@@ -7,13 +7,12 @@
 //! coefficients `α`, `β` of eq. (1), and optionally the
 //! placement-transfer cost term of eq. (11).
 
-use serde::{Deserialize, Serialize};
 use vod_model::{Catalog, Gigabytes, VhoId, VideoId};
 use vod_net::{Network, PathSet};
 use vod_trace::DemandInput;
 
 /// How disk is apportioned across VHOs (Section VII-A / Fig. 11).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum DiskConfig {
     /// Every VHO gets the same capacity; total = `ratio` × library size.
     UniformRatio { ratio: f64 },
@@ -62,8 +61,7 @@ impl DiskConfig {
                 order.sort_by(|&a, &b| {
                     net.nodes()[b]
                         .population
-                        .partial_cmp(&net.nodes()[a].population)
-                        .unwrap()
+                        .total_cmp(&net.nodes()[a].population)
                         .then(a.cmp(&b))
                 });
                 let mut shares = vec![1.0f64; n];
@@ -134,6 +132,7 @@ pub struct VideoBlock {
 }
 
 /// A complete placement MIP instance.
+#[derive(Debug)]
 pub struct MipInstance {
     pub network: Network,
     pub paths: PathSet,
@@ -228,6 +227,7 @@ impl MipInstance {
                         .unwrap_or(std::slice::from_ref(&pc.origin));
                     (0..n)
                         .map(|i| {
+                            // lint:allow(raw-index): recovers the id from a dense 0..n_vhos vector index
                             let iv = VhoId::from_index(i);
                             let min_cost = holders
                                 .iter()
@@ -306,9 +306,7 @@ impl MipInstance {
         let lib = self.catalog.total_size();
         let disk = self.total_disk();
         if disk.value() < lib.value() {
-            return Err(format!(
-                "aggregate disk {disk} is below library size {lib}"
-            ));
+            return Err(format!("aggregate disk {disk} is below library size {lib}"));
         }
         Ok(())
     }
@@ -348,7 +346,10 @@ mod tests {
         let lib = inst.catalog.total_size();
         assert!((inst.total_disk().value() - 2.0 * lib.value()).abs() < 1e-6);
         let d0 = inst.disks[0];
-        assert!(inst.disks.iter().all(|&d| (d.value() - d0.value()).abs() < 1e-12));
+        assert!(inst
+            .disks
+            .iter()
+            .all(|&d| (d.value() - d0.value()).abs() < 1e-12));
     }
 
     #[test]
@@ -367,8 +368,7 @@ mod tests {
         by_pop.sort_by(|&a, &b| {
             net.nodes()[b]
                 .population
-                .partial_cmp(&net.nodes()[a].population)
-                .unwrap()
+                .total_cmp(&net.nodes()[a].population)
         });
         let big = caps[by_pop[0]].value();
         let small = caps[by_pop[9]].value();

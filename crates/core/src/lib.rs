@@ -21,6 +21,16 @@
 //! generic simplex baseline of `vod-lp`, standing in for CPLEX in the
 //! Table III comparison and for exact-optimum validation.
 
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::float_cmp,
+        clippy::cast_possible_truncation
+    )
+)]
+
+pub mod audit;
 pub mod block;
 pub mod direct;
 pub mod epf;
@@ -31,6 +41,7 @@ pub mod rounding;
 pub mod solution;
 pub mod solver;
 
+pub use audit::{AuditReport, Violation};
 pub use epf::{solve_fractional, EpfConfig, EpfStats};
 pub use instance::{DiskConfig, MipInstance, PlacementCost};
 pub use rounding::RoundingStats;

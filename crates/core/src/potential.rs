@@ -370,7 +370,10 @@ mod tests {
         // Trade-off: relieve row 1 but overload row 0 at full step.
         let deltas = [(1usize, -15.0), (0usize, 40.0)];
         let tau = c.line_search(&deltas, 0.0);
-        assert!(tau > 0.05 && tau < 0.95, "interior step expected, got {tau}");
+        assert!(
+            tau > 0.05 && tau < 0.95,
+            "interior step expected, got {tau}"
+        );
         // Verify it is a minimum of the potential along the segment.
         let phi_at = |t: f64| {
             let mut cc = c.clone();

@@ -49,6 +49,9 @@ pub fn round_solution(
     coupling.init_scale(0.01);
 
     let mut rounded = 0usize;
+    // `m` indexes `inst.blocks()` and `blocks` (mutated below) in
+    // lockstep, so a range loop is the honest shape here.
+    #[allow(clippy::needless_range_loop)]
     for m in 0..inst.n_videos() {
         if blocks[m].is_integral() {
             continue;
@@ -97,8 +100,7 @@ pub fn round_solution(
         let duals = coupling.duals();
         let penalty = penalty_matrices(inst, &layout, &duals);
         for (m, data) in inst.blocks().iter().enumerate() {
-            let better =
-                crate::epf::greedy_x_given_y(inst, data, &blocks[m].y, &duals, &penalty);
+            let better = crate::epf::greedy_x_given_y(inst, data, &blocks[m].y, &duals, &penalty);
             blocks[m].x = better.x;
         }
     }
@@ -110,6 +112,15 @@ pub fn round_solution(
         .then(|| (objective - fractional.lower_bound) / fractional.lower_bound);
 
     let placement = Placement::from_blocks(inst, &blocks);
+    // Rounded blocks must be exactly block-feasible and the assembled
+    // placement must stay within the violation the stats report.
+    #[cfg(feature = "audit")]
+    {
+        crate::audit::check_blocks(inst, &blocks, crate::solution::INT_TOL)
+            .assert_ok("rounded block invariants");
+        crate::audit::check_placement(inst, &placement, max_violation + crate::solution::INT_TOL)
+            .assert_ok("rounded placement audit");
+    }
     (
         placement,
         RoundingStats {
@@ -163,8 +174,7 @@ fn repair_disks(inst: &MipInstance, blocks: &mut [BlockSolution]) {
                     .copied()
                     .min_by(|&a, &b| {
                         inst.cost(a, client.j)
-                            .partial_cmp(&inst.cost(b, client.j))
-                            .unwrap()
+                            .total_cmp(&inst.cost(b, client.j))
                             .then(a.cmp(&b))
                     })
                     .expect("video keeps at least one copy");
@@ -181,12 +191,11 @@ fn repair_disks(inst: &MipInstance, blocks: &mut [BlockSolution]) {
         // Most-overfull VHO.
         let Some(over) = (0..n_vhos)
             .filter(|&i| usage[i] > caps[i] * (1.0 + 1e-9))
-            .max_by(|&a, &b| {
-                (usage[a] / caps[a]).partial_cmp(&(usage[b] / caps[b])).unwrap()
-            })
+            .max_by(|&a, &b| (usage[a] / caps[a]).total_cmp(&(usage[b] / caps[b])))
         else {
             break;
         };
+        // lint:allow(raw-index): disk-usage vectors are dense over VHO indices
         let over_id = vod_model::VhoId::from_index(over);
         // Candidate 1: drop a multi-copy video (smallest demand served
         // from here first — approximates least removal cost).
@@ -208,7 +217,7 @@ fn repair_disks(inst: &MipInstance, blocks: &mut [BlockSolution]) {
                         })
                         .sum()
                 };
-                served(a).partial_cmp(&served(b)).unwrap().then(a.cmp(&b))
+                served(a).total_cmp(&served(b)).then(a.cmp(&b))
             });
         if let Some(mi) = drop_candidate {
             blocks[mi].y.retain(|&(i, _)| i != over_id);
@@ -222,8 +231,7 @@ fn repair_disks(inst: &MipInstance, blocks: &mut [BlockSolution]) {
         let Some(&mi) = held[over].iter().min_by(|&&a, &&b| {
             inst.blocks()[a]
                 .size_gb
-                .partial_cmp(&inst.blocks()[b].size_gb)
-                .unwrap()
+                .total_cmp(&inst.blocks()[b].size_gb)
                 .then(a.cmp(&b))
         }) else {
             break;
@@ -231,10 +239,11 @@ fn repair_disks(inst: &MipInstance, blocks: &mut [BlockSolution]) {
         let size = inst.blocks()[mi].size_gb;
         let Some(target) = (0..n_vhos)
             .filter(|&i| i != over && usage[i] + size <= caps[i])
-            .min_by(|&a, &b| (usage[a] / caps[a]).partial_cmp(&(usage[b] / caps[b])).unwrap())
+            .min_by(|&a, &b| (usage[a] / caps[a]).total_cmp(&(usage[b] / caps[b])))
         else {
             break; // nowhere to put it — give up on this VHO
         };
+        // lint:allow(raw-index): disk-usage vectors are dense over VHO indices
         let target_id = vod_model::VhoId::from_index(target);
         blocks[mi].y.retain(|&(i, _)| i != over_id);
         match blocks[mi].y.binary_search_by_key(&target_id, |&(i, _)| i) {
@@ -334,7 +343,13 @@ mod tests {
         let pre: Vec<Vec<vod_model::VhoId>> = frac
             .blocks
             .iter()
-            .map(|b| if b.is_integral() { b.stores() } else { Vec::new() })
+            .map(|b| {
+                if b.is_integral() {
+                    b.stores()
+                } else {
+                    Vec::new()
+                }
+            })
             .collect();
         let (placement, _) = round_solution(&inst, &frac, cfg.gamma);
         // The integer re-solve must not touch already-integral videos;

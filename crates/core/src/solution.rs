@@ -3,7 +3,6 @@
 
 use crate::block::UflSolution;
 use crate::instance::{MipInstance, VideoBlock};
-use serde::{Deserialize, Serialize};
 use vod_model::{Catalog, Gigabytes, VhoId, VideoId};
 
 /// Threshold below which y/x components are pruned during convex
@@ -16,7 +15,7 @@ pub const INT_TOL: f64 = 1e-6;
 /// One video's (possibly fractional) solution: its `y_i^m` values and,
 /// for each block client (same order as `VideoBlock::clients`), the
 /// serving distribution `x_{·j}^m`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BlockSolution {
     /// Sparse `(i, y_i)` with `y_i > 0`, sorted by VHO.
     pub y: Vec<(VhoId, f64)>,
@@ -29,11 +28,13 @@ impl BlockSolution {
     /// and as the shape of every UFL candidate.
     pub fn from_ufl(sol: &UflSolution) -> Self {
         let mut y: Vec<(VhoId, f64)> =
+            // lint:allow(raw-index): UFL solutions index facilities densely
             sol.open.iter().map(|&i| (VhoId::from_index(i), 1.0)).collect();
         y.sort_by_key(|&(i, _)| i);
         let x = sol
             .assign
             .iter()
+            // lint:allow(raw-index): UFL solutions index facilities densely
             .map(|&i| vec![(VhoId::from_index(i), 1.0)])
             .collect();
         Self { y, x }
@@ -96,12 +97,7 @@ impl BlockSolution {
 }
 
 /// Sparse merge of `(1−τ)·a + τ·b`, dropping entries below `tol`.
-fn merge_combine(
-    a: &[(VhoId, f64)],
-    b: &[(VhoId, f64)],
-    tau: f64,
-    tol: f64,
-) -> Vec<(VhoId, f64)> {
+fn merge_combine(a: &[(VhoId, f64)], b: &[(VhoId, f64)], tau: f64, tol: f64) -> Vec<(VhoId, f64)> {
     let mut out = Vec::with_capacity(a.len() + b.len());
     let (mut ia, mut ib) = (0, 0);
     while ia < a.len() || ib < b.len() {
@@ -148,13 +144,16 @@ pub struct FractionalSolution {
 
 /// The final placement: which VHOs store each video (`y`, integral) and
 /// how each VHO's requests are split across the copies (`x`).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// A fractional serving distribution over source VHOs.
+pub type ServingDist = Vec<(VhoId, f64)>;
+
+#[derive(Debug, Clone)]
 pub struct Placement {
     n_vhos: usize,
     stores: Vec<Vec<VhoId>>,
     /// Per video: `(client j, serving distribution over servers)`,
     /// sorted by client, only for clients the solve knew about.
-    routing: Vec<Vec<(VhoId, Vec<(VhoId, f64)>)>>,
+    routing: Vec<Vec<(VhoId, ServingDist)>>,
 }
 
 impl Placement {
@@ -165,11 +164,7 @@ impl Placement {
         let mut routing = Vec::with_capacity(blocks.len());
         for (b, data) in blocks.iter().zip(inst.blocks()) {
             let s = b.stores();
-            assert!(
-                !s.is_empty(),
-                "video {} has no stored copy",
-                data.video
-            );
+            assert!(!s.is_empty(), "video {} has no stored copy", data.video);
             let mut r: Vec<(VhoId, Vec<(VhoId, f64)>)> = data
                 .clients
                 .iter()
@@ -288,7 +283,9 @@ impl Placement {
             .iter()
             .zip(&prev.stores)
             .map(|(now, before)| {
-                now.iter().filter(|i| before.binary_search(i).is_err()).count()
+                now.iter()
+                    .filter(|i| before.binary_search(i).is_err())
+                    .count()
             })
             .sum()
     }
@@ -346,24 +343,19 @@ pub fn initial_block(block: &VideoBlock, n_vhos: usize) -> BlockSolution {
     let home = block
         .clients
         .iter()
-        .max_by(|a, b| {
-            a.demand_gb
-                .partial_cmp(&b.demand_gb)
-                .unwrap()
-                .then(b.j.cmp(&a.j))
-        })
+        .max_by(|a, b| a.demand_gb.total_cmp(&b.demand_gb).then(b.j.cmp(&a.j)))
         .map(|c| c.j)
         .unwrap_or_else(|| {
             if block.facility_obj_cost.is_empty() {
+                // lint:allow(raw-index): degenerate block with no clients parks its copy at VHO 0
                 VhoId::new(0)
             } else {
                 let i = (0..n_vhos)
                     .min_by(|&a, &b| {
-                        block.facility_obj_cost[a]
-                            .partial_cmp(&block.facility_obj_cost[b])
-                            .unwrap()
+                        block.facility_obj_cost[a].total_cmp(&block.facility_obj_cost[b])
                     })
                     .unwrap_or(0);
+                // lint:allow(raw-index): recovers the id from a dense 0..n_vhos vector index
                 VhoId::from_index(i)
             }
         });
@@ -380,8 +372,7 @@ mod tests {
     fn bs(y: &[(u16, f64)], x: Vec<Vec<(u16, f64)>>) -> BlockSolution {
         BlockSolution {
             y: y.iter().map(|&(i, v)| (VhoId::new(i), v)).collect(),
-            x: x
-                .into_iter()
+            x: x.into_iter()
                 .map(|d| d.into_iter().map(|(i, v)| (VhoId::new(i), v)).collect())
                 .collect(),
         }
@@ -451,10 +442,7 @@ mod tests {
     fn placement_basics() {
         let p = Placement::from_stores(
             3,
-            vec![
-                vec![VhoId::new(0), VhoId::new(2)],
-                vec![VhoId::new(1)],
-            ],
+            vec![vec![VhoId::new(0), VhoId::new(2)], vec![VhoId::new(1)]],
         );
         assert_eq!(p.n_videos(), 2);
         assert!(p.has_copy(VideoId::new(0), VhoId::new(2)));
@@ -464,7 +452,9 @@ mod tests {
             p.copy_counts(&[VideoId::new(1), VideoId::new(0)]),
             vec![1, 2]
         );
-        assert!(p.serving_distribution(VideoId::new(0), VhoId::new(1)).is_none());
+        assert!(p
+            .serving_distribution(VideoId::new(0), VhoId::new(1))
+            .is_none());
     }
 
     #[test]

@@ -16,6 +16,15 @@
 //! - **NoEstimate**: history only, nothing for new videos (the "no
 //!   estimate" row of Table VI).
 
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::float_cmp,
+        clippy::cast_possible_truncation
+    )
+)]
+
 use vod_model::{Catalog, VideoId, VideoKind};
 use vod_trace::{analysis, DemandInput, Trace};
 
@@ -50,6 +59,9 @@ impl Default for EstimateConfig {
 /// `history` is the already-observed trace ending at the period start;
 /// `future` is consulted only by [`EstimatorKind::Perfect`] (it is the
 /// ground-truth trace of the upcoming period).
+// The argument list mirrors the paper's estimator inputs one-to-one;
+// bundling them into a struct would just rename the problem.
+#[allow(clippy::too_many_arguments)]
 pub fn estimate_demand(
     kind: EstimatorKind,
     catalog: &Catalog,
@@ -71,12 +83,7 @@ pub fn estimate_demand(
                 analysis::select_peak_windows(history, catalog, cfg.window_secs, cfg.n_windows);
             let mut demand = DemandInput::from_trace(history, catalog, n_vhos, windows);
             if kind == EstimatorKind::History {
-                substitute_new_release_demand(
-                    catalog,
-                    &mut demand,
-                    period_start_day,
-                    period_days,
-                );
+                substitute_new_release_demand(catalog, &mut demand, period_start_day, period_days);
             }
             demand
         }
@@ -112,7 +119,7 @@ pub fn top_movie(catalog: &Catalog, demand: &DemandInput) -> Option<VideoId> {
         .filter(|v| v.class == vod_model::VideoClass::Movie)
         .map(|v| (demand.aggregate.video_total(v.id), v.id))
         .filter(|&(total, _)| total > 0.0)
-        .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(b.1.cmp(&a.1)))
+        .max_by(|a, b| a.0.total_cmp(&b.0).then(b.1.cmp(&a.1)))
         .map(|(_, id)| id)
 }
 
@@ -182,10 +189,7 @@ mod tests {
         use vod_model::time::DAY;
         use vod_model::TimeWindow;
         let hist = trace.restricted(TimeWindow::new(SimTime::ZERO, SimTime::new(day * DAY)));
-        let fut = trace.restricted(TimeWindow::new(
-            SimTime::new(day * DAY),
-            trace.horizon(),
-        ));
+        let fut = trace.restricted(TimeWindow::new(SimTime::new(day * DAY), trace.horizon()));
         (hist, fut)
     }
 
@@ -194,15 +198,30 @@ mod tests {
         let (catalog, _, _) = world();
         let ep2 = catalog
             .iter()
-            .find(|v| v.kind == VideoKind::SeriesEpisode { series: 0, episode: 2 })
+            .find(|v| {
+                v.kind
+                    == VideoKind::SeriesEpisode {
+                        series: 0,
+                        episode: 2,
+                    }
+            })
             .unwrap();
         let ep1 = catalog
             .iter()
-            .find(|v| v.kind == VideoKind::SeriesEpisode { series: 0, episode: 1 })
+            .find(|v| {
+                v.kind
+                    == VideoKind::SeriesEpisode {
+                        series: 0,
+                        episode: 1,
+                    }
+            })
             .unwrap();
         assert_eq!(previous_episode(&catalog, ep2.id), Some(ep1.id));
         assert_eq!(previous_episode(&catalog, ep1.id), None);
-        let movie = catalog.iter().find(|v| v.kind == VideoKind::Catalog).unwrap();
+        let movie = catalog
+            .iter()
+            .find(|v| v.kind == VideoKind::Catalog)
+            .unwrap();
         assert_eq!(previous_episode(&catalog, movie.id), None);
     }
 
@@ -225,8 +244,7 @@ mod tests {
         let ep3 = catalog
             .iter()
             .find(|v| {
-                matches!(v.kind, VideoKind::SeriesEpisode { episode: 3, .. })
-                    && v.release_day >= 14
+                matches!(v.kind, VideoKind::SeriesEpisode { episode: 3, .. }) && v.release_day >= 14
             })
             .expect("week-3 episode exists");
         let prev = previous_episode(&catalog, ep3.id).unwrap();

@@ -69,7 +69,7 @@ pub fn solve_mip(
             .iter()
             .map(|&v| (v, (relax.x[v] - relax.x[v].round()).abs()))
             .filter(|&(_, f)| f > INT_TOL)
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            .max_by(|a, b| a.1.total_cmp(&b.1));
         match frac {
             None => {
                 // Integral: new incumbent (round off numerical fuzz).
@@ -80,7 +80,7 @@ pub fn solve_mip(
                 sol.objective = lp.objective_value(&sol.x);
                 if incumbent
                     .as_ref()
-                    .map_or(true, |b| sol.objective < b.objective)
+                    .is_none_or(|b| sol.objective < b.objective)
                 {
                     incumbent = Some(sol);
                 }
@@ -185,13 +185,13 @@ mod tests {
                 x[i][j] = lp.add_var(service[i][j], None);
             }
         }
-        for j in 0..2 {
-            lp.add_constraint(vec![(x[0][j], 1.0), (x[1][j], 1.0)], Cmp::Eq, 1.0);
+        for (&xa, &xb) in x[0].iter().zip(&x[1]) {
+            lp.add_constraint(vec![(xa, 1.0), (xb, 1.0)], Cmp::Eq, 1.0);
         }
         let ys = [y1, y2];
-        for i in 0..2 {
-            for j in 0..2 {
-                lp.add_constraint(vec![(x[i][j], 1.0), (ys[i], -1.0)], Cmp::Le, 0.0);
+        for (xi, &yi) in x.iter().zip(&ys) {
+            for &xij in xi {
+                lp.add_constraint(vec![(xij, 1.0), (yi, -1.0)], Cmp::Le, 0.0);
             }
         }
         let out = solve_mip(&lp, &[y1, y2], 1000).unwrap();

@@ -17,6 +17,15 @@
 //! ([`branch_bound::solve_mip`]) provides exact mixed-integer optima
 //! on tiny instances, used to validate the rounding heuristic.
 
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::float_cmp,
+        clippy::cast_possible_truncation
+    )
+)]
+
 pub mod branch_bound;
 pub mod problem;
 pub mod simplex;

@@ -81,14 +81,18 @@ impl Tableau {
         let bland_after = max_iters / 2;
         let mut local_iters = 0;
         loop {
-            let limit = if allow_artificial { self.cols } else { self.art_start };
+            let limit = if allow_artificial {
+                self.cols
+            } else {
+                self.art_start
+            };
             // Entering column.
             let entering = if local_iters < bland_after {
                 // Dantzig: most negative reduced cost.
                 let mut best: Option<(usize, f64)> = None;
                 for j in 0..limit {
                     let c = self.cost[j];
-                    if c < -TOL && best.map_or(true, |(_, bc)| c < bc) {
+                    if c < -TOL && best.is_none_or(|(_, bc)| c < bc) {
                         best = Some((j, c));
                     }
                 }

@@ -1,0 +1,73 @@
+//! Total-order float comparison helpers.
+//!
+//! Every sort and extremum over `f64` in this workspace must be
+//! deterministic and panic-free. `partial_cmp(...).unwrap()` is neither
+//! guaranteed: a single NaN — one bad divide in a cost model — turns a
+//! reproducible run into a panic (or, with `sort_by` variants that
+//! swallow `None`, into a silently corrupted order). These helpers wrap
+//! [`f64::total_cmp`], which implements the IEEE 754 `totalOrder`
+//! predicate: every value, NaN included, has a fixed position
+//! (`-NaN < -inf < ... < -0.0 < +0.0 < ... < +inf < +NaN`).
+//!
+//! The custom lint pass (`cargo xtask lint`, rule `nan-unwrap-cmp`)
+//! rejects `partial_cmp().unwrap()` comparators and points here.
+
+use std::cmp::Ordering;
+
+/// Ascending total-order comparator: `xs.sort_by(fcmp)`.
+#[inline]
+pub fn fcmp(a: &f64, b: &f64) -> Ordering {
+    a.total_cmp(b)
+}
+
+/// Descending total-order comparator: `xs.sort_by(fcmp_desc)`.
+#[inline]
+pub fn fcmp_desc(a: &f64, b: &f64) -> Ordering {
+    b.total_cmp(a)
+}
+
+/// Total-order comparison of two key values, for use inside custom
+/// comparators: `xs.sort_by(|a, b| fcmp_by(score(a), score(b)).then(...))`.
+#[inline]
+pub fn fcmp_by(a: f64, b: f64) -> Ordering {
+    a.total_cmp(&b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_ascending_and_descending() {
+        let mut xs = vec![3.0, -1.0, 2.5, 0.0];
+        xs.sort_by(fcmp);
+        assert_eq!(xs, vec![-1.0, 0.0, 2.5, 3.0]);
+        xs.sort_by(fcmp_desc);
+        assert_eq!(xs, vec![3.0, 2.5, 0.0, -1.0]);
+    }
+
+    #[test]
+    fn nan_has_a_fixed_position_instead_of_panicking() {
+        let mut xs = [1.0, f64::NAN, -2.0, f64::NEG_INFINITY, -f64::NAN];
+        xs.sort_by(fcmp);
+        // -NaN first, +NaN last; finite values ordered in between.
+        assert!(xs[0].is_nan());
+        assert_eq!(xs[1], f64::NEG_INFINITY);
+        assert_eq!(xs[2], -2.0);
+        assert_eq!(xs[3], 1.0);
+        assert!(xs[4].is_nan());
+    }
+
+    #[test]
+    fn fcmp_by_composes_with_tie_breaks() {
+        let mut pairs = vec![(2.0, 1u32), (1.0, 9), (2.0, 0)];
+        pairs.sort_by(|a, b| fcmp_by(a.0, b.0).then(a.1.cmp(&b.1)));
+        assert_eq!(pairs, vec![(1.0, 9), (2.0, 0), (2.0, 1)]);
+    }
+
+    #[test]
+    fn zero_signs_are_ordered_not_equal() {
+        assert_eq!(fcmp(&-0.0, &0.0), Ordering::Less);
+        assert_eq!(fcmp_by(0.0, -0.0), Ordering::Greater);
+    }
+}

@@ -5,16 +5,14 @@
 //! integers prevents an entire class of index-mixup bugs in the solver
 //! and simulator, at zero runtime cost.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 macro_rules! id_newtype {
     ($(#[$doc:meta])* $name:ident, $inner:ty, $prefix:literal) => {
         $(#[$doc])*
         #[derive(
-            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
         )]
-        #[serde(transparent)]
         pub struct $name(pub $inner);
 
         impl $name {

@@ -12,12 +12,24 @@
 //! these types, so they are deliberately small, `Copy` where possible,
 //! and serializable.
 
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::float_cmp,
+        clippy::cast_possible_truncation
+    )
+)]
+
+pub mod fcmp;
 pub mod ids;
+pub mod narrow;
 pub mod rng;
 pub mod time;
 pub mod units;
 pub mod video;
 
+pub use fcmp::{fcmp, fcmp_by, fcmp_desc};
 pub use ids::{LinkId, VhoId, VideoId};
 pub use time::{SimTime, TimeWindow};
 pub use units::{Gigabytes, Mbps};

@@ -40,8 +40,14 @@ mod tests {
 
     #[test]
     fn same_seed_same_stream() {
-        let a: Vec<u32> = derive_rng(42, 1).sample_iter(rand::distributions::Standard).take(8).collect();
-        let b: Vec<u32> = derive_rng(42, 1).sample_iter(rand::distributions::Standard).take(8).collect();
+        let a: Vec<u32> = derive_rng(42, 1)
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        let b: Vec<u32> = derive_rng(42, 1)
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
         assert_eq!(a, b);
     }
 

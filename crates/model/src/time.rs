@@ -6,15 +6,11 @@
 //! seconds from the start of the trace; a month-long trace fits
 //! comfortably in a `u64`.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, Sub};
 
 /// A point in simulated time, in seconds since trace start.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(pub u64);
 
 pub const SECOND: u64 = 1;
@@ -99,7 +95,7 @@ impl fmt::Display for SimTime {
 /// Time slices `t ∈ T` of the MIP are `TimeWindow`s: constraint (6) is
 /// enforced against the concurrent-stream profile measured inside each
 /// window.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TimeWindow {
     pub start: SimTime,
     pub end: SimTime,

@@ -10,10 +10,9 @@
 use crate::ids::VideoId;
 use crate::time::DAY;
 use crate::units::{Gigabytes, Mbps};
-use serde::{Deserialize, Serialize};
 
 /// The four video length classes of Section VII-A.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum VideoClass {
     /// 5 minutes, 100 MB — music videos and trailers.
     Clip,
@@ -55,7 +54,7 @@ impl VideoClass {
 }
 
 /// Release/content metadata used by the demand estimators (Section VI-A).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum VideoKind {
     /// Back-catalog content present since the start of the trace.
     #[default]
@@ -74,7 +73,7 @@ pub enum VideoKind {
 
 /// One video in the catalog: an element of `M` with its MIP parameters
 /// `s^m` (size) and `r^m` (bitrate), plus workload metadata.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Video {
     pub id: VideoId,
     pub class: VideoClass,
@@ -121,7 +120,7 @@ impl Video {
 }
 
 /// The full video library.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Catalog {
     videos: Vec<Video>,
 }
@@ -249,7 +248,13 @@ pub fn chunked_catalog(catalog: &Catalog, chunk_gb: f64) -> (Catalog, Vec<VideoI
     let mut videos = Vec::new();
     let mut parents = Vec::new();
     for v in catalog.iter() {
-        let n_chunks = (v.size().value() / chunk_gb).ceil().max(1.0) as u32;
+        // Chunk counts are tiny (a video is a handful of GB); clamp
+        // explicitly rather than rely on the cast's saturating behavior.
+        #[allow(clippy::cast_possible_truncation)]
+        let n_chunks = (v.size().value() / chunk_gb)
+            .ceil()
+            .max(1.0)
+            .min(u32::MAX as f64) as u32;
         // Preserve total duration and size across the chunks by
         // assigning each chunk the smallest class at least as large as
         // the chunk size (exact sizes are class-quantized in this

@@ -1,10 +1,10 @@
 //! The backbone graph: VHO nodes and directed capacitated links.
 
-use serde::{Deserialize, Serialize};
+use vod_json::{obj, Value};
 use vod_model::{LinkId, Mbps, VhoId};
 
 /// One VHO (vertex of the set `V`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Node {
     pub id: VhoId,
     /// Human-readable label (metro area name).
@@ -20,7 +20,7 @@ pub struct Node {
 /// A bidirectional physical link is represented as two `Link`s with
 /// opposite directions; each direction has its own capacity `B_l`,
 /// matching constraint (6) of the MIP which is per directed link.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Link {
     pub id: LinkId,
     pub from: VhoId,
@@ -30,14 +30,13 @@ pub struct Link {
 }
 
 /// The backbone network: nodes, directed links, and adjacency.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Network {
     nodes: Vec<Node>,
     links: Vec<Link>,
     /// For each node, outgoing `(neighbor, link)` pairs sorted by
     /// neighbor id — the sort makes shortest-path tie-breaking (and
     /// therefore every experiment) deterministic.
-    #[serde(skip)]
     adjacency: Vec<Vec<(VhoId, LinkId)>>,
 }
 
@@ -189,14 +188,99 @@ impl Network {
         count == self.nodes.len()
     }
 
-    /// Serialize to JSON (used to persist experiment scenarios).
+    /// Serialize to JSON (used to persist experiment scenarios). The
+    /// derived adjacency index is not serialized; [`Network::from_json`]
+    /// rebuilds it.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("network serialization cannot fail")
+        let nodes = Value::Arr(
+            self.nodes
+                .iter()
+                .map(|n| {
+                    obj(vec![
+                        ("id", Value::Num(f64::from(n.id.0))),
+                        ("name", Value::Str(n.name.clone())),
+                        ("population", Value::Num(n.population)),
+                    ])
+                })
+                .collect(),
+        );
+        let links = Value::Arr(
+            self.links
+                .iter()
+                .map(|l| {
+                    obj(vec![
+                        ("id", Value::Num(f64::from(l.id.0))),
+                        ("from", Value::Num(f64::from(l.from.0))),
+                        ("to", Value::Num(f64::from(l.to.0))),
+                        ("capacity", Value::Num(l.capacity.value())),
+                    ])
+                })
+                .collect(),
+        );
+        obj(vec![("nodes", nodes), ("links", links)]).to_string_pretty()
     }
 
     /// Deserialize from JSON produced by [`Network::to_json`].
-    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
-        let mut net: Network = serde_json::from_str(s)?;
+    pub fn from_json(s: &str) -> Result<Self, vod_json::JsonError> {
+        let doc = Value::parse(s)?;
+        let missing = |what: &str| vod_json::JsonError {
+            offset: 0,
+            message: format!("network JSON missing or malformed: {what}"),
+        };
+        let node_of = |v: &Value| -> Result<Node, vod_json::JsonError> {
+            Ok(Node {
+                id: VhoId::from_index(
+                    v.get("id")
+                        .and_then(Value::as_usize)
+                        .ok_or_else(|| missing("node id"))?,
+                ),
+                name: v
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| missing("node name"))?
+                    .to_string(),
+                population: v
+                    .get("population")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| missing("node population"))?,
+            })
+        };
+        let link_of = |v: &Value| -> Result<Link, vod_json::JsonError> {
+            let index = |key: &str| {
+                v.get(key)
+                    .and_then(Value::as_usize)
+                    .ok_or_else(|| missing("link field"))
+            };
+            Ok(Link {
+                id: LinkId::from_index(index("id")?),
+                from: VhoId::from_index(index("from")?),
+                to: VhoId::from_index(index("to")?),
+                capacity: Mbps::new(
+                    v.get("capacity")
+                        .and_then(Value::as_f64)
+                        .ok_or_else(|| missing("link capacity"))?,
+                ),
+            })
+        };
+        let nodes = doc
+            .get("nodes")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| missing("nodes array"))?
+            .iter()
+            .map(node_of)
+            .collect::<Result<Vec<_>, _>>()?;
+        let links = doc
+            .get("links")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| missing("links array"))?
+            .iter()
+            .map(link_of)
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut net = Network {
+            nodes,
+            links,
+            adjacency: Vec::new(),
+        };
         net.rebuild_adjacency();
         Ok(net)
     }

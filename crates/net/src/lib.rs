@@ -15,6 +15,15 @@
 //!   Rocketfuel-like Tiscali / Sprint / Ebone graphs), plus simple
 //!   shapes for tests.
 
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::float_cmp,
+        clippy::cast_possible_truncation
+    )
+)]
+
 pub mod graph;
 pub mod routing;
 pub mod topologies;

@@ -10,12 +10,11 @@
 //! identically.
 
 use crate::graph::Network;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use vod_model::{LinkId, VhoId};
 
 /// Precomputed routing paths for all ordered VHO pairs.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PathSet {
     n: usize,
     /// `paths[i*n + j]` = ordered list of directed links on the route
@@ -59,8 +58,7 @@ impl PathSet {
                 let mut links = Vec::with_capacity(dist[j.index()]);
                 let mut cur = j;
                 while cur != i {
-                    let (prev, l) = parent[cur.index()]
-                        .expect("strong connectivity checked above");
+                    let (prev, l) = parent[cur.index()].expect("strong connectivity checked above");
                     links.push(l);
                     cur = prev;
                 }

@@ -74,7 +74,7 @@ pub fn mesh_backbone(n: usize, undirected_edges: usize, seed: u64) -> Network {
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| {
         let ang = |i: usize| (positions[i].1 - cy).atan2(positions[i].0 - cx);
-        ang(a).partial_cmp(&ang(b)).unwrap().then(a.cmp(&b))
+        ang(a).total_cmp(&ang(b)).then(a.cmp(&b))
     });
 
     let mut present = vec![false; n * n];
@@ -107,7 +107,7 @@ pub fn mesh_backbone(n: usize, undirected_edges: usize, seed: u64) -> Network {
             }
         }
     }
-    candidates.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap().then((x.1, x.2).cmp(&(y.1, y.2))));
+    candidates.sort_by(|x, y| x.0.total_cmp(&y.0).then((x.1, x.2).cmp(&(y.1, y.2))));
     for &(_, a, b) in &candidates {
         if edges.len() >= undirected_edges {
             break;
@@ -128,12 +128,12 @@ pub fn backbone55() -> Network {
 
 /// Rocketfuel-like Tiscali: 49 nodes, 86 undirected links (Table IV).
 pub fn tiscali() -> Network {
-    mesh_backbone(49, 86, 0x715C_A11)
+    mesh_backbone(49, 86, 0x0715_CA11)
 }
 
 /// Rocketfuel-like Sprint: 33 nodes, 69 undirected links (Table IV).
 pub fn sprint() -> Network {
-    mesh_backbone(33, 69, 0x5921_47)
+    mesh_backbone(33, 69, 0x0059_2147)
 }
 
 /// Rocketfuel-like Ebone: 23 nodes, 38 undirected links (Table IV).
@@ -186,8 +186,7 @@ pub fn top_k_subnetwork(net: &Network, k: usize, undirected_edges: usize, seed: 
     idx.sort_by(|&a, &b| {
         net.nodes()[b]
             .population
-            .partial_cmp(&net.nodes()[a].population)
-            .unwrap()
+            .total_cmp(&net.nodes()[a].population)
             .then(a.cmp(&b))
     });
     idx.truncate(k);
@@ -313,7 +312,7 @@ mod tests {
         assert_eq!(sub.num_undirected_edges(), 38);
         // The smallest kept population must be >= the largest dropped.
         let mut all: Vec<f64> = net.nodes().iter().map(|n| n.population).collect();
-        all.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        all.sort_by(|a, b| b.total_cmp(a));
         let kept_min = sub
             .nodes()
             .iter()

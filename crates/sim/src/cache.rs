@@ -8,7 +8,7 @@
 //! from the cache cannot be evicted (Section I), which is what makes
 //! large working sets so punishing for caches (Fig. 9).
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use vod_model::VideoId;
 
 /// Outcome of an insertion attempt.
@@ -87,7 +87,7 @@ struct Entry {
 struct PolicyCache {
     capacity_gb: f64,
     used_gb: f64,
-    entries: HashMap<u32, Entry>,
+    entries: BTreeMap<u32, Entry>,
     /// (key, video) — iterated from the smallest key when evicting.
     order: BTreeSet<((u64, u64), u32)>,
     clock: u64,
@@ -100,7 +100,7 @@ impl PolicyCache {
         Self {
             capacity_gb,
             used_gb: 0.0,
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             order: BTreeSet::new(),
             clock: 0,
             stats: CacheStats::default(),
@@ -238,14 +238,14 @@ impl Cache for LruCache {
 #[derive(Debug)]
 pub struct LfuCache {
     inner: PolicyCache,
-    freq: HashMap<u32, u64>,
+    freq: BTreeMap<u32, u64>,
 }
 
 impl LfuCache {
     pub fn new(capacity_gb: f64) -> Self {
         Self {
             inner: PolicyCache::new(capacity_gb),
-            freq: HashMap::new(),
+            freq: BTreeMap::new(),
         }
     }
 }
@@ -433,7 +433,7 @@ pub struct LrfuCache {
     lambda: f64,
     /// Per-video (crf, last_tick) — kept across evictions, like LFU's
     /// frequency memory.
-    crf: HashMap<u32, (f64, u64)>,
+    crf: BTreeMap<u32, (f64, u64)>,
 }
 
 impl LrfuCache {
@@ -442,7 +442,7 @@ impl LrfuCache {
         Self {
             inner: PolicyCache::new(capacity_gb),
             lambda,
-            crf: HashMap::new(),
+            crf: BTreeMap::new(),
         }
     }
 
@@ -460,7 +460,7 @@ impl LrfuCache {
     /// integer key; CRF values are mapped through a fixed-point scale
     /// (recency ties broken by the clock).
     fn key(crf: f64, now: u64) -> (u64, u64) {
-        ((crf * 1e6) as u64, now)
+        (vod_model::narrow::count_u64(crf * 1e6), now)
     }
 }
 
@@ -571,12 +571,12 @@ mod lrfu_tests {
         c.touch(m(1));
         c.touch(m(1));
         c.insert(m(2), 1.0); // evicts 1? 1 has crf 3, 2 has 1 → rejected-or..
-        // With λ=0 keys are frequency: inserting 2 must NOT evict the
-        // hotter 1 — it is rejected outright (2's crf is lower)? The
-        // policy evicts from the smallest key: that is 2 itself, so the
-        // insert would immediately self-evict; our implementation
-        // inserts only if room can be made from *other* entries, so 1
-        // stays and 2 takes its place only if 1 were colder.
+                             // With λ=0 keys are frequency: inserting 2 must NOT evict the
+                             // hotter 1 — it is rejected outright (2's crf is lower)? The
+                             // policy evicts from the smallest key: that is 2 itself, so the
+                             // insert would immediately self-evict; our implementation
+                             // inserts only if room can be made from *other* entries, so 1
+                             // stays and 2 takes its place only if 1 were colder.
         assert!(c.contains(m(1)) || c.contains(m(2)));
         assert_eq!(c.len(), 1);
     }

@@ -22,6 +22,15 @@
 //! choice, Section V-B) when available → the *Oracle* nearest replica
 //! (the paper grants the caching baselines a perfect replica locator).
 
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::float_cmp,
+        clippy::cast_possible_truncation
+    )
+)]
+
 pub mod cache;
 pub mod engine;
 pub mod setups;

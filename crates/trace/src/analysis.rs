@@ -9,12 +9,12 @@
 //! - concurrency timelines used by several experiments.
 
 use crate::trace::Trace;
-use serde::{Deserialize, Serialize};
+use vod_model::narrow;
 use vod_model::time::{DAY, HOUR};
 use vod_model::{Catalog, Gigabytes, SimTime, TimeWindow, VhoId, VideoKind};
 
 /// Per-VHO working set measured over one window.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct WorkingSet {
     pub vho: VhoId,
     /// Number of distinct videos requested in the window.
@@ -46,8 +46,8 @@ pub fn working_sets(
     n_vhos: usize,
     window: TimeWindow,
 ) -> Vec<WorkingSet> {
-    let mut seen: Vec<std::collections::HashSet<u32>> =
-        vec![std::collections::HashSet::new(); n_vhos];
+    let mut seen: Vec<std::collections::BTreeSet<u32>> =
+        vec![std::collections::BTreeSet::new(); n_vhos];
     for r in trace.slice(window) {
         seen[r.vho.index()].insert(r.video.0);
     }
@@ -59,6 +59,7 @@ pub fn working_sets(
                 .map(|&m| catalog.video(vod_model::VideoId::new(m)).size())
                 .sum();
             WorkingSet {
+                // lint:allow(raw-index): per-VHO working sets are accumulated in a dense vector
                 vho: VhoId::from_index(j),
                 distinct_videos: set.len(),
                 size,
@@ -68,7 +69,10 @@ pub fn working_sets(
 }
 
 /// Cosine similarity between two sparse request-count vectors.
-pub fn cosine(a: &std::collections::HashMap<u32, f64>, b: &std::collections::HashMap<u32, f64>) -> f64 {
+pub fn cosine(
+    a: &std::collections::BTreeMap<u32, f64>,
+    b: &std::collections::BTreeMap<u32, f64>,
+) -> f64 {
     let dot: f64 = a
         .iter()
         .filter_map(|(k, &va)| b.get(k).map(|&vb| va * vb))
@@ -106,8 +110,8 @@ pub fn peak_cosine_similarity(trace: &Trace, n_vhos: usize, window_secs: u64) ->
     let cur = TimeWindow::of_len(SimTime::new(idx * window_secs), window_secs);
     let prev = TimeWindow::of_len(SimTime::new((idx - 1) * window_secs), window_secs);
 
-    let mut cur_vecs: Vec<std::collections::HashMap<u32, f64>> = vec![Default::default(); n_vhos];
-    let mut prev_vecs: Vec<std::collections::HashMap<u32, f64>> = vec![Default::default(); n_vhos];
+    let mut cur_vecs: Vec<std::collections::BTreeMap<u32, f64>> = vec![Default::default(); n_vhos];
+    let mut prev_vecs: Vec<std::collections::BTreeMap<u32, f64>> = vec![Default::default(); n_vhos];
     for r in trace.slice(cur) {
         *cur_vecs[r.vho.index()].entry(r.video.0).or_insert(0.0) += 1.0;
     }
@@ -121,18 +125,14 @@ pub fn peak_cosine_similarity(trace: &Trace, n_vhos: usize, window_secs: u64) ->
 
 /// Fig. 4: daily request counts per episode of a series, over the whole
 /// trace. Returns `(episode number, per-day counts)` sorted by episode.
-pub fn episode_daily_counts(
-    trace: &Trace,
-    catalog: &Catalog,
-    series: u32,
-) -> Vec<(u32, Vec<u64>)> {
-    let days = trace.horizon().secs().div_ceil(DAY) as usize;
+pub fn episode_daily_counts(trace: &Trace, catalog: &Catalog, series: u32) -> Vec<(u32, Vec<u64>)> {
+    let days = narrow::usize_from(trace.horizon().secs().div_ceil(DAY));
     let mut per_episode: std::collections::BTreeMap<u32, Vec<u64>> = Default::default();
     for r in trace.requests() {
         if let VideoKind::SeriesEpisode { series: s, episode } = catalog.video(r.video).kind {
             if s == series {
                 per_episode.entry(episode).or_insert_with(|| vec![0; days])
-                    [(r.time.secs() / DAY) as usize] += 1;
+                    [narrow::usize_from(r.time.secs() / DAY)] += 1;
             }
         }
     }
@@ -153,13 +153,13 @@ pub fn select_peak_windows(
     k: usize,
 ) -> Vec<TimeWindow> {
     assert!(window_secs > 0 && k > 0);
-    let n_buckets = (trace.horizon().secs().div_ceil(window_secs)) as usize;
+    let n_buckets = narrow::usize_from(trace.horizon().secs().div_ceil(window_secs));
     let mut load = vec![0u64; n_buckets];
     for r in trace.requests() {
         let start = r.time.secs();
         let end = start + catalog.video(r.video).duration_secs();
-        let first = (start / window_secs) as usize;
-        let last = (((end - 1) / window_secs) as usize).min(n_buckets - 1);
+        let first = narrow::usize_from(start / window_secs);
+        let last = narrow::usize_from((end - 1) / window_secs).min(n_buckets - 1);
         for b in &mut load[first..=last] {
             *b += 1;
         }
@@ -167,7 +167,7 @@ pub fn select_peak_windows(
     let mut order: Vec<usize> = (0..n_buckets).collect();
     order.sort_by_key(|&b| std::cmp::Reverse((load[b], n_buckets - b)));
     let mut chosen: Vec<usize> = Vec::new();
-    let mut used_days: std::collections::HashSet<u64> = Default::default();
+    let mut used_days: std::collections::BTreeSet<u64> = Default::default();
     for b in order {
         let day = (b as u64 * window_secs) / DAY;
         if used_days.insert(day) {
@@ -196,7 +196,7 @@ pub fn select_peak_windows(
 pub fn concurrency_timeline(trace: &Trace, catalog: &Catalog, sample_secs: u64) -> Vec<u64> {
     assert!(sample_secs > 0);
     let horizon = trace.horizon().secs();
-    let n_samples = (horizon / sample_secs) as usize + 1;
+    let n_samples = narrow::usize_from(horizon / sample_secs) + 1;
     let mut events: Vec<(u64, i64)> = Vec::with_capacity(trace.len() * 2);
     for r in trace.requests() {
         let s = r.time.secs();
@@ -249,9 +249,21 @@ mod tests {
     fn working_sets_count_distinct() {
         let catalog = single_video_catalog();
         let reqs = vec![
-            Request { time: SimTime::new(10), vho: VhoId::new(0), video: VideoId::new(0) },
-            Request { time: SimTime::new(20), vho: VhoId::new(0), video: VideoId::new(0) },
-            Request { time: SimTime::new(30), vho: VhoId::new(1), video: VideoId::new(0) },
+            Request {
+                time: SimTime::new(10),
+                vho: VhoId::new(0),
+                video: VideoId::new(0),
+            },
+            Request {
+                time: SimTime::new(20),
+                vho: VhoId::new(0),
+                video: VideoId::new(0),
+            },
+            Request {
+                time: SimTime::new(30),
+                vho: VhoId::new(1),
+                video: VideoId::new(0),
+            },
         ];
         let trace = Trace::new(SimTime::new(1000), reqs);
         let ws = working_sets(&trace, &catalog, 2, TimeWindow::of_len(SimTime::ZERO, 100));
@@ -272,11 +284,11 @@ mod tests {
 
     #[test]
     fn cosine_identity_and_orthogonality() {
-        let mut a = std::collections::HashMap::new();
+        let mut a = std::collections::BTreeMap::new();
         a.insert(1u32, 2.0);
         a.insert(2, 1.0);
         assert!((cosine(&a, &a) - 1.0).abs() < 1e-12);
-        let mut b = std::collections::HashMap::new();
+        let mut b = std::collections::BTreeMap::new();
         b.insert(3u32, 5.0);
         assert_eq!(cosine(&a, &b), 0.0);
         assert_eq!(cosine(&a, &Default::default()), 0.0);
@@ -304,11 +316,17 @@ mod tests {
             assert_eq!(daily.len(), 14);
             let video = catalog
                 .iter()
-                .find(|v| v.kind == VideoKind::SeriesEpisode { series: 0, episode: *ep })
+                .find(|v| {
+                    v.kind
+                        == VideoKind::SeriesEpisode {
+                            series: 0,
+                            episode: *ep,
+                        }
+                })
                 .unwrap();
             // No requests before release.
-            for d in 0..video.release_day as usize {
-                assert_eq!(daily[d], 0);
+            for &c in daily.iter().take(narrow::usize_from(video.release_day)) {
+                assert_eq!(c, 0);
             }
         }
         // Release-day demand of consecutive episodes is similar
@@ -344,8 +362,16 @@ mod tests {
     fn concurrency_timeline_counts_active_streams() {
         let catalog = single_video_catalog(); // 1-hour videos
         let reqs = vec![
-            Request { time: SimTime::new(0), vho: VhoId::new(0), video: VideoId::new(0) },
-            Request { time: SimTime::new(1800), vho: VhoId::new(0), video: VideoId::new(0) },
+            Request {
+                time: SimTime::new(0),
+                vho: VhoId::new(0),
+                video: VideoId::new(0),
+            },
+            Request {
+                time: SimTime::new(1800),
+                vho: VhoId::new(0),
+                video: VideoId::new(0),
+            },
         ];
         let trace = Trace::new(SimTime::new(3 * HOUR), reqs);
         let tl = concurrency_timeline(&trace, &catalog, 1800);
@@ -360,7 +386,11 @@ mod tests {
     fn empty_trace_analytics() {
         let catalog = single_video_catalog();
         let trace = Trace::new(SimTime::new(DAY), vec![]);
-        assert_eq!(working_sets(&trace, &catalog, 2, TimeWindow::of_len(SimTime::ZERO, HOUR))[0].distinct_videos, 0);
+        assert_eq!(
+            working_sets(&trace, &catalog, 2, TimeWindow::of_len(SimTime::ZERO, HOUR))[0]
+                .distinct_videos,
+            0
+        );
         assert_eq!(peak_cosine_similarity(&trace, 2, HOUR), vec![0.0, 0.0]);
         let tl = concurrency_timeline(&trace, &catalog, HOUR);
         assert!(tl.iter().all(|&x| x == 0));

@@ -16,7 +16,7 @@ use crate::generator::{age_factor, vho_perturbation, TraceConfig, DOW_FACTORS, H
 use crate::stats::{cumulative, poisson, sample_cumulative};
 use crate::trace::Trace;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
+use vod_model::narrow;
 use vod_model::rng::derive_rng;
 use vod_model::time::{DAY, HOUR};
 use vod_model::{Catalog, SimTime, TimeWindow, VhoId, VideoId};
@@ -26,7 +26,7 @@ use vod_net::Network;
 ///
 /// Row `m` lists `(j, count)` pairs sorted by VHO id; VHOs with zero
 /// demand for `m` are omitted.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DemandMatrix {
     n_vhos: usize,
     rows: Vec<Vec<(VhoId, f64)>>,
@@ -36,7 +36,10 @@ impl DemandMatrix {
     /// Build from dense per-video accumulation buffers.
     pub fn from_rows(n_vhos: usize, rows: Vec<Vec<(VhoId, f64)>>) -> Self {
         for row in &rows {
-            debug_assert!(row.windows(2).all(|w| w[0].0 < w[1].0), "rows must be sorted");
+            debug_assert!(
+                row.windows(2).all(|w| w[0].0 < w[1].0),
+                "rows must be sorted"
+            );
             debug_assert!(row.iter().all(|&(j, c)| j.index() < n_vhos && c > 0.0));
         }
         Self { n_vhos, rows }
@@ -105,7 +108,7 @@ impl DemandMatrix {
                 (self.video_total(m), m)
             })
             .collect();
-        ids.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        ids.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
         ids.into_iter().map(|(_, m)| m).collect()
     }
 }
@@ -113,7 +116,7 @@ impl DemandMatrix {
 /// The complete demand-side input of one MIP instance: aggregate
 /// demands, the enforced time slices, and the per-slice active-stream
 /// profiles.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DemandInput {
     /// `a_j^m` — aggregate requests over the modeling period.
     pub aggregate: DemandMatrix,
@@ -150,9 +153,7 @@ impl DemandInput {
         let to_matrix = |maps: Vec<std::collections::BTreeMap<VhoId, f64>>| {
             DemandMatrix::from_rows(
                 n_vhos,
-                maps.into_iter()
-                    .map(|m| m.into_iter().collect())
-                    .collect(),
+                maps.into_iter().map(|m| m.into_iter().collect()).collect(),
             )
         };
         Self {
@@ -198,7 +199,8 @@ pub fn synthetic_demand(catalog: &Catalog, net: &Network, cfg: &TraceConfig) -> 
 
     let mut rng = derive_rng(cfg.seed, 0x5D3_A4D);
     let mut agg_rows: Vec<Vec<(VhoId, f64)>> = Vec::with_capacity(catalog.len());
-    let mut act_rows: Vec<Vec<Vec<(VhoId, f64)>>> = vec![Vec::with_capacity(catalog.len()); 2];
+    let mut act_rows: Vec<Vec<Vec<(VhoId, f64)>>> =
+        (0..2).map(|_| Vec::with_capacity(catalog.len())).collect();
 
     for (v, &lambda) in catalog.iter().zip(&lambdas) {
         let n = poisson(&mut rng, lambda);
@@ -212,7 +214,9 @@ pub fn synthetic_demand(catalog: &Catalog, net: &Network, cfg: &TraceConfig) -> 
         let weights: Vec<f64> = pops
             .iter()
             .enumerate()
-            .map(|(j, &p)| p * vho_perturbation(cfg.seed, v.id.0, j as u16, cfg.vho_sigma))
+            .map(|(j, &p)| {
+                p * vho_perturbation(cfg.seed, v.id.0, narrow::u16_from(j), cfg.vho_sigma)
+            })
             .collect();
         let cum = cumulative(&weights);
         let mut counts = vec![0u32; n_vhos];
@@ -223,6 +227,7 @@ pub fn synthetic_demand(catalog: &Catalog, net: &Network, cfg: &TraceConfig) -> 
             .iter()
             .enumerate()
             .filter(|&(_, &c)| c > 0)
+            // lint:allow(raw-index): recovers the id from a dense 0..n_vhos vector index
             .map(|(j, &c)| (VhoId::from_index(j), c as f64))
             .collect();
 
@@ -235,8 +240,9 @@ pub fn synthetic_demand(catalog: &Catalog, net: &Network, cfg: &TraceConfig) -> 
         let dur = v.duration_secs() as f64;
         for (t, w) in windows.iter().enumerate() {
             let day = w.start.day();
-            let share = if day_total > 0.0 && (day as usize) < day_weights.len() {
-                (day_weights[day as usize] / day_total) * (HOD_FACTORS[20] / hod_total)
+            let share = if day_total > 0.0 && narrow::usize_from(day) < day_weights.len() {
+                (day_weights[narrow::usize_from(day)] / day_total)
+                    * (HOD_FACTORS[20] / hod_total)
                     * (1.0 + dur / w.len_secs() as f64)
             } else {
                 0.0
@@ -247,7 +253,7 @@ pub fn synthetic_demand(catalog: &Catalog, net: &Network, cfg: &TraceConfig) -> 
                 .iter()
                 .filter_map(|&(j, c)| {
                     let mut k = 0u32;
-                    for _ in 0..c as u32 {
+                    for _ in 0..narrow::count_u64(c) {
                         if rng.gen::<f64>() < share {
                             k += 1;
                         }
@@ -289,10 +295,7 @@ mod tests {
     fn matrix_lookup() {
         let m = DemandMatrix::from_rows(
             3,
-            vec![
-                vec![(VhoId::new(0), 2.0), (VhoId::new(2), 5.0)],
-                vec![],
-            ],
+            vec![vec![(VhoId::new(0), 2.0), (VhoId::new(2), 5.0)], vec![]],
         );
         assert_eq!(m.get(VideoId::new(0), VhoId::new(0)), 2.0);
         assert_eq!(m.get(VideoId::new(0), VhoId::new(1)), 0.0);

@@ -12,7 +12,7 @@
 use crate::stats::{cumulative, poisson, sample_cumulative, standard_normal};
 use crate::trace::{Request, Trace};
 use rand::Rng;
-use serde::{Deserialize, Serialize};
+use vod_model::narrow;
 use vod_model::rng::{derive_rng, derive_seed};
 use vod_model::time::{DAY, HOUR};
 use vod_model::{Catalog, SimTime, VhoId, Video, VideoKind};
@@ -31,7 +31,7 @@ pub const HOD_FACTORS: [f64; 24] = [
 ];
 
 /// Trace-generation parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TraceConfig {
     /// Mean requests per day across the whole footprint.
     pub requests_per_day: f64,
@@ -67,7 +67,7 @@ pub fn age_factor(video: &Video, day: u64, decay: f64) -> f64 {
     match video.kind {
         VideoKind::Catalog => 1.0,
         _ => {
-            let age = (day - video.release_day) as i32;
+            let age = i32::try_from(day - video.release_day).unwrap_or(i32::MAX);
             // New releases spike then decay toward a floor; the spike
             // makes them the dominant share of new-release traffic
             // (Section VI-A) and the floor keeps a long tail of
@@ -120,7 +120,7 @@ pub fn generate_trace(catalog: &Catalog, net: &Network, cfg: &TraceConfig) -> Tr
     let pops: Vec<f64> = net.nodes().iter().map(|n| n.population).collect();
 
     let mut rng = derive_rng(cfg.seed, 0x6E47_11CE);
-    let mut requests = Vec::with_capacity(lambdas.iter().sum::<f64>() as usize + 1024);
+    let mut requests = Vec::with_capacity(narrow::count_usize(lambdas.iter().sum::<f64>()) + 1024);
 
     for (v, &lambda) in catalog.iter().zip(&lambdas) {
         let n = poisson(&mut rng, lambda);
@@ -136,7 +136,9 @@ pub fn generate_trace(catalog: &Catalog, net: &Network, cfg: &TraceConfig) -> Tr
         let vho_weights: Vec<f64> = pops
             .iter()
             .enumerate()
-            .map(|(j, &p)| p * vho_perturbation(cfg.seed, v.id.0, j as u16, cfg.vho_sigma))
+            .map(|(j, &p)| {
+                p * vho_perturbation(cfg.seed, v.id.0, narrow::u16_from(j), cfg.vho_sigma)
+            })
             .collect();
         let vho_cum = cumulative(&vho_weights);
 
@@ -148,6 +150,7 @@ pub fn generate_trace(catalog: &Catalog, net: &Network, cfg: &TraceConfig) -> Tr
             debug_assert!(vho < n_vhos);
             requests.push(Request {
                 time: SimTime::new(day * DAY + hour * HOUR + sec),
+                // lint:allow(raw-index): recovers the id from a dense 0..n_vhos vector index
                 vho: VhoId::from_index(vho),
                 video: v.id,
             });
@@ -242,16 +245,14 @@ mod tests {
             .max_by(|&a, &b| {
                 net.nodes()[a]
                     .population
-                    .partial_cmp(&net.nodes()[b].population)
-                    .unwrap()
+                    .total_cmp(&net.nodes()[b].population)
             })
             .unwrap();
         let smallest = (0..net.num_nodes())
             .min_by(|&a, &b| {
                 net.nodes()[a]
                     .population
-                    .partial_cmp(&net.nodes()[b].population)
-                    .unwrap()
+                    .total_cmp(&net.nodes()[b].population)
             })
             .unwrap();
         assert!(counts[biggest] > counts[smallest]);

@@ -22,6 +22,15 @@
 //! aggregation `a_j^m`, concurrent-stream profiles `f_j^m(t)`, and
 //! peak-window selection (Section VI-B, Table V).
 
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::float_cmp,
+        clippy::cast_possible_truncation
+    )
+)]
+
 pub mod analysis;
 pub mod demand;
 pub mod generator;

@@ -6,10 +6,8 @@
 //! Cha et al. [10], which is well described by a Zipf law with an
 //! exponential cutoff in the tail. Both are provided here.
 
-use serde::{Deserialize, Serialize};
-
 /// A rank-based popularity model: `weight(rank)` for ranks `1..=n`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum PopularityModel {
     /// Pure Zipf: `rank^-gamma`.
     Zipf { gamma: f64 },
@@ -41,9 +39,7 @@ impl PopularityModel {
         let r = rank as f64;
         match *self {
             PopularityModel::Zipf { gamma } => r.powf(-gamma),
-            PopularityModel::ZipfCutoff { gamma, cutoff } => {
-                r.powf(-gamma) * (-r / cutoff).exp()
-            }
+            PopularityModel::ZipfCutoff { gamma, cutoff } => r.powf(-gamma) * (-r / cutoff).exp(),
             PopularityModel::Uniform => 1.0,
         }
     }

@@ -8,6 +8,7 @@
 //! experiments).
 
 use rand::Rng;
+use vod_model::narrow;
 
 /// Standard normal sample via the Box–Muller transform.
 pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
@@ -50,7 +51,7 @@ pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
         if v < 0.0 {
             0
         } else {
-            v.round() as u64
+            narrow::count_u64(v.round())
         }
     }
 }
@@ -121,7 +122,7 @@ mod tests {
     fn lognormal_median_near_one() {
         let mut rng = rng_from_seed(5);
         let mut s: Vec<f64> = (0..10_001).map(|_| lognormal(&mut rng, 0.8)).collect();
-        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        s.sort_by(|a, b| a.total_cmp(b));
         let median = s[5000];
         assert!((median - 1.0).abs() < 0.1, "median {median}");
         assert!(s.iter().all(|&x| x > 0.0));

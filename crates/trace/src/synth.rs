@@ -12,12 +12,12 @@
 use crate::popularity::PopularityModel;
 use rand::seq::SliceRandom;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
+use vod_model::narrow;
 use vod_model::rng::derive_rng;
 use vod_model::{Catalog, Video, VideoClass, VideoId, VideoKind};
 
 /// Configuration of the synthetic library.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LibraryConfig {
     /// Total number of videos, back catalog plus all new releases.
     pub n_videos: usize,
@@ -42,7 +42,7 @@ impl LibraryConfig {
     /// Paper-like defaults for a library of `n_videos` over
     /// `horizon_days` days.
     pub fn default_for(n_videos: usize, horizon_days: u64, seed: u64) -> Self {
-        let weeks = horizon_days.div_ceil(7) as usize;
+        let weeks = narrow::usize_from(horizon_days.div_ceil(7));
         Self {
             n_videos,
             class_mix: [0.30, 0.25, 0.25, 0.20],
@@ -63,7 +63,7 @@ impl LibraryConfig {
     }
 
     fn n_new_releases(&self) -> usize {
-        let weeks = self.weeks() as usize;
+        let weeks = narrow::usize_from(self.weeks());
         self.n_series * weeks + (self.blockbusters_per_week + self.other_new_per_week) * weeks
     }
 }
@@ -124,8 +124,8 @@ pub fn synthesize_library(cfg: &LibraryConfig) -> Catalog {
                 id: VideoId::from_index(videos.len()),
                 class: VideoClass::Show,
                 kind: VideoKind::SeriesEpisode {
-                    series: s as u32,
-                    episode: e as u32 + 1,
+                    series: narrow::u32_from(s),
+                    episode: narrow::u32_from(e) + 1,
                 },
                 release_day: (e * 7 + air_dow).min(cfg.horizon_days.saturating_sub(1)),
                 weight: series_weight * noise,
@@ -147,7 +147,7 @@ pub fn synthesize_library(cfg: &LibraryConfig) -> Catalog {
         // Other new releases: unpredictable, arbitrary day & rank.
         for _ in 0..cfg.other_new_per_week {
             let rank = rng.gen_range(1..=n);
-            let day = w * 7 + rng.gen_range(0..7);
+            let day = w * 7 + rng.gen_range(0..7u64);
             videos.push(Video {
                 id: VideoId::from_index(videos.len()),
                 class: sample_class(&mut rng),
@@ -202,7 +202,10 @@ mod tests {
     fn synthesis_is_deterministic() {
         let a = synthesize_library(&cfg(500));
         let b = synthesize_library(&cfg(500));
-        assert_eq!(a.iter().map(|v| v.weight).sum::<f64>(), b.iter().map(|v| v.weight).sum::<f64>());
+        assert_eq!(
+            a.iter().map(|v| v.weight).sum::<f64>(),
+            b.iter().map(|v| v.weight).sum::<f64>()
+        );
         assert!(a.iter().zip(b.iter()).all(|(x, y)| x == y));
     }
 
@@ -222,7 +225,10 @@ mod tests {
         for pair in eps.windows(2) {
             assert_eq!(pair[1].release_day - pair[0].release_day, 7);
             let ratio = pair[1].weight / pair[0].weight;
-            assert!(ratio > 0.5 && ratio < 2.0, "episode weights similar, got {ratio}");
+            assert!(
+                ratio > 0.5 && ratio < 2.0,
+                "episode weights similar, got {ratio}"
+            );
         }
         assert!(eps.iter().all(|v| v.class == VideoClass::Show));
     }

@@ -1,12 +1,12 @@
 //! Request traces: the raw input of every experiment.
 
-use serde::{Deserialize, Serialize};
+use vod_model::narrow;
 use vod_model::{SimTime, TimeWindow, VhoId, VideoId};
 
 /// One VoD request: user in metro `vho` asks for `video` at `time`.
 /// The stream then stays active for the video's duration (the paper's
 /// `f_j^m(t)` counts these still-active streams).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Request {
     pub time: SimTime,
     pub vho: VhoId,
@@ -14,7 +14,7 @@ pub struct Request {
 }
 
 /// A time-sorted sequence of requests over a fixed horizon.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Trace {
     horizon: SimTime,
     requests: Vec<Request>,
@@ -26,7 +26,7 @@ impl Trace {
     pub fn new(horizon: SimTime, mut requests: Vec<Request>) -> Self {
         requests.sort_by_key(|r| r.time);
         assert!(
-            requests.last().map_or(true, |r| r.time < horizon),
+            requests.last().is_none_or(|r| r.time < horizon),
             "request beyond trace horizon"
         );
         Self { horizon, requests }
@@ -64,10 +64,10 @@ impl Trace {
     /// horizon (used to locate peak hours).
     pub fn bucket_counts(&self, bucket_secs: u64) -> Vec<u64> {
         assert!(bucket_secs > 0);
-        let n = (self.horizon.secs() + bucket_secs - 1) / bucket_secs;
-        let mut counts = vec![0u64; n as usize];
+        let n = self.horizon.secs().div_ceil(bucket_secs);
+        let mut counts = vec![0u64; narrow::usize_from(n)];
         for r in &self.requests {
-            counts[(r.time.secs() / bucket_secs) as usize] += 1;
+            counts[narrow::usize_from(r.time.secs() / bucket_secs)] += 1;
         }
         counts
     }
@@ -140,7 +140,10 @@ mod tests {
 
     #[test]
     fn restriction_preserves_timestamps() {
-        let t = Trace::new(SimTime::new(100), (0..10).map(|i| req(i * 10, 0, 0)).collect());
+        let t = Trace::new(
+            SimTime::new(100),
+            (0..10).map(|i| req(i * 10, 0, 0)).collect(),
+        );
         let r = t.restricted(TimeWindow::new(SimTime::new(30), SimTime::new(60)));
         assert_eq!(r.len(), 3);
         assert_eq!(r[0].time, SimTime::new(30));

@@ -1,0 +1,407 @@
+//! The rule engine behind `cargo xtask lint`.
+//!
+//! Four repo-specific source lints, all aimed at the same property the
+//! paper's evaluation depends on: **byte-identical placements from
+//! identical seeds**. The rules are textual (line-oriented with
+//! comment stripping and `#[cfg(test)]`-module tracking) rather than
+//! AST-based — deliberately so: they run in milliseconds with zero
+//! dependencies, and every construct they police is easy to name
+//! syntactically.
+//!
+//! | rule | forbids | where |
+//! |------|---------|-------|
+//! | `nondeterministic-map` | `std::collections::HashMap`/`HashSet` | `vod-core`, `vod-sim`, `vod-trace` library code |
+//! | `nan-unwrap-cmp` | `partial_cmp` (incl. `.unwrap()` comparators) | whole workspace |
+//! | `wall-clock` | `Instant::now` / `SystemTime` | outside `crates/bench` |
+//! | `raw-index` | `VhoId::new` / `VhoId::from_index` | outside `crates/model`, `crates/net` library code |
+//!
+//! Escape hatch: a comment line
+//! `// lint:allow(<rule>): <justification>` suppresses the rule on the
+//! next code line (or the same line). The justification is mandatory —
+//! an empty one is itself a finding.
+
+use std::fmt;
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub file: String,
+    pub line: usize,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+pub const RULES: [&str; 4] = [
+    "nondeterministic-map",
+    "nan-unwrap-cmp",
+    "wall-clock",
+    "raw-index",
+];
+
+/// Paths (workspace-relative, `/`-separated) the linter never scans:
+/// vendored shims emulate third-party crates, and the linter itself
+/// spells the forbidden patterns in its rule table.
+fn exempt_path(path: &str) -> bool {
+    path.starts_with("crates/shims/")
+        || path.starts_with("crates/xtask/")
+        || path.starts_with("target/")
+}
+
+/// Crates whose *library* code must use deterministic containers.
+fn deterministic_container_scope(path: &str) -> bool {
+    path.starts_with("crates/core/src/")
+        || path.starts_with("crates/sim/src/")
+        || path.starts_with("crates/trace/src/")
+}
+
+/// Crates allowed to read wall-clock time freely (experiment timing).
+fn wall_clock_exempt(path: &str) -> bool {
+    path.starts_with("crates/bench/")
+}
+
+/// Crates allowed to construct `VhoId`s from raw integers: the id
+/// newtypes live in `vod-model`, and `vod-net` builds topologies.
+fn raw_index_exempt(path: &str) -> bool {
+    path.starts_with("crates/model/") || path.starts_with("crates/net/")
+}
+
+/// Whether a path is test-only code (integration tests, benches).
+fn test_only_file(path: &str) -> bool {
+    path.contains("/tests/") || path.starts_with("tests/") || path.contains("/benches/")
+}
+
+/// Strip `//` line comments and (statefully) `/* ... */` block
+/// comments. Returns the code portion of the line and whether the line
+/// is entirely comment/blank. The string-literal-aware case (`"//"`
+/// inside a string) is intentionally not handled: a stripped suffix
+/// can only hide a finding on the same line as a string URL, never
+/// invent one.
+struct CommentStripper {
+    in_block: bool,
+}
+
+impl CommentStripper {
+    fn new() -> Self {
+        Self { in_block: false }
+    }
+
+    fn strip(&mut self, line: &str) -> String {
+        let mut out = String::with_capacity(line.len());
+        let mut rest = line;
+        loop {
+            if self.in_block {
+                match rest.find("*/") {
+                    Some(i) => {
+                        self.in_block = false;
+                        rest = &rest[i + 2..];
+                    }
+                    None => return out,
+                }
+            } else {
+                let line_c = rest.find("//");
+                let block_c = rest.find("/*");
+                if let Some(l) = line_c.filter(|&l| block_c.is_none_or(|b| l < b)) {
+                    out.push_str(&rest[..l]);
+                    return out;
+                } else if let Some(b) = block_c {
+                    out.push_str(&rest[..b]);
+                    self.in_block = true;
+                    rest = &rest[b + 2..];
+                } else {
+                    out.push_str(rest);
+                    return out;
+                }
+            }
+        }
+    }
+}
+
+/// Parse `lint:allow(<rule>): <justification>` out of a line, if
+/// present. Returns `Err` (as a finding message) when the annotation is
+/// malformed or lacks a justification.
+fn parse_allow(line: &str) -> Option<Result<&'static str, String>> {
+    let start = line.find("lint:allow(")?;
+    let rest = &line[start + "lint:allow(".len()..];
+    let Some(close) = rest.find(')') else {
+        return Some(Err("unclosed lint:allow(...)".to_string()));
+    };
+    let rule_name = &rest[..close];
+    let Some(rule) = RULES.iter().find(|r| **r == rule_name) else {
+        return Some(Err(format!(
+            "unknown lint rule {rule_name:?} (known: {})",
+            RULES.join(", ")
+        )));
+    };
+    let after = rest[close + 1..].trim_start();
+    let justification = after.strip_prefix(':').map(str::trim).unwrap_or("");
+    if justification.is_empty() {
+        return Some(Err(format!(
+            "lint:allow({rule_name}) requires a justification: `// lint:allow({rule_name}): <why>`"
+        )));
+    }
+    Some(Ok(rule))
+}
+
+/// Lint one file's contents. `path` must be workspace-relative with
+/// `/` separators.
+pub fn lint_file(path: &str, content: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if exempt_path(path) || !path.ends_with(".rs") {
+        return findings;
+    }
+    let test_file = test_only_file(path);
+
+    let mut stripper = CommentStripper::new();
+    // Brace depth inside `#[cfg(test)] mod` blocks; 0 = library code.
+    let mut cfg_test_pending = false;
+    let mut test_mod_depth: i64 = 0;
+    let mut in_test_mod = false;
+    // Rules suppressed for the next code line.
+    let mut pending_allows: Vec<&'static str> = Vec::new();
+
+    for (idx, raw) in content.lines().enumerate() {
+        let lineno = idx + 1;
+        let code = stripper.strip(raw);
+        let code = code.trim();
+
+        // The annotation lives in a comment, so parse the raw line.
+        if let Some(allow) = parse_allow(raw) {
+            match allow {
+                Ok(rule) => pending_allows.push(rule),
+                Err(msg) => findings.push(Finding {
+                    file: path.to_string(),
+                    line: lineno,
+                    rule: "lint-allow",
+                    message: msg,
+                }),
+            }
+        }
+        if code.is_empty() {
+            continue; // comment or blank line: allows stay pending
+        }
+
+        // Track `#[cfg(test)] mod … { … }` regions.
+        if code.contains("#[cfg(test)]") {
+            cfg_test_pending = true;
+        } else if cfg_test_pending && !in_test_mod {
+            if code.starts_with("mod ") || code.starts_with("pub mod ") {
+                in_test_mod = true;
+                test_mod_depth = 0;
+            } else if !code.starts_with("#[") {
+                // Attribute applied to something other than a module
+                // (a test fn outside a tests mod): treat conservatively
+                // as library code, but stop waiting for a module.
+                cfg_test_pending = false;
+            }
+        }
+        if in_test_mod {
+            test_mod_depth += code.matches('{').count() as i64;
+            test_mod_depth -= code.matches('}').count() as i64;
+            if test_mod_depth <= 0 {
+                in_test_mod = false;
+                cfg_test_pending = false;
+            }
+        }
+        let in_test_code = test_file || in_test_mod;
+
+        let mut check = |rule: &'static str, hit: bool, message: String| {
+            if hit && !pending_allows.contains(&rule) {
+                findings.push(Finding {
+                    file: path.to_string(),
+                    line: lineno,
+                    rule,
+                    message,
+                });
+            }
+        };
+
+        if deterministic_container_scope(path) && !in_test_code {
+            check(
+                "nondeterministic-map",
+                code.contains("HashMap") || code.contains("HashSet"),
+                "std hash containers iterate in randomized order; use BTreeMap/BTreeSet \
+                 or a sorted Vec so placements are byte-identical across runs"
+                    .to_string(),
+            );
+        }
+        check(
+            "nan-unwrap-cmp",
+            code.contains("partial_cmp"),
+            "partial_cmp panics (or silently mis-sorts) on NaN; use f64::total_cmp or \
+             vod_model::fcmp"
+                .to_string(),
+        );
+        if !wall_clock_exempt(path) {
+            check(
+                "wall-clock",
+                code.contains("Instant::now") || code.contains("SystemTime"),
+                "wall-clock reads outside crates/bench break reproducibility; annotate \
+                 solver timing with lint:allow(wall-clock)"
+                    .to_string(),
+            );
+        }
+        if !raw_index_exempt(path) && !in_test_code {
+            check(
+                "raw-index",
+                code.contains("VhoId::new(") || code.contains("VhoId::from_index"),
+                "raw VhoId construction outside crates/model and crates/net bypasses the \
+                 id-newtype boundary; take ids from the Network or annotate the dense-\
+                 vector indexing"
+                    .to_string(),
+            );
+        }
+
+        pending_allows.clear();
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn flags_hash_map_in_core_lib_code() {
+        let f = lint_file(
+            "crates/core/src/foo.rs",
+            "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, f64> = HashMap::new(); }\n",
+        );
+        assert_eq!(
+            rules_of(&f),
+            ["nondeterministic-map", "nondeterministic-map"]
+        );
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn hash_map_fine_outside_scope_and_in_tests() {
+        assert!(lint_file("crates/lp/src/foo.rs", "use std::collections::HashMap;\n").is_empty());
+        let in_tests =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n";
+        assert!(lint_file("crates/core/src/foo.rs", in_tests).is_empty());
+    }
+
+    #[test]
+    fn code_after_test_mod_is_library_code_again() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nuse std::collections::HashSet;\n";
+        let f = lint_file("crates/sim/src/foo.rs", src);
+        assert_eq!(rules_of(&f), ["nondeterministic-map"]);
+        assert_eq!(f[0].line, 5);
+    }
+
+    #[test]
+    fn flags_partial_cmp_everywhere_even_in_tests() {
+        let src = "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n";
+        for path in [
+            "crates/model/src/x.rs",
+            "crates/bench/src/bin/x.rs",
+            "tests/x.rs",
+        ] {
+            assert_eq!(
+                rules_of(&lint_file(path, src)),
+                ["nan-unwrap-cmp"],
+                "{path}"
+            );
+        }
+    }
+
+    #[test]
+    fn partial_cmp_in_doc_comment_is_fine() {
+        let src = "//! `partial_cmp(...).unwrap()` is forbidden.\n/// partial_cmp\nfn f() {}\n";
+        assert!(lint_file("crates/model/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn flags_wall_clock_outside_bench() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\n";
+        assert_eq!(
+            rules_of(&lint_file("crates/core/src/x.rs", src)),
+            ["wall-clock"]
+        );
+        assert!(lint_file("crates/bench/src/bin/x.rs", src).is_empty());
+        let sys = "fn f() { let t = std::time::SystemTime::now(); }\n";
+        assert_eq!(
+            rules_of(&lint_file("crates/trace/src/x.rs", sys)),
+            ["wall-clock"]
+        );
+    }
+
+    #[test]
+    fn flags_raw_vho_ids_outside_model_and_net() {
+        let src = "fn f() {\n    let v = VhoId::new(0);\n    let w = VhoId::from_index(3);\n}\n";
+        let f = lint_file("crates/sim/src/x.rs", src);
+        assert_eq!(rules_of(&f), ["raw-index", "raw-index"]);
+        assert_eq!((f[0].line, f[1].line), (2, 3));
+        assert!(lint_file("crates/model/src/x.rs", src).is_empty());
+        assert!(lint_file("crates/net/src/x.rs", src).is_empty());
+        // Test code may construct ids freely.
+        let in_tests = format!("#[cfg(test)]\nmod tests {{\n    {src}\n}}\n");
+        assert!(lint_file("crates/sim/src/x.rs", &in_tests).is_empty());
+    }
+
+    #[test]
+    fn allow_annotation_suppresses_next_code_line() {
+        let src = "// lint:allow(wall-clock): solver timing is reporting-only\n\
+                   // and never feeds back into the optimization.\n\
+                   let t = Instant::now();\n";
+        assert!(lint_file("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_annotation_applies_to_same_line() {
+        let src = "let t = Instant::now(); // lint:allow(wall-clock): progress display only\n";
+        assert!(lint_file("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_is_consumed_by_one_code_line() {
+        let src = "// lint:allow(wall-clock): first read only\n\
+                   let t = Instant::now();\n\
+                   let u = Instant::now();\n";
+        let f = lint_file("crates/core/src/x.rs", src);
+        assert_eq!(rules_of(&f), ["wall-clock"]);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn allow_without_justification_is_a_finding() {
+        let src = "// lint:allow(wall-clock)\nlet t = Instant::now();\n";
+        let f = lint_file("crates/core/src/x.rs", src);
+        assert_eq!(rules_of(&f), ["lint-allow", "wall-clock"]);
+    }
+
+    #[test]
+    fn allow_of_unknown_rule_is_a_finding() {
+        let src = "// lint:allow(no-such-rule): whatever\n";
+        let f = lint_file("crates/core/src/x.rs", src);
+        assert_eq!(rules_of(&f), ["lint-allow"]);
+        assert!(f[0].message.contains("unknown lint rule"));
+    }
+
+    #[test]
+    fn shims_and_xtask_are_exempt() {
+        let src = "fn f() { let t = Instant::now(); let m = HashMap::new(); }\n";
+        assert!(lint_file("crates/shims/criterion/src/lib.rs", src).is_empty());
+        assert!(lint_file("crates/xtask/src/lint.rs", src).is_empty());
+    }
+
+    #[test]
+    fn block_comments_are_stripped_across_lines() {
+        let src = "/*\n let t = Instant::now();\n*/\nfn f() {}\n";
+        assert!(lint_file("crates/core/src/x.rs", src).is_empty());
+    }
+}

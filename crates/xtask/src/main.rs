@@ -1,0 +1,102 @@
+//! `cargo xtask` — repo-local developer tooling.
+//!
+//! Currently one subcommand, `lint`, which runs the custom
+//! determinism/NaN/wall-clock/id-boundary lint pass over the workspace
+//! sources (see [`lint`] and DESIGN.md §5). Exits non-zero when any
+//! finding survives.
+
+mod lint;
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // crates/xtask/ → workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("xtask lives two levels below the workspace root")
+        .to_path_buf()
+}
+
+/// All `.rs` files under `dir`, recursively, as absolute paths.
+/// Deterministic: directory entries are sorted.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.filter_map(Result::ok).map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.starts_with('.') || name == "target" {
+            continue;
+        }
+        if path.is_dir() {
+            rust_files(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn run_lint(root: &Path) -> Result<(), usize> {
+    let mut files = Vec::new();
+    for top in ["crates", "src", "tests", "benches"] {
+        rust_files(&root.join(top), &mut files);
+    }
+    let mut n_findings = 0usize;
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Ok(content) = std::fs::read_to_string(path) else {
+            continue;
+        };
+        for finding in lint::lint_file(&rel, &content) {
+            eprintln!("{finding}");
+            n_findings += 1;
+        }
+    }
+    if n_findings == 0 {
+        eprintln!("xtask lint: {} files clean", files.len());
+        Ok(())
+    } else {
+        Err(n_findings)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("lint");
+    match cmd {
+        "lint" => match run_lint(&workspace_root()) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(n) => {
+                eprintln!("xtask lint: {n} finding(s)");
+                ExitCode::FAILURE
+            }
+        },
+        other => {
+            eprintln!("unknown xtask command {other:?}; available: lint");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod main_tests {
+    use super::*;
+
+    /// Acceptance gate: the real workspace is clean under the lint
+    /// pass. A regression anywhere in the repo fails this test (and
+    /// `cargo xtask lint` in CI).
+    #[test]
+    fn workspace_is_clean() {
+        let root = workspace_root();
+        assert!(root.join("Cargo.toml").exists(), "bad workspace root");
+        assert_eq!(run_lint(&root), Ok(()));
+    }
+}

@@ -12,7 +12,11 @@ fn main() {
     let seed = 13;
     let network = vodplace::net::topologies::mesh_backbone(10, 16, seed);
     let library = synthesize_library(&LibraryConfig::default_for(400, 7, seed));
-    let trace = generate_trace(&library, &network, &TraceConfig::default_for(4000.0, 7, seed));
+    let trace = generate_trace(
+        &library,
+        &network,
+        &TraceConfig::default_for(4000.0, 7, seed),
+    );
     let windows = vodplace::trace::analysis::select_peak_windows(&trace, &library, 3600, 2);
     let demand = DemandInput::from_trace(&trace, &library, network.num_nodes(), windows);
 
@@ -30,7 +34,10 @@ fn main() {
     };
 
     println!("min aggregate disk (× library size) to serve all requests:");
-    println!("{:>12} | {:>12} | {:>12}", "link (Gb/s)", "uniform", "tiered");
+    println!(
+        "{:>12} | {:>12} | {:>12}",
+        "link (Gb/s)", "uniform", "tiered"
+    );
     for gbps in [0.05, 0.1, 0.2, 0.5, 1.0] {
         let uniform = min_disk_ratio(
             &scenario,

@@ -43,7 +43,10 @@ fn main() {
         None,
     );
     let cfg = EpfConfig {
-        max_passes: std::env::var("P").ok().and_then(|v| v.parse().ok()).unwrap_or(120),
+        max_passes: std::env::var("P")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(120),
         seed: 42,
         ..Default::default()
     };
@@ -73,7 +76,10 @@ fn main() {
     //    shape: popular videos replicated more, but not everywhere).
     let ranked = instance.demand.aggregate.rank_videos();
     let counts = out.placement.copy_counts(&ranked);
-    println!("\ncopies of the 5 most-requested videos: {:?}", &counts[..5]);
+    println!(
+        "\ncopies of the 5 most-requested videos: {:?}",
+        &counts[..5]
+    );
     println!(
         "copies of the 5 least-requested videos: {:?}",
         &counts[counts.len() - 5..]

@@ -5,16 +5,18 @@
 //! Run with: `cargo run --release --example strategy_shootout`
 
 use vodplace::prelude::*;
-use vodplace::sim::{
-    mip_vho_configs, random_single_vho_configs, top_k_vho_configs,
-};
+use vodplace::sim::{mip_vho_configs, random_single_vho_configs, top_k_vho_configs};
 
 fn main() {
     let seed = 7;
     let mut network = vodplace::net::topologies::mesh_backbone(12, 19, seed);
     network.set_uniform_capacity(Mbps::from_gbps(1.0));
     let library = synthesize_library(&LibraryConfig::default_for(600, 14, seed));
-    let trace = generate_trace(&library, &network, &TraceConfig::default_for(6000.0, 14, seed));
+    let trace = generate_trace(
+        &library,
+        &network,
+        &TraceConfig::default_for(6000.0, 14, seed),
+    );
     let paths = PathSet::shortest_paths(&network);
 
     // Demand history = week 1; evaluation = week 2.
@@ -52,8 +54,8 @@ fn main() {
     );
 
     // Full disks for the baselines (they use the same total space).
-    let full_disks: Vec<Gigabytes> = DiskConfig::UniformRatio { ratio }
-        .capacities(&network, library.total_size());
+    let full_disks: Vec<Gigabytes> =
+        DiskConfig::UniformRatio { ratio }.capacities(&network, library.total_size());
     let ranked = instance.demand.aggregate.rank_videos();
 
     let sim_cfg = SimConfig {

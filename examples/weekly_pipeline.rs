@@ -21,8 +21,7 @@ fn main() {
         &TraceConfig::default_for(4000.0, weeks * 7, seed),
     );
     let paths = PathSet::shortest_paths(&network);
-    let disks = DiskConfig::UniformRatio { ratio: 2.0 }
-        .capacities(&network, library.total_size());
+    let disks = DiskConfig::UniformRatio { ratio: 2.0 }.capacities(&network, library.total_size());
 
     let est_cfg = EstimateConfig::default();
     let epf_cfg = EpfConfig {

@@ -46,6 +46,15 @@
 //! assert_eq!(out.placement.n_videos(), instance.n_videos());
 //! ```
 
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::float_cmp,
+        clippy::cast_possible_truncation
+    )
+)]
+
 pub use vod_core as core;
 pub use vod_estimate as estimate;
 pub use vod_lp as lp;

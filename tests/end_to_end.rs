@@ -1,6 +1,11 @@
 //! Cross-crate integration: the full paper pipeline — synthesize a
 //! world, estimate demand, solve the placement MIP, replay the trace —
 //! and the headline comparison against caching.
+#![allow(
+    clippy::unwrap_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
 use vodplace::prelude::*;
 use vodplace::sim::{mip_vho_configs, random_single_vho_configs};
 
@@ -19,12 +24,21 @@ fn placement_pipeline_respects_capacities() {
     let windows = vodplace::trace::analysis::select_peak_windows(&trace, &catalog, 3600, 2);
     let demand = DemandInput::from_trace(&trace, &catalog, net.num_nodes(), windows);
     let inst = MipInstance::new(
-        net, catalog, demand,
-        &DiskConfig::UniformRatio { ratio: 2.0 }, 1.0, 0.0, None,
+        net,
+        catalog,
+        demand,
+        &DiskConfig::UniformRatio { ratio: 2.0 },
+        1.0,
+        0.0,
+        None,
     );
     let out = vodplace::core::solve_placement(
         &inst,
-        &EpfConfig { max_passes: 150, seed: 101, ..Default::default() },
+        &EpfConfig {
+            max_passes: 150,
+            seed: 101,
+            ..Default::default()
+        },
     );
     // Every video stored; disks respected after repair.
     for m in inst.catalog.ids() {
@@ -46,12 +60,21 @@ fn mip_beats_caching_on_peak_bandwidth() {
     let windows = vodplace::trace::analysis::select_peak_windows(&week0, &catalog, 3600, 2);
     let demand = DemandInput::from_trace(&week0, &catalog, net.num_nodes(), windows);
     let inst = MipInstance::new(
-        net.clone(), catalog.clone(), demand,
-        &DiskConfig::UniformRatio { ratio: 1.9 }, 1.0, 0.0, None,
+        net.clone(),
+        catalog.clone(),
+        demand,
+        &DiskConfig::UniformRatio { ratio: 1.9 },
+        1.0,
+        0.0,
+        None,
     );
     let out = vodplace::core::solve_placement(
         &inst,
-        &EpfConfig { max_passes: 150, seed: 102, ..Default::default() },
+        &EpfConfig {
+            max_passes: 150,
+            seed: 102,
+            ..Default::default()
+        },
     );
     let disks = DiskConfig::UniformRatio { ratio: 2.0 }.capacities(&net, catalog.total_size());
     let cfg = SimConfig {
@@ -60,14 +83,22 @@ fn mip_beats_caching_on_peak_bandwidth() {
         ..Default::default()
     };
     let mip = vodplace::sim::simulate(
-        &net, &paths, &catalog, &trace,
+        &net,
+        &paths,
+        &catalog,
+        &trace,
         &mip_vho_configs(&out.placement, &disks, 0.05, CacheKind::Lru),
-        &PolicyKind::MipRouting(out.placement.clone()), &cfg,
+        &PolicyKind::MipRouting(out.placement.clone()),
+        &cfg,
     );
     let lru = vodplace::sim::simulate(
-        &net, &paths, &catalog, &trace,
+        &net,
+        &paths,
+        &catalog,
+        &trace,
         &random_single_vho_configs(&catalog, &disks, CacheKind::Lru, 102),
-        &PolicyKind::NearestReplica, &cfg,
+        &PolicyKind::NearestReplica,
+        &cfg,
     );
     assert_eq!(
         mip.total_requests, lru.total_requests,
@@ -76,12 +107,14 @@ fn mip_beats_caching_on_peak_bandwidth() {
     assert!(
         mip.max_link_mbps <= lru.max_link_mbps,
         "MIP peak {} must not exceed LRU peak {}",
-        mip.max_link_mbps, lru.max_link_mbps
+        mip.max_link_mbps,
+        lru.max_link_mbps
     );
     assert!(
         mip.total_gb_hops < lru.total_gb_hops,
         "MIP transfer {} must beat LRU {}",
-        mip.total_gb_hops, lru.total_gb_hops
+        mip.total_gb_hops,
+        lru.total_gb_hops
     );
 }
 
@@ -89,25 +122,51 @@ fn mip_beats_caching_on_peak_bandwidth() {
 fn estimation_pipeline_improves_over_no_estimate() {
     let (net, paths, catalog, trace) = world(103);
     let week0 = trace.restricted(TimeWindow::new(SimTime::ZERO, SimTime::new(7 * 86_400)));
-    let week1 = trace.restricted(TimeWindow::new(SimTime::new(7 * 86_400), SimTime::new(14 * 86_400)));
+    let week1 = trace.restricted(TimeWindow::new(
+        SimTime::new(7 * 86_400),
+        SimTime::new(14 * 86_400),
+    ));
     let run = |kind: EstimatorKind| {
         let demand = estimate_demand(
-            kind, &catalog, net.num_nodes(), &week0, &week1, 7, 7,
+            kind,
+            &catalog,
+            net.num_nodes(),
+            &week0,
+            &week1,
+            7,
+            7,
             &EstimateConfig::default(),
         );
         let inst = MipInstance::new(
-            net.clone(), catalog.clone(), demand,
-            &DiskConfig::UniformRatio { ratio: 1.9 }, 1.0, 0.0, None,
+            net.clone(),
+            catalog.clone(),
+            demand,
+            &DiskConfig::UniformRatio { ratio: 1.9 },
+            1.0,
+            0.0,
+            None,
         );
         let out = vodplace::core::solve_placement(
-            &inst, &EpfConfig { max_passes: 120, seed: 103, ..Default::default() },
+            &inst,
+            &EpfConfig {
+                max_passes: 120,
+                seed: 103,
+                ..Default::default()
+            },
         );
         let disks = DiskConfig::UniformRatio { ratio: 2.0 }.capacities(&net, catalog.total_size());
         vodplace::sim::simulate(
-            &net, &paths, &catalog, &week1,
+            &net,
+            &paths,
+            &catalog,
+            &week1,
             &mip_vho_configs(&out.placement, &disks, 0.0, CacheKind::Lru),
             &PolicyKind::MipRouting(out.placement.clone()),
-            &SimConfig { insert_on_miss: false, seed: 103, ..Default::default() },
+            &SimConfig {
+                insert_on_miss: false,
+                seed: 103,
+                ..Default::default()
+            },
         )
     };
     let history = run(EstimatorKind::History);
@@ -118,6 +177,7 @@ fn estimation_pipeline_improves_over_no_estimate() {
     assert!(
         history.total_gb_hops <= perfect.total_gb_hops * 1.6,
         "history estimate too far from perfect: {} vs {}",
-        history.total_gb_hops, perfect.total_gb_hops
+        history.total_gb_hops,
+        perfect.total_gb_hops
     );
 }

@@ -1,4 +1,9 @@
 //! Failure-injection and degenerate-input coverage across crates.
+#![allow(
+    clippy::unwrap_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
 use vodplace::prelude::*;
 
 #[test]
@@ -7,7 +12,10 @@ fn disconnected_network_rejected_by_routing() {
     use vodplace::net::graph::{make_nodes, Network};
     let net = Network::from_undirected_edges(
         make_nodes(&[1.0, 1.0, 1.0, 1.0]),
-        &[(VhoId::new(0), VhoId::new(1)), (VhoId::new(2), VhoId::new(3))],
+        &[
+            (VhoId::new(0), VhoId::new(1)),
+            (VhoId::new(2), VhoId::new(3)),
+        ],
         Mbps::from_gbps(1.0),
     );
     let _ = PathSet::shortest_paths(&net);
@@ -20,14 +28,22 @@ fn infeasible_disk_detected_fast() {
     let trace = generate_trace(&catalog, &net, &TraceConfig::default_for(500.0, 7, 9));
     let demand = DemandInput::from_trace(&trace, &catalog, net.num_nodes(), vec![]);
     let inst = MipInstance::new(
-        net, catalog, demand,
+        net,
+        catalog,
+        demand,
         &DiskConfig::UniformRatio { ratio: 0.4 }, // below one library copy
-        1.0, 0.0, None,
+        1.0,
+        0.0,
+        None,
     );
     assert!(inst.quick_feasibility_check().is_err());
     assert!(!vodplace::core::feasibility::is_feasible(
         &inst,
-        &EpfConfig { max_passes: 30, seed: 9, ..Default::default() }
+        &EpfConfig {
+            max_passes: 30,
+            seed: 9,
+            ..Default::default()
+        }
     ));
 }
 
@@ -38,11 +54,21 @@ fn empty_trace_demand_still_places_everything() {
     let empty = Trace::new(SimTime::new(86_400), vec![]);
     let demand = DemandInput::from_trace(&empty, &catalog, net.num_nodes(), vec![]);
     let inst = MipInstance::new(
-        net, catalog, demand,
-        &DiskConfig::UniformRatio { ratio: 1.5 }, 1.0, 0.0, None,
+        net,
+        catalog,
+        demand,
+        &DiskConfig::UniformRatio { ratio: 1.5 },
+        1.0,
+        0.0,
+        None,
     );
     let out = vodplace::core::solve_placement(
-        &inst, &EpfConfig { max_passes: 20, seed: 9, ..Default::default() },
+        &inst,
+        &EpfConfig {
+            max_passes: 20,
+            seed: 9,
+            ..Default::default()
+        },
     );
     // Zero demand: every video still gets exactly one copy somewhere.
     for m in inst.catalog.ids() {
@@ -67,8 +93,13 @@ fn single_vho_degenerate_world() {
         cache: None,
     }];
     let rep = vodplace::sim::simulate(
-        &net, &paths, &catalog, &trace, &vhos,
-        &PolicyKind::NearestReplica, &SimConfig::default(),
+        &net,
+        &paths,
+        &catalog,
+        &trace,
+        &vhos,
+        &PolicyKind::NearestReplica,
+        &SimConfig::default(),
     );
     assert_eq!(rep.served_remote, 0);
     assert_eq!(rep.max_link_mbps, 0.0);
@@ -83,12 +114,22 @@ fn solver_handles_zero_window_instances() {
     let trace = generate_trace(&catalog, &net, &TraceConfig::default_for(400.0, 7, 4));
     let demand = DemandInput::from_trace(&trace, &catalog, net.num_nodes(), vec![]);
     let inst = MipInstance::new(
-        net, catalog, demand,
-        &DiskConfig::UniformRatio { ratio: 2.0 }, 1.0, 0.0, None,
+        net,
+        catalog,
+        demand,
+        &DiskConfig::UniformRatio { ratio: 2.0 },
+        1.0,
+        0.0,
+        None,
     );
     assert_eq!(inst.n_windows(), 0);
     let out = vodplace::core::solve_placement(
-        &inst, &EpfConfig { max_passes: 80, seed: 4, ..Default::default() },
+        &inst,
+        &EpfConfig {
+            max_passes: 80,
+            seed: 4,
+            ..Default::default()
+        },
     );
     assert!(out.rounding.max_violation < 0.05);
 }
