@@ -58,13 +58,14 @@ fn bench_simplex_baseline(c: &mut Criterion) {
 
 fn bench_block_solvers(c: &mut Criterion) {
     use rand::Rng;
+    use vod_core::block::UflScratch;
     let mut rng = vod_model::rng::rng_from_seed(8);
-    let p = UflProblem {
-        facility_cost: (0..55).map(|_| rng.gen_range(0.0..5.0)).collect(),
-        service: (0..30)
+    let p = UflProblem::from_rows(
+        (0..55).map(|_| rng.gen_range(0.0..5.0)).collect(),
+        (0..30)
             .map(|_| (0..55).map(|_| rng.gen_range(0.0..10.0)).collect())
             .collect(),
-    };
+    );
     c.bench_function("ufl_local_search_fast_55x30", |b| {
         b.iter(|| p.solve_local_search_fast().open.len())
     });
@@ -74,12 +75,55 @@ fn bench_block_solvers(c: &mut Criterion) {
     c.bench_function("ufl_dual_ascent_55x30", |b| {
         b.iter(|| p.dual_ascent_bound())
     });
+    // Scratch reuse — the worker-pool steady state (no allocations).
+    let mut scratch = UflScratch::default();
+    c.bench_function("ufl_local_search_fast_55x30_scratch", |b| {
+        b.iter(|| p.solve_local_search_fast_with(&mut scratch).open.len())
+    });
+}
+
+/// The Table III EPF ladder on real Rocketfuel-like topologies — the
+/// criterion twin of the tracked `solver_baseline` binary (which emits
+/// `BENCH_solver.json`); sizes are scaled down so criterion's repeated
+/// sampling stays tractable.
+fn bench_table3_ladder(c: &mut Criterion) {
+    let mut g = c.benchmark_group("epf_table3_ladder");
+    g.sample_size(10);
+    for (n, net, name) in [
+        (200usize, vod_net::topologies::ebone(), "ebone"),
+        (400, vod_net::topologies::sprint(), "sprint"),
+        (800, vod_net::topologies::tiscali(), "tiscali"),
+    ] {
+        let lib = synthesize_library(&LibraryConfig::default_for(n, 7, 3));
+        let tc = TraceConfig::default_for(n as f64 * 1.2, 7, 3);
+        let demand = synthetic_demand(&lib, &net, &tc);
+        let inst = MipInstance::new(
+            net,
+            lib,
+            demand,
+            &DiskConfig::UniformRatio { ratio: 2.0 },
+            1.0,
+            0.0,
+            None,
+        );
+        let cfg = EpfConfig {
+            max_passes: 15,
+            seed: 3,
+            polish_iters: 0,
+            ..Default::default()
+        };
+        g.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+            b.iter(|| solve_fractional(&inst, &cfg).1.block_steps)
+        });
+    }
+    g.finish();
 }
 
 criterion_group!(
     benches,
     bench_epf_scaling,
     bench_simplex_baseline,
-    bench_block_solvers
+    bench_block_solvers,
+    bench_table3_ladder
 );
 criterion_main!(benches);

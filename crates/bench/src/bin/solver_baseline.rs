@@ -1,0 +1,132 @@
+//! Tracked solver performance baseline — emits `BENCH_solver.json`.
+//!
+//! Runs the Table III EPF instance ladder (same generator as
+//! `table03_scalability`, decomposition solver only) and records
+//! per-instance wall time, pass/step counts and approximate
+//! working-set bytes. The point is the *trajectory*: run this binary
+//! before and after any solver change and diff
+//! `results/BENCH_solver.json` — a hot-path regression shows up as a
+//! slower row, an allocation regression as a fatter `approx_mb`.
+//!
+//! Scales: `--quick` (CI smoke, smallest rows), default (the PR
+//! comparison ladder), `--full` (paper-scale library sizes).
+use std::time::Instant;
+use vod_bench::{fmt, save_results, Scale, Table};
+use vod_core::{solve_fractional, DiskConfig, EpfConfig, MipInstance};
+use vod_json::{obj, ToJson, Value};
+use vod_trace::{synthesize_library, synthetic_demand, LibraryConfig, TraceConfig};
+
+fn instance(n_videos: usize, net: &vod_net::Network, seed: u64) -> MipInstance {
+    let days = 7;
+    let lib = synthesize_library(&LibraryConfig::default_for(n_videos, days, seed));
+    let tc = TraceConfig::default_for(n_videos as f64 * 1.2, days, seed);
+    let demand = synthetic_demand(&lib, net, &tc);
+    MipInstance::new(
+        net.clone(),
+        lib,
+        demand,
+        &DiskConfig::UniformRatio { ratio: 2.0 },
+        1.0,
+        0.0,
+        None,
+    )
+}
+
+struct Row {
+    label: String,
+    n_videos: usize,
+    n_vhos: usize,
+    wall_s: f64,
+    passes: usize,
+    block_steps: u64,
+    approx_mb: f64,
+    objective: f64,
+    lower_bound: f64,
+    converged: bool,
+}
+
+impl ToJson for Row {
+    fn to_value(&self) -> Value {
+        obj(vec![
+            ("label", self.label.to_value()),
+            ("n_videos", self.n_videos.to_value()),
+            ("n_vhos", self.n_vhos.to_value()),
+            ("wall_s", self.wall_s.to_value()),
+            ("passes", self.passes.to_value()),
+            ("block_steps", self.block_steps.to_value()),
+            ("approx_mb", self.approx_mb.to_value()),
+            ("objective", self.objective.to_value()),
+            ("lower_bound", self.lower_bound.to_value()),
+            ("converged", self.converged.to_value()),
+        ])
+    }
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    // The EPF rows of Table III: library size × Rocketfuel-like net.
+    // The smallest row of each scale doubles as the CI smoke instance.
+    let ladder: Vec<(usize, vod_net::Network, &str)> = match scale {
+        Scale::Quick => vec![
+            (200, vod_net::topologies::ebone(), "ebone"),
+            (500, vod_net::topologies::ebone(), "ebone"),
+        ],
+        Scale::Default => vec![
+            (1000, vod_net::topologies::ebone(), "ebone"),
+            (2000, vod_net::topologies::sprint(), "sprint"),
+            (5000, vod_net::topologies::tiscali(), "tiscali"),
+        ],
+        Scale::Full => vec![
+            (5000, vod_net::topologies::tiscali(), "tiscali"),
+            (20_000, vod_net::topologies::tiscali(), "tiscali"),
+            (50_000, vod_net::topologies::tiscali(), "tiscali"),
+        ],
+    };
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut table = Table::new(
+        "Solver baseline — EPF Table III ladder",
+        &["instance", "wall (s)", "passes", "block steps", "approx MB"],
+    );
+    let mut rows: Vec<Row> = Vec::new();
+    for (n, net, net_name) in ladder {
+        let inst = instance(n, &net, 3);
+        let cfg = EpfConfig {
+            max_passes: 60,
+            seed: 3,
+            ..Default::default()
+        };
+        let t0 = Instant::now();
+        let (frac, stats) = solve_fractional(&inst, &cfg);
+        let wall_s = t0.elapsed().as_secs_f64();
+        let label = format!("{n}/{net_name}");
+        table.row(vec![
+            label.clone(),
+            fmt(wall_s),
+            stats.passes.to_string(),
+            stats.block_steps.to_string(),
+            fmt(stats.approx_bytes as f64 / 1e6),
+        ]);
+        rows.push(Row {
+            label,
+            n_videos: n,
+            n_vhos: inst.n_vhos(),
+            wall_s,
+            passes: stats.passes,
+            block_steps: stats.block_steps,
+            approx_mb: stats.approx_bytes as f64 / 1e6,
+            objective: frac.objective,
+            lower_bound: frac.lower_bound,
+            converged: stats.converged,
+        });
+    }
+    table.print();
+    let payload = obj(vec![
+        ("schema", "BENCH_solver/v1".to_value()),
+        ("scale", format!("{scale:?}").to_value()),
+        ("threads", threads.to_value()),
+        ("rows", rows.to_value()),
+    ]);
+    save_results("BENCH_solver", &payload);
+}

@@ -18,15 +18,27 @@
 //!   `LR(λ)` of the Appendix needs the exact block minimum; a feasible
 //!   dual lower-bounds it, so summing these keeps the global bound
 //!   valid (see DESIGN.md §4).
+//!
+//! The EPF loop solves hundreds of thousands of these tiny instances
+//! per run, so the service matrix is a single flat row-major buffer
+//! (not a `Vec<Vec<f64>>`) and both solvers take an optional
+//! [`UflScratch`] so a long-lived worker re-solves blocks with zero
+//! steady-state allocations (see DESIGN.md "Solver performance
+//! architecture").
 
 /// A (small) UFL instance: `n` candidate facilities (the VHOs), a
 /// nonnegative opening cost per facility, and for every client a dense
-/// vector of nonnegative service costs.
-#[derive(Debug, Clone)]
+/// row of nonnegative service costs, stored row-major in one flat
+/// buffer.
+#[derive(Debug, Clone, Default)]
 pub struct UflProblem {
     pub facility_cost: Vec<f64>,
-    /// `service[c][i]` = cost of serving client `c` from facility `i`.
-    pub service: Vec<Vec<f64>>,
+    /// `service[c·n + i]` = cost of serving client `c` from facility
+    /// `i`. Private so the row-major layout stays an implementation
+    /// detail; build via [`UflProblem::from_rows`]/[`UflProblem::from_flat`]
+    /// or rebuild in place through [`UflProblem::reset`]/[`UflProblem::push_service`].
+    service: Vec<f64>,
+    n_clients: usize,
 }
 
 /// An integral UFL solution.
@@ -38,23 +50,114 @@ pub struct UflSolution {
     pub assign: Vec<usize>,
 }
 
+/// Reusable scratch buffers for the UFL solvers. One per worker thread;
+/// contents are fully overwritten by each solve, so reuse can never
+/// leak state between blocks (the determinism tests pin this down).
+#[derive(Debug, Clone, Default)]
+pub struct UflScratch {
+    open: Vec<bool>,
+    assign: Vec<usize>,
+    new_assign: Vec<usize>,
+    used: Vec<bool>,
+    // Dual-ascent state.
+    v: Vec<f64>,
+    budget: Vec<f64>,
+    order: Vec<usize>,
+}
+
+impl UflScratch {
+    /// Approximate heap bytes currently held.
+    pub fn approx_bytes(&self) -> usize {
+        self.open.capacity()
+            + self.used.capacity()
+            + (self.assign.capacity() + self.new_assign.capacity() + self.order.capacity()) * 8
+            + (self.v.capacity() + self.budget.capacity()) * 8
+    }
+}
+
 const TOL: f64 = 1e-12;
 
 impl UflProblem {
+    /// Build from per-client service rows (convenience for tests,
+    /// benches and property harnesses; the hot path uses
+    /// [`UflProblem::reset`] + [`UflProblem::push_service`] instead).
+    // lint:allow(vec-vec-f64): boundary constructor that immediately
+    // flattens the nested rows into the row-major buffer
+    pub fn from_rows(facility_cost: Vec<f64>, rows: Vec<Vec<f64>>) -> Self {
+        let n = facility_cost.len();
+        let n_clients = rows.len();
+        let mut service = Vec::with_capacity(n * n_clients);
+        for row in rows {
+            assert_eq!(row.len(), n, "service row width must match facilities");
+            service.extend(row);
+        }
+        Self {
+            facility_cost,
+            service,
+            n_clients,
+        }
+    }
+
+    /// Build from an already-flat row-major service buffer.
+    pub fn from_flat(facility_cost: Vec<f64>, service: Vec<f64>) -> Self {
+        let n = facility_cost.len();
+        assert!(n > 0, "UFL needs at least one facility");
+        assert_eq!(service.len() % n, 0, "flat service buffer must be c·n long");
+        let n_clients = service.len() / n;
+        Self {
+            facility_cost,
+            service,
+            n_clients,
+        }
+    }
+
+    /// Clear for in-place rebuilding, keeping both buffers' capacity.
+    pub fn reset(&mut self) {
+        self.facility_cost.clear();
+        self.service.clear();
+        self.n_clients = 0;
+    }
+
+    /// Append one client's service row (row-major). The row length is
+    /// checked once per client in [`UflProblem::finish_client`]-free
+    /// style: callers push exactly `n_facilities` values then call this.
+    pub fn push_service_row(&mut self, row: impl IntoIterator<Item = f64>) {
+        let before = self.service.len();
+        self.service.extend(row);
+        debug_assert_eq!(
+            self.service.len() - before,
+            self.n_facilities(),
+            "service row width must match facilities"
+        );
+        self.n_clients += 1;
+    }
+
     pub fn n_facilities(&self) -> usize {
         self.facility_cost.len()
     }
 
     pub fn n_clients(&self) -> usize {
-        self.service.len()
+        self.n_clients
+    }
+
+    /// One client's dense service row.
+    #[inline]
+    pub fn service_row(&self, c: usize) -> &[f64] {
+        let n = self.n_facilities();
+        &self.service[c * n..(c + 1) * n]
+    }
+
+    /// All service rows in client order.
+    #[inline]
+    pub fn service_rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.service.chunks_exact(self.n_facilities().max(1))
     }
 
     /// Total cost of a solution.
     pub fn cost(&self, sol: &UflSolution) -> f64 {
         let open_cost: f64 = sol.open.iter().map(|&i| self.facility_cost[i]).sum();
         let service_cost: f64 = self
-            .service
-            .iter()
+            .service_rows()
             .zip(&sol.assign)
             .map(|(row, &i)| row[i])
             .sum();
@@ -64,14 +167,12 @@ impl UflProblem {
     fn assert_valid(&self) {
         let n = self.n_facilities();
         assert!(n > 0, "UFL needs at least one facility");
+        debug_assert_eq!(self.service.len(), n * self.n_clients);
         debug_assert!(self
             .facility_cost
             .iter()
             .all(|&f| f >= 0.0 && f.is_finite()));
-        debug_assert!(self
-            .service
-            .iter()
-            .all(|row| row.len() == n && row.iter().all(|&c| c >= 0.0 && c.is_finite())));
+        debug_assert!(self.service.iter().all(|&c| c >= 0.0 && c.is_finite()));
     }
 
     /// Greedy start + add/drop/swap local search.
@@ -80,7 +181,7 @@ impl UflProblem {
     /// clients — the MIP's constraints (3)+(4) imply `Σ_i y_i^m ≥ 1`
     /// (each video must be stored somewhere).
     pub fn solve_local_search(&self) -> UflSolution {
-        self.local_search(true)
+        self.local_search(true, &mut UflScratch::default())
     }
 
     /// Add/drop-only local search: O(|V|·|C|) per round instead of the
@@ -89,27 +190,46 @@ impl UflProblem {
     /// thousands of times per video, while the rounding pass (which
     /// commits integer decisions) uses the full search.
     pub fn solve_local_search_fast(&self) -> UflSolution {
-        self.local_search(false)
+        self.local_search(false, &mut UflScratch::default())
     }
 
-    fn local_search(&self, with_swaps: bool) -> UflSolution {
+    /// [`UflProblem::solve_local_search`] with caller-owned scratch.
+    pub fn solve_local_search_with(&self, scratch: &mut UflScratch) -> UflSolution {
+        self.local_search(true, scratch)
+    }
+
+    /// [`UflProblem::solve_local_search_fast`] with caller-owned scratch.
+    pub fn solve_local_search_fast_with(&self, scratch: &mut UflScratch) -> UflSolution {
+        self.local_search(false, scratch)
+    }
+
+    fn local_search(&self, with_swaps: bool, scratch: &mut UflScratch) -> UflSolution {
         self.assert_valid();
         let n = self.n_facilities();
         let n_clients = self.n_clients();
+        let UflScratch {
+            open,
+            assign,
+            new_assign,
+            used,
+            ..
+        } = scratch;
 
         // Start: the single facility minimizing open + total service.
         let mut best_single = 0;
         let mut best_single_cost = f64::MAX;
         for i in 0..n {
-            let c: f64 = self.facility_cost[i] + self.service.iter().map(|row| row[i]).sum::<f64>();
+            let c: f64 = self.facility_cost[i] + self.service_rows().map(|row| row[i]).sum::<f64>();
             if c < best_single_cost {
                 best_single_cost = c;
                 best_single = i;
             }
         }
-        let mut open = vec![false; n];
+        open.clear();
+        open.resize(n, false);
         open[best_single] = true;
-        let mut assign = vec![best_single; n_clients];
+        assign.clear();
+        assign.resize(n_clients, best_single);
 
         // Local search: first-improvement add / drop / swap moves.
         let max_rounds = 4 * n + 16;
@@ -122,15 +242,14 @@ impl UflProblem {
                     continue;
                 }
                 let gain: f64 = self
-                    .service
-                    .iter()
-                    .zip(&assign)
+                    .service_rows()
+                    .zip(assign.iter())
                     .map(|(row, &cur)| (row[cur] - row[k]).max(0.0))
                     .sum::<f64>()
                     - self.facility_cost[k];
                 if gain > TOL {
                     open[k] = true;
-                    for (row, a) in self.service.iter().zip(assign.iter_mut()) {
+                    for (row, a) in self.service_rows().zip(assign.iter_mut()) {
                         if row[k] < row[*a] {
                             *a = k;
                         }
@@ -152,8 +271,9 @@ impl UflProblem {
                     }
                     let mut reroute_penalty = 0.0;
                     let mut feasible = true;
-                    let mut new_assign = assign.clone();
-                    for (c, (row, &cur)) in self.service.iter().zip(&assign).enumerate() {
+                    new_assign.clear();
+                    new_assign.extend_from_slice(assign);
+                    for (c, (row, &cur)) in self.service_rows().zip(assign.iter()).enumerate() {
                         if cur == k {
                             let alt = (0..n)
                                 .filter(|&i| i != k && open[i])
@@ -172,7 +292,7 @@ impl UflProblem {
                     }
                     if feasible && self.facility_cost[k] - reroute_penalty > TOL {
                         open[k] = false;
-                        assign = new_assign;
+                        std::mem::swap(assign, new_assign);
                         improved = true;
                     }
                 }
@@ -196,8 +316,9 @@ impl UflProblem {
                     // Cost after the swap: every client picks its best
                     // among (open \ {k}) ∪ {k2}.
                     let mut delta = self.facility_cost[k2] - self.facility_cost[k];
-                    let mut new_assign = assign.clone();
-                    for (c, (row, &cur)) in self.service.iter().zip(&assign).enumerate() {
+                    new_assign.clear();
+                    new_assign.extend_from_slice(assign);
+                    for (c, (row, &cur)) in self.service_rows().zip(assign.iter()).enumerate() {
                         let best = (0..n)
                             .filter(|&i| (open[i] && i != k) || i == k2)
                             .min_by(|&a, &b| row[a].total_cmp(&row[b]))
@@ -208,7 +329,7 @@ impl UflProblem {
                     if delta < -TOL {
                         open[k] = false;
                         open[k2] = true;
-                        assign = new_assign;
+                        std::mem::swap(assign, new_assign);
                         improved = true;
                         break;
                     }
@@ -221,8 +342,9 @@ impl UflProblem {
         }
 
         // Drop opened-but-unused facilities (keep at least one).
-        let mut used = vec![false; n];
-        for &a in &assign {
+        used.clear();
+        used.resize(n, false);
+        for &a in assign.iter() {
             used[a] = true;
         }
         let mut open_list: Vec<usize> = (0..n).filter(|&i| open[i] && used[i]).collect();
@@ -236,7 +358,7 @@ impl UflProblem {
         }
         UflSolution {
             open: open_list,
-            assign,
+            assign: assign.clone(),
         }
     }
 
@@ -247,41 +369,49 @@ impl UflProblem {
     /// the bound is `Σ_c v_c`. With zero clients the bound is the
     /// cheapest opening cost (one copy is always required).
     pub fn dual_ascent_bound(&self) -> f64 {
+        self.dual_ascent_bound_with(&mut UflScratch::default())
+    }
+
+    /// [`UflProblem::dual_ascent_bound`] with caller-owned scratch.
+    pub fn dual_ascent_bound_with(&self, scratch: &mut UflScratch) -> f64 {
         self.assert_valid();
         let n = self.n_facilities();
-        if self.service.is_empty() {
+        if self.n_clients == 0 {
             return self.facility_cost.iter().cloned().fold(f64::MAX, f64::min);
         }
+        let UflScratch {
+            v, budget, order, ..
+        } = scratch;
         // v_c starts at the client's cheapest service cost (feasible:
         // every (v_c - s_ci)+ is 0 at the argmin and negative terms
         // don't count... they are zero for all i with s_ci >= v_c).
-        let mut v: Vec<f64> = self
-            .service
-            .iter()
-            .map(|row| row.iter().cloned().fold(f64::MAX, f64::min))
-            .collect();
+        v.clear();
+        v.extend(
+            self.service_rows()
+                .map(|row| row.iter().cloned().fold(f64::MAX, f64::min)),
+        );
         // Remaining budget of each facility.
-        let mut budget: Vec<f64> = (0..n)
-            .map(|i| {
-                let used: f64 = v
-                    .iter()
-                    .zip(&self.service)
-                    .map(|(&vc, row)| (vc - row[i]).max(0.0))
-                    .sum();
-                self.facility_cost[i] - used
-            })
-            .collect();
+        budget.clear();
+        budget.extend((0..n).map(|i| {
+            let used: f64 = v
+                .iter()
+                .zip(self.service_rows())
+                .map(|(&vc, row)| (vc - row[i]).max(0.0))
+                .sum();
+            self.facility_cost[i] - used
+        }));
         debug_assert!(budget.iter().all(|&b| b >= -1e-9));
 
         // Ascend until no client can be raised (DUALOC-style); process
         // clients in ascending-v order each pass, which empirically
         // tightens the bound substantially.
         for _pass in 0..30 {
-            let mut order: Vec<usize> = (0..v.len()).collect();
+            order.clear();
+            order.extend(0..v.len());
             order.sort_by(|&a, &b| v[a].total_cmp(&v[b]).then(a.cmp(&b)));
             let mut raised = 0.0;
-            for c in order {
-                let row = &self.service[c];
+            for &c in order.iter() {
+                let row = self.service_row(c);
                 // Max uniform raise of v_c keeping all facilities
                 // within budget: for facility i the raise may consume
                 // budget only beyond max(s_ci, v_c).
@@ -328,10 +458,7 @@ mod tests {
 
     #[test]
     fn single_facility_trivial() {
-        let p = UflProblem {
-            facility_cost: vec![3.0],
-            service: vec![vec![1.0], vec![2.0]],
-        };
+        let p = UflProblem::from_rows(vec![3.0], vec![vec![1.0], vec![2.0]]);
         let sol = p.solve_local_search();
         assert_eq!(sol.open, vec![0]);
         assert_eq!(p.cost(&sol), 6.0);
@@ -342,10 +469,7 @@ mod tests {
     fn opens_second_facility_when_worth_it() {
         // Facility 0 cheap to open but far from client 1; facility 1
         // expensive but essential.
-        let p = UflProblem {
-            facility_cost: vec![1.0, 2.0],
-            service: vec![vec![0.0, 10.0], vec![10.0, 0.0]],
-        };
+        let p = UflProblem::from_rows(vec![1.0, 2.0], vec![vec![0.0, 10.0], vec![10.0, 0.0]]);
         let sol = p.solve_local_search();
         assert_eq!(sol.open, vec![0, 1]);
         assert_eq!(p.cost(&sol), 3.0);
@@ -354,10 +478,7 @@ mod tests {
 
     #[test]
     fn consolidates_when_opening_costly() {
-        let p = UflProblem {
-            facility_cost: vec![100.0, 100.0],
-            service: vec![vec![1.0, 2.0], vec![2.0, 1.0]],
-        };
+        let p = UflProblem::from_rows(vec![100.0, 100.0], vec![vec![1.0, 2.0], vec![2.0, 1.0]]);
         let sol = p.solve_local_search();
         assert_eq!(sol.open.len(), 1);
         assert_eq!(p.cost(&sol), 103.0);
@@ -368,14 +489,14 @@ mod tests {
     fn swap_escapes_local_trap() {
         // Start greedy would pick facility 0 (cheap overall), but the
         // true optimum is facility 2 alone.
-        let p = UflProblem {
-            facility_cost: vec![0.0, 50.0, 1.0],
-            service: vec![
+        let p = UflProblem::from_rows(
+            vec![0.0, 50.0, 1.0],
+            vec![
                 vec![5.0, 0.0, 0.5],
                 vec![5.0, 0.0, 0.5],
                 vec![5.0, 0.0, 0.5],
             ],
-        };
+        );
         let sol = p.solve_local_search();
         assert_eq!(sol.open, vec![2]);
         assert!((p.cost(&sol) - 2.5).abs() < 1e-9);
@@ -383,10 +504,7 @@ mod tests {
 
     #[test]
     fn zero_clients_opens_cheapest() {
-        let p = UflProblem {
-            facility_cost: vec![5.0, 2.0, 7.0],
-            service: vec![],
-        };
+        let p = UflProblem::from_rows(vec![5.0, 2.0, 7.0], vec![]);
         let sol = p.solve_local_search();
         assert_eq!(sol.open, vec![1]);
         assert_eq!(p.dual_ascent_bound(), 2.0);
@@ -395,10 +513,7 @@ mod tests {
     #[test]
     fn free_facilities_serve_everyone_locally() {
         // Zero facility costs: open everything useful, serve at min.
-        let p = UflProblem {
-            facility_cost: vec![0.0; 3],
-            service: vec![vec![4.0, 1.0, 9.0], vec![0.5, 3.0, 9.0]],
-        };
+        let p = UflProblem::from_rows(vec![0.0; 3], vec![vec![4.0, 1.0, 9.0], vec![0.5, 3.0, 9.0]]);
         let sol = p.solve_local_search();
         assert!((p.cost(&sol) - 1.5).abs() < 1e-9);
         // Dual bound equals optimum here (LP tight).
@@ -412,12 +527,12 @@ mod tests {
         for _case in 0..50 {
             let n = rng.gen_range(2..8);
             let c = rng.gen_range(1..10);
-            let p = UflProblem {
-                facility_cost: (0..n).map(|_| rng.gen_range(0.0..5.0)).collect(),
-                service: (0..c)
+            let p = UflProblem::from_rows(
+                (0..n).map(|_| rng.gen_range(0.0..5.0)).collect(),
+                (0..c)
                     .map(|_| (0..n).map(|_| rng.gen_range(0.0..10.0)).collect())
                     .collect(),
-            };
+            );
             check_bound_sandwich(&p);
             // On small instances the gap should typically be modest.
             let lb = p.dual_ascent_bound();
@@ -433,28 +548,85 @@ mod tests {
         for _ in 0..20 {
             let n = rng.gen_range(3..10);
             let c = rng.gen_range(1..12);
-            let p = UflProblem {
-                facility_cost: (0..n).map(|_| rng.gen_range(0.0..8.0)).collect(),
-                service: (0..c)
+            let p = UflProblem::from_rows(
+                (0..n).map(|_| rng.gen_range(0.0..8.0)).collect(),
+                (0..c)
                     .map(|_| (0..n).map(|_| rng.gen_range(0.0..10.0)).collect())
                     .collect(),
-            };
+            );
             let got = p.cost(&p.solve_local_search());
             // Baseline 1: everything open.
             let all = UflSolution {
                 open: (0..n).collect(),
                 assign: p
-                    .service
-                    .iter()
+                    .service_rows()
                     .map(|row| (0..n).min_by(|&a, &b| row[a].total_cmp(&row[b])).unwrap())
                     .collect(),
             };
             assert!(got <= p.cost(&all) + 1e-9);
             // Baseline 2: best single facility.
             let best_single = (0..n)
-                .map(|i| p.facility_cost[i] + p.service.iter().map(|r| r[i]).sum::<f64>())
+                .map(|i| p.facility_cost[i] + p.service_rows().map(|r| r[i]).sum::<f64>())
                 .fold(f64::MAX, f64::min);
             assert!(got <= best_single + 1e-9);
         }
+    }
+
+    #[test]
+    fn scratch_reuse_is_pure() {
+        // Re-solving different problems through one scratch must give
+        // exactly the fresh-scratch answers (workers reuse scratch
+        // across thousands of blocks).
+        use rand::Rng;
+        let mut rng = vod_model::rng::rng_from_seed(31);
+        let mut scratch = UflScratch::default();
+        for _ in 0..30 {
+            let n = rng.gen_range(1..9);
+            let c = rng.gen_range(0..10);
+            let p = UflProblem::from_rows(
+                (0..n).map(|_| rng.gen_range(0.0..8.0)).collect(),
+                (0..c)
+                    .map(|_| (0..n).map(|_| rng.gen_range(0.0..10.0)).collect())
+                    .collect(),
+            );
+            assert_eq!(
+                p.solve_local_search_fast_with(&mut scratch),
+                p.solve_local_search_fast()
+            );
+            assert_eq!(
+                p.solve_local_search_with(&mut scratch),
+                p.solve_local_search()
+            );
+            assert_eq!(
+                p.dual_ascent_bound_with(&mut scratch).to_bits(),
+                p.dual_ascent_bound().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn flat_and_rows_constructors_agree() {
+        let rows = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
+        let a = UflProblem::from_rows(vec![0.5, 0.25], rows);
+        let b = UflProblem::from_flat(vec![0.5, 0.25], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.n_clients(), 3);
+        assert_eq!(a.service_row(1), b.service_row(1));
+        assert_eq!(
+            a.service_rows().collect::<Vec<_>>(),
+            b.service_rows().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn in_place_rebuild_reuses_buffers() {
+        let mut p = UflProblem::from_rows(vec![1.0, 2.0], vec![vec![1.0, 2.0]]);
+        let cap_f = p.facility_cost.capacity();
+        p.reset();
+        assert_eq!(p.n_clients(), 0);
+        p.facility_cost.extend([3.0, 4.0]);
+        p.push_service_row([5.0, 6.0]);
+        assert_eq!(p.n_clients(), 1);
+        assert_eq!(p.service_row(0), &[5.0, 6.0]);
+        assert!(p.facility_cost.capacity() >= cap_f);
     }
 }

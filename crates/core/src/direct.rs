@@ -135,14 +135,14 @@ pub fn exact_block_lp(p: &crate::block::UflProblem) -> f64 {
     let ys: Vec<usize> = (0..n)
         .map(|i| lp.add_var(p.facility_cost[i], Some(1.0)))
         .collect();
-    for row in &p.service {
+    for row in p.service_rows() {
         let xv: Vec<usize> = (0..n).map(|i| lp.add_var(row[i], None)).collect();
         lp.add_constraint(xv.iter().map(|&v| (v, 1.0)).collect(), Cmp::Eq, 1.0);
         for i in 0..n {
             lp.add_constraint(vec![(xv[i], 1.0), (ys[i], -1.0)], Cmp::Le, 0.0);
         }
     }
-    if p.service.is_empty() {
+    if p.n_clients() == 0 {
         lp.add_constraint(ys.iter().map(|&v| (v, 1.0)).collect(), Cmp::Ge, 1.0);
     }
     match vod_lp::solve_lp(&lp) {

@@ -17,10 +17,13 @@
 
 use crate::block::{UflProblem, UflSolution};
 use crate::instance::{MipInstance, VideoBlock};
+use crate::penalty::PenaltyArena;
+use crate::pool::WorkerPool;
 use crate::potential::{Coupling, Duals, RowLayout};
 use crate::solution::{initial_block, BlockSolution, FractionalSolution};
 use rand::seq::SliceRandom;
 use std::collections::BTreeMap;
+use std::sync::RwLock;
 use std::time::{Duration, Instant};
 use vod_model::rng::derive_rng;
 
@@ -78,14 +81,19 @@ impl EpfConfig {
         }
     }
 
-    fn effective_threads(&self) -> usize {
-        if self.threads > 0 {
+    /// Worker threads for a solve over `n_blocks` video blocks: the
+    /// configured (or available) count, capped at the block count —
+    /// an extra worker could never receive a chunk part, it would only
+    /// idle on a channel for the whole solve.
+    pub fn effective_threads(&self, n_blocks: usize) -> usize {
+        let base = if self.threads > 0 {
             self.threads
         } else {
             std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1)
-        }
+        };
+        base.min(n_blocks.max(1))
     }
 }
 
@@ -235,78 +243,43 @@ pub(crate) fn block_delta(
     (acc.into_iter().collect(), dobj)
 }
 
-/// Per-window matrices `D_t[i·V + j] = Σ_{l ∈ P_ij} π_{(l,t)}` — the
-/// link-dual penalty of serving `j` from `i` during window `t`,
-/// precomputed once per dual snapshot and shared by a whole chunk.
-pub(crate) fn penalty_matrices(
-    inst: &MipInstance,
-    layout: &RowLayout,
-    duals: &Duals,
-) -> Vec<Vec<f64>> {
-    let v = inst.n_vhos();
-    (0..layout.n_windows)
-        .map(|t| {
-            let mut mat = vec![0.0; v * v];
-            for i in inst.network.vho_ids() {
-                for j in inst.network.vho_ids() {
-                    if i != j {
-                        let sum: f64 = inst
-                            .paths
-                            .path(i, j)
-                            .iter()
-                            .map(|&l| duals.rows[layout.link_row(l, t)])
-                            .sum();
-                        mat[i.index() * v + j.index()] = sum;
-                    }
-                }
-            }
-            mat
-        })
-        .collect()
-}
-
 /// Build the Lagrangized UFL for one block, in the *scaled* form
 /// `π_0·c + π·A` (same argmin as `c(π) = c + π·A/π_0`, but finite in
-/// feasibility mode where `π_0 = 0`).
-pub(crate) fn build_ufl(
+/// feasibility mode where `π_0 = 0`), into a reusable buffer.
+///
+/// `duals` prices the objective and disk rows; the link-row part comes
+/// from `arena` ([`crate::penalty`]), which may deliberately reflect a
+/// *different* (earlier) snapshot — the rounding pass builds its UFLs
+/// against post-removal disk duals but pre-removal link penalties.
+pub(crate) fn build_ufl_into(
     inst: &MipInstance,
     layout: &RowLayout,
     data: &VideoBlock,
     duals: &Duals,
-    penalty: &[Vec<f64>],
-) -> UflProblem {
+    arena: &PenaltyArena,
+    out: &mut UflProblem,
+) {
     let v = inst.n_vhos();
-    let facility_cost: Vec<f64> = (0..v)
-        .map(|i| {
-            let fo = data.facility_obj_cost.get(i).copied().unwrap_or(0.0);
+    out.reset();
+    out.facility_cost.extend((0..v).map(|i| {
+        let fo = data.facility_obj_cost.get(i).copied().unwrap_or(0.0);
+        // lint:allow(raw-index): dual/penalty rows are dense over VHO indices
+        let disk_dual = duals.rows[layout.disk_row(vod_model::VhoId::from_index(i))];
+        duals.obj * fo + disk_dual * data.size_gb
+    }));
+    for client in &data.clients {
+        let j = client.j.index();
+        out.push_service_row((0..v).map(|i| {
             // lint:allow(raw-index): dual/penalty rows are dense over VHO indices
-            let disk_dual = duals.rows[layout.disk_row(vod_model::VhoId::from_index(i))];
-            duals.obj * fo + disk_dual * data.size_gb
-        })
-        .collect();
-    let service: Vec<Vec<f64>> = data
-        .clients
-        .iter()
-        .map(|client| {
-            let j = client.j.index();
-            (0..v)
-                .map(|i| {
-                    // lint:allow(raw-index): dual/penalty rows are dense over VHO indices
-                    let iv = vod_model::VhoId::from_index(i);
-                    let mut cost = duals.obj * client.demand_gb * inst.cost(iv, client.j);
-                    for (t, &rate) in client.rate.iter().enumerate() {
-                        if rate != 0.0 {
-                            cost += rate * penalty[t][i * v + j];
-                        }
-                    }
-                    cost
-                })
-                .collect()
-        })
-        .collect();
-    UflProblem {
-        facility_cost,
-        service,
+            let iv = vod_model::VhoId::from_index(i);
+            let mut cost = duals.obj * client.demand_gb * inst.cost(iv, client.j);
+            for (t, &rate) in client.rate.iter().enumerate() {
+                if rate != 0.0 {
+                    cost += rate * arena.at(t, i, j);
+                }
+            }
+            cost
+        }));
     }
 }
 
@@ -317,36 +290,35 @@ pub(crate) fn build_ufl(
 /// `x` for fixed `y`; adding it as a second line-searched direction
 /// turns the slow vertex-only Frank-Wolfe into a (partially)
 /// corrective variant and speeds up objective convergence markedly.
+/// Prices come from the arena's own dual snapshot (`arena.duals()`);
+/// `costs` is caller-owned scratch reused across blocks.
 pub(crate) fn greedy_x_given_y(
     inst: &MipInstance,
     data: &VideoBlock,
     y: &[(vod_model::VhoId, f64)],
-    duals: &Duals,
-    penalty: &[Vec<f64>],
+    arena: &PenaltyArena,
+    costs: &mut Vec<(f64, vod_model::VhoId, f64)>,
 ) -> BlockSolution {
-    let v = inst.n_vhos();
+    let duals = arena.duals();
     let x = data
         .clients
         .iter()
         .map(|client| {
             let j = client.j.index();
-            let mut costs: Vec<(f64, vod_model::VhoId, f64)> = y
-                .iter()
-                .filter(|&&(_, yv)| yv > 0.0)
-                .map(|&(i, yv)| {
-                    let mut cost = duals.obj * client.demand_gb * inst.cost(i, client.j);
-                    for (t, &rate) in client.rate.iter().enumerate() {
-                        if rate != 0.0 {
-                            cost += rate * penalty[t][i.index() * v + j];
-                        }
+            costs.clear();
+            costs.extend(y.iter().filter(|&&(_, yv)| yv > 0.0).map(|&(i, yv)| {
+                let mut cost = duals.obj * client.demand_gb * inst.cost(i, client.j);
+                for (t, &rate) in client.rate.iter().enumerate() {
+                    if rate != 0.0 {
+                        cost += rate * arena.at(t, i.index(), j);
                     }
-                    (cost, i, yv)
-                })
-                .collect();
+                }
+                (cost, i, yv)
+            }));
             costs.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
             let mut remaining = 1.0f64;
             let mut dist: Vec<(vod_model::VhoId, f64)> = Vec::new();
-            for &(_, i, yv) in &costs {
+            for &(_, i, yv) in costs.iter() {
                 if remaining <= 0.0 {
                     break;
                 }
@@ -374,46 +346,25 @@ pub(crate) fn greedy_x_given_y(
     BlockSolution { y: y.to_vec(), x }
 }
 
-/// Parallel map of `f` over block indices using scoped threads.
-fn parallel_blocks<T: Send>(
-    chunk: &[usize],
-    threads: usize,
-    f: impl Fn(usize) -> T + Sync,
-) -> Vec<T> {
-    if threads <= 1 || chunk.len() < 16 {
-        return chunk.iter().map(|&m| f(m)).collect();
-    }
-    let per = chunk.len().div_ceil(threads);
-    std::thread::scope(|s| {
-        let handles: Vec<_> = chunk
-            .chunks(per)
-            .map(|part| s.spawn(|| part.iter().map(|&m| f(m)).collect::<Vec<T>>()))
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("solver worker panicked"))
-            .collect()
-    })
-}
-
 /// Lagrangian lower bound `LR(λ̄)` with the smoothed duals (Appendix,
 /// eq. (13)): per-block dual-ascent bounds in scaled units, then
 /// `LR = (Σ_k scaledLB_k − Σ_rows π̄_r·b_r) / π̄_0`.
+///
+/// Retargets the shared penalty arena at `smoothed`; when the smoothed
+/// duals are version-identical to the arena's snapshot (nothing moved
+/// since the last bound), the rebuild is skipped outright.
 fn lagrangian_bound(
-    inst: &MipInstance,
     layout: &RowLayout,
     coupling: &Coupling,
     smoothed: &Duals,
-    threads: usize,
+    pool: &WorkerPool<'_>,
+    idx_all: &[usize],
 ) -> Option<f64> {
     if smoothed.obj <= 0.0 {
         return None;
     }
-    let penalty = penalty_matrices(inst, layout, smoothed);
-    let idx: Vec<usize> = (0..inst.n_videos()).collect();
-    let bounds = parallel_blocks(&idx, threads, |m| {
-        build_ufl(inst, layout, &inst.blocks()[m], smoothed, &penalty).dual_ascent_bound()
-    });
+    pool.update_penalty(smoothed);
+    let bounds = pool.dual_bounds(idx_all);
     let scaled_sum: f64 = bounds.iter().sum();
     let penalty_mass: f64 = (0..layout.n_rows())
         .map(|r| smoothed.rows[r] * coupling.cap(r))
@@ -433,12 +384,12 @@ fn lagrangian_bound(
 /// (dual ascent, or exact block LPs under `EPF_EXACT_BLOCKS=1`), so the
 /// best value seen is always a valid global bound.
 fn polish_bound(
-    inst: &MipInstance,
     layout: &RowLayout,
     coupling: &Coupling,
     start: &Duals,
     iters: usize,
-    threads: usize,
+    pool: &WorkerPool<'_>,
+    idx_all: &[usize],
 ) -> f64 {
     if start.obj <= 0.0 {
         return f64::NEG_INFINITY;
@@ -449,35 +400,15 @@ fn polish_bound(
         .map(|r| (start.rows[r] / start.obj) * coupling.cap(r))
         .collect();
     let mut best = f64::NEG_INFINITY;
-    let idx: Vec<usize> = (0..inst.n_videos()).collect();
     let mut theta = 0.5f64;
     let mut fails = 0u32;
     let exact_blocks = std::env::var_os("EPF_EXACT_BLOCKS").is_some();
     for _ in 0..iters {
-        let duals = Duals {
-            rows: (0..n_rows).map(|r| nu[r] / coupling.cap(r)).collect(),
-            obj: 1.0,
-        };
-        let penalty = penalty_matrices(inst, layout, &duals);
+        let duals = Duals::new((0..n_rows).map(|r| nu[r] / coupling.cap(r)).collect(), 1.0);
+        pool.update_penalty(&duals);
         // One parallel sweep: per-block valid bound + the heuristic
         // minimizer's resource usage (the subgradient).
-        let results: Vec<(f64, Vec<(usize, f64)>)> = parallel_blocks(&idx, threads, |m| {
-            let data = &inst.blocks()[m];
-            let ufl = build_ufl(inst, layout, data, &duals, &penalty);
-            let lb = if exact_blocks {
-                crate::direct::exact_block_lp(&ufl)
-            } else {
-                ufl.dual_ascent_bound()
-            };
-            let sol = ufl.solve_local_search_fast();
-            let hat = BlockSolution::from_ufl(&sol);
-            let empty = BlockSolution {
-                y: Vec::new(),
-                x: vec![Vec::new(); data.clients.len()],
-            };
-            let (usage, _dobj) = block_delta(inst, layout, data, &empty, &hat);
-            (lb, usage)
-        });
+        let results = pool.polish_sweep(idx_all, exact_blocks);
         let mut g: f64 = results.iter().map(|(lb, _)| lb).sum();
         let mut rel = vec![-1.0f64; n_rows]; // gradient in ν-space
         for (_, usage) in &results {
@@ -519,8 +450,16 @@ fn polish_bound(
     best
 }
 
-/// Approximate solver working-set bytes (reported in Table III).
-fn approx_bytes(inst: &MipInstance, blocks: &[BlockSolution], layout: &RowLayout) -> usize {
+/// Approximate solver working-set bytes (reported in Table III):
+/// block solutions + instance block data + potential rows + the flat
+/// penalty arena + per-worker UFL build/search scratch.
+fn approx_bytes(
+    inst: &MipInstance,
+    blocks: &[BlockSolution],
+    layout: &RowLayout,
+    arena_bytes: usize,
+    threads: usize,
+) -> usize {
     let tuple = std::mem::size_of::<(vod_model::VhoId, f64)>();
     let sol: usize = blocks
         .iter()
@@ -539,7 +478,17 @@ fn approx_bytes(inst: &MipInstance, blocks: &[BlockSolution], layout: &RowLayout
                 + d.facility_obj_cost.len() * 8
         })
         .sum();
-    sol + data + layout.n_rows() * 16
+    let v = layout.n_vhos;
+    let max_clients = inst
+        .blocks()
+        .iter()
+        .map(|d| d.clients.len())
+        .max()
+        .unwrap_or(0);
+    // One reusable flat UFL (facility row + service matrix) and solver
+    // scratch per worker, plus the inline path's copy.
+    let per_scratch = (max_clients * v + v) * 8 + (2 * v + 3 * max_clients) * 8 + 2 * v;
+    sol + data + layout.n_rows() * 16 + arena_bytes + (threads + 1) * per_scratch
 }
 
 /// Solve the LP relaxation with the EPF method (Algorithm 1), returning
@@ -553,7 +502,27 @@ pub fn solve_fractional(inst: &MipInstance, cfg: &EpfConfig) -> (FractionalSolut
     assert!(n > 0, "instance has no videos");
     assert!(cfg.epsilon > 0.0 && cfg.rho < 1.0 && cfg.lb_every > 0);
     let layout = layout_of(inst);
-    let threads = cfg.effective_threads();
+    let threads = cfg.effective_threads(n);
+    // The penalty arena and the worker pool live for the whole solve:
+    // workers borrow both the instance and the arena, so the arena is
+    // created first and the pool inside one scope wrapping the solver
+    // body (see `crate::pool` for the determinism contract).
+    let arena = RwLock::new(PenaltyArena::new(inst, &layout));
+    std::thread::scope(|scope| {
+        let pool = WorkerPool::new(scope, threads, inst, layout, &arena);
+        solve_with_pool(inst, cfg, layout, &pool, start)
+    })
+}
+
+fn solve_with_pool(
+    inst: &MipInstance,
+    cfg: &EpfConfig,
+    layout: RowLayout,
+    pool: &WorkerPool<'_>,
+    start: Instant,
+) -> (FractionalSolution, EpfStats) {
+    let n = inst.n_videos();
+    let threads = cfg.effective_threads(n);
 
     // Initial solution: each video stored at its biggest client.
     let mut blocks: Vec<BlockSolution> = inst
@@ -563,18 +532,12 @@ pub fn solve_fractional(inst: &MipInstance, cfg: &EpfConfig) -> (FractionalSolut
         .collect();
 
     // Trivial lower bound LR(0): per-block dual ascent with zero
-    // multipliers (pure objective UFL).
-    let zero_duals = Duals {
-        rows: vec![0.0; layout.n_rows()],
-        obj: 1.0,
-    };
-    let zero_penalty = vec![vec![0.0; inst.n_vhos() * inst.n_vhos()]; layout.n_windows];
+    // multipliers (pure objective UFL). The fresh arena is already the
+    // zero-dual penalty, so the update only retargets its snapshot.
+    let zero_duals = Duals::new(vec![0.0; layout.n_rows()], 1.0);
     let idx_all: Vec<usize> = (0..n).collect();
-    let lb0: f64 = parallel_blocks(&idx_all, threads, |m| {
-        build_ufl(inst, &layout, &inst.blocks()[m], &zero_duals, &zero_penalty).dual_ascent_bound()
-    })
-    .iter()
-    .sum();
+    pool.update_penalty(&zero_duals);
+    let lb0: f64 = pool.dual_bounds(&idx_all).iter().sum();
 
     let (usage, obj0) = compute_state(inst, &layout, &blocks);
     let mut coupling = Coupling::new(layout, caps_of(inst, &layout), cfg.gamma, None);
@@ -617,6 +580,8 @@ pub fn solve_fractional(inst: &MipInstance, cfg: &EpfConfig) -> (FractionalSolut
      -> RunOutcome {
         const STALL_WINDOW: usize = 25;
         let mut snap_delta = f64::INFINITY;
+        // Greedy-rerouting cost scratch, reused across all chunks.
+        let mut greedy_costs: Vec<(f64, vod_model::VhoId, f64)> = Vec::new();
         for local_pass in 1..=budget {
             *global_pass += 1;
             *passes_done += 1;
@@ -624,12 +589,12 @@ pub fn solve_fractional(inst: &MipInstance, cfg: &EpfConfig) -> (FractionalSolut
             order.shuffle(&mut rng);
 
             for chunk in order.chunks(chunk_size) {
-                let duals = coupling.duals();
-                let penalty = penalty_matrices(inst, &layout, &duals);
-                let candidates: Vec<UflSolution> = parallel_blocks(chunk, threads, |m| {
-                    build_ufl(inst, &layout, &inst.blocks()[m], &duals, &penalty)
-                        .solve_local_search_fast()
-                });
+                // Retarget the shared arena at this chunk's snapshot —
+                // incremental: only dual rows the previous chunk's
+                // applied steps touched get re-summed.
+                pool.update_penalty(&coupling.duals());
+                let candidates: Vec<UflSolution> = pool.solve(chunk);
+                let arena = pool.penalty();
                 for (&m, cand) in chunk.iter().zip(&candidates) {
                     let hat = BlockSolution::from_ufl(cand);
                     let (deltas, dobj) =
@@ -641,8 +606,13 @@ pub fn solve_fractional(inst: &MipInstance, cfg: &EpfConfig) -> (FractionalSolut
                         *block_steps += 1;
                     }
                     // Corrective step: optimal x within the current y.
-                    let corrective =
-                        greedy_x_given_y(inst, &inst.blocks()[m], &blocks[m].y, &duals, &penalty);
+                    let corrective = greedy_x_given_y(
+                        inst,
+                        &inst.blocks()[m],
+                        &blocks[m].y,
+                        &arena,
+                        &mut greedy_costs,
+                    );
                     let (deltas, dobj) =
                         block_delta(inst, &layout, &inst.blocks()[m], &blocks[m], &corrective);
                     let tau = coupling.line_search(&deltas, dobj);
@@ -652,6 +622,8 @@ pub fn solve_fractional(inst: &MipInstance, cfg: &EpfConfig) -> (FractionalSolut
                         *block_steps += 1;
                     }
                 }
+                // Drop the read guard before the next chunk's update.
+                drop(arena);
             }
 
             // Drift washout.
@@ -669,17 +641,20 @@ pub fn solve_fractional(inst: &MipInstance, cfg: &EpfConfig) -> (FractionalSolut
             crate::audit::check_blocks(inst, blocks, crate::solution::INT_TOL)
                 .assert_ok("EPF pass block invariants");
 
-            // Smooth the duals (Algorithm 1 step 14).
+            // Smooth the duals (Algorithm 1 step 14). The in-place
+            // mutation invalidates the snapshot identity, so stamp a
+            // fresh version for the arena's skip logic.
             let cur = coupling.duals();
             for (sm, c) in smoothed.rows.iter_mut().zip(&cur.rows) {
                 *sm = cfg.rho * *sm + (1.0 - cfg.rho) * c;
             }
             smoothed.obj = cfg.rho * smoothed.obj + (1.0 - cfg.rho) * cur.obj;
+            smoothed.bump_version();
 
             // Sample the Lagrangian bound along the trajectory — the
             // duals wander, and the best bound often shows up mid-run.
             if track_lb && local_pass % cfg.lb_every.max(1) == 0 {
-                if let Some(lr) = lagrangian_bound(inst, &layout, coupling, smoothed, threads) {
+                if let Some(lr) = lagrangian_bound(&layout, coupling, smoothed, pool, &idx_all) {
                     if lr > *lb_seen {
                         *lb_seen = lr;
                     }
@@ -740,7 +715,13 @@ pub fn solve_fractional(inst: &MipInstance, cfg: &EpfConfig) -> (FractionalSolut
         let (usage, objective) = compute_state(inst, &layout, &blocks);
         coupling_final.set_state(usage, objective);
         let max_violation = coupling_final.delta_c().max(0.0);
-        let bytes = approx_bytes(inst, &blocks, &layout);
+        let bytes = approx_bytes(
+            inst,
+            &blocks,
+            &layout,
+            pool.penalty().approx_bytes(),
+            threads,
+        );
         let frac = FractionalSolution {
             blocks,
             objective,
@@ -778,19 +759,19 @@ pub fn solve_fractional(inst: &MipInstance, cfg: &EpfConfig) -> (FractionalSolut
     }
 
     let mut lb = lb_seen;
-    if let Some(lr) = lagrangian_bound(inst, &layout, &coupling, &smoothed, threads) {
+    if let Some(lr) = lagrangian_bound(&layout, &coupling, &smoothed, pool, &idx_all) {
         lb = lb.max(lr);
     }
     if phase1 != RunOutcome::Reached {
         // Couldn't even reach ε-feasibility: certify what we have.
         if cfg.polish_iters > 0 {
             lb = lb.max(polish_bound(
-                inst,
                 &layout,
                 &coupling,
                 &smoothed,
                 cfg.polish_iters,
-                threads,
+                pool,
+                &idx_all,
             ));
         }
         return finish(blocks, lb, false, passes_done, block_steps);
@@ -850,12 +831,12 @@ pub fn solve_fractional(inst: &MipInstance, cfg: &EpfConfig) -> (FractionalSolut
     // subgradient ascent from the (now well-tuned) EPF duals.
     if !converged && cfg.polish_iters > 0 {
         let polished = polish_bound(
-            inst,
             &layout,
             &coupling,
             &smoothed,
             cfg.polish_iters,
-            threads,
+            pool,
+            &idx_all,
         );
         lb = lb.max(polished);
         converged = ub <= (1.0 + cfg.epsilon) * lb + 1e-9;

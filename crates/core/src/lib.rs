@@ -36,6 +36,8 @@ pub mod direct;
 pub mod epf;
 pub mod feasibility;
 pub mod instance;
+pub mod penalty;
+mod pool;
 pub mod potential;
 pub mod rounding;
 pub mod solution;
@@ -44,6 +46,7 @@ pub mod solver;
 pub use audit::{AuditReport, Violation};
 pub use epf::{solve_fractional, EpfConfig, EpfStats};
 pub use instance::{DiskConfig, MipInstance, PlacementCost};
+pub use penalty::{PenaltyArena, PenaltyUpdate};
 pub use rounding::RoundingStats;
 pub use solution::{BlockSolution, FractionalSolution, Placement};
 pub use solver::{solve_placement, PlacementOutput};

@@ -1,0 +1,365 @@
+//! Flat, incrementally-maintained link-dual penalty matrices — the
+//! innermost data structure of the EPF hot path.
+//!
+//! Every UFL block build needs `D_t[i·V + j] = Σ_{l ∈ P_ij} π_{(l,t)}`:
+//! the link-dual cost of serving client `j` from server `i` during
+//! window `t`. The solver used to rebuild these matrices from scratch
+//! (O(windows·V²·path-length), one nested `Vec<Vec<f64>>` per chunk)
+//! on every dual snapshot. [`PenaltyArena`] instead keeps all windows
+//! in one flat `Vec<f64>` arena and updates it *incrementally*: a
+//! link → list-of-`(i,j)` reverse index over `inst.paths` (built once
+//! per solve) maps each changed dual row to exactly the entries it
+//! feeds, and only those entries are recomputed.
+//!
+//! **Invariant:** a dirty entry is *re-summed from scratch in path
+//! order*, never patched with a `+=` delta — so the arena is always
+//! bitwise identical to a full rebuild under the same duals, whatever
+//! update sequence produced it. The `penalty_incremental_matches_rebuild`
+//! property test (and the determinism contract of [`crate::pool`])
+//! leans on exactly this.
+
+use crate::instance::MipInstance;
+use crate::potential::{Duals, RowLayout};
+use vod_model::LinkId;
+
+/// Outcome of a [`PenaltyArena::update`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PenaltyUpdate {
+    /// The snapshot is version-identical to the previous one (a clone
+    /// of the same `Duals`): nothing was compared or touched.
+    SkippedVersion,
+    /// Rows were compared bitwise; `resummed` entries recomputed.
+    Applied {
+        changed_rows: usize,
+        resummed: usize,
+    },
+}
+
+/// Per-window penalty matrices `D_t` in a single flat arena, plus the
+/// machinery to update them incrementally from dual snapshots.
+#[derive(Debug, Clone)]
+pub struct PenaltyArena {
+    n_vhos: usize,
+    n_links: usize,
+    n_windows: usize,
+    /// `data[t·V² + i·V + j] = Σ_{l ∈ P_ij} π_{(l,t)}`.
+    data: Vec<f64>,
+    /// Reverse routing index: for every link `l`, the packed `i·V + j`
+    /// pairs whose path `P_ij` traverses `l`.
+    rev: Vec<Vec<u32>>,
+    /// The dual snapshot the arena currently reflects. Starts as the
+    /// all-zero snapshot (version 0, `obj = 1`), matching the zeroed
+    /// `data`.
+    last: Duals,
+    /// Epoch stamps (one per packed `i·V + j` pair) deduplicating dirty
+    /// pairs fed by several changed links within one window.
+    stamp: Vec<u32>,
+    epoch: u32,
+    /// Reusable dirty-pair list for the current window.
+    dirty: Vec<u32>,
+}
+
+impl PenaltyArena {
+    /// Build the reverse index and a zeroed arena (which is exactly the
+    /// penalty of the all-zero dual snapshot).
+    pub fn new(inst: &MipInstance, layout: &RowLayout) -> Self {
+        let v = inst.n_vhos();
+        assert_eq!(v, layout.n_vhos, "layout does not match instance");
+        let mut rev: Vec<Vec<u32>> = vec![Vec::new(); layout.n_links];
+        for i in inst.network.vho_ids() {
+            for j in inst.network.vho_ids() {
+                if i != j {
+                    let pair = u32::try_from(i.index() * v + j.index())
+                        .expect("VHO pair index exceeds u32");
+                    for &l in inst.paths.path(i, j) {
+                        rev[l.index()].push(pair);
+                    }
+                }
+            }
+        }
+        Self {
+            n_vhos: v,
+            n_links: layout.n_links,
+            n_windows: layout.n_windows,
+            data: vec![0.0; layout.n_windows * v * v],
+            rev,
+            last: Duals::new(vec![0.0; layout.n_rows()], 1.0),
+            stamp: vec![0; v * v],
+            epoch: 0,
+            dirty: Vec::new(),
+        }
+    }
+
+    /// An arena already reflecting `duals` (from-scratch rebuild; the
+    /// reference point the incremental path must match bitwise).
+    pub fn for_duals(inst: &MipInstance, layout: &RowLayout, duals: &Duals) -> Self {
+        let mut arena = Self::new(inst, layout);
+        arena.update(inst, layout, duals);
+        arena
+    }
+
+    /// Bring the arena up to date with `duals`.
+    ///
+    /// Fast paths, in order: (1) same snapshot version as the last
+    /// applied update → return immediately; (2) per-(link, window)
+    /// bitwise row comparison → only rows whose dual actually changed
+    /// mark entries dirty. Dirty entries are re-summed from scratch in
+    /// path order (see the module invariant).
+    pub fn update(
+        &mut self,
+        inst: &MipInstance,
+        layout: &RowLayout,
+        duals: &Duals,
+    ) -> PenaltyUpdate {
+        assert_eq!(duals.rows.len(), layout.n_rows(), "dual row count mismatch");
+        if duals.version() != 0 && duals.version() == self.last.version() {
+            return PenaltyUpdate::SkippedVersion;
+        }
+        let v = self.n_vhos;
+        let mut changed_rows = 0usize;
+        let mut resummed = 0usize;
+        for t in 0..self.n_windows {
+            self.epoch = self.epoch.wrapping_add(1);
+            if self.epoch == 0 {
+                // u32 wrap-around: reset stamps so stale epochs cannot
+                // collide (unreachable in practice, cheap to guard).
+                self.stamp.fill(0);
+                self.epoch = 1;
+            }
+            self.dirty.clear();
+            for l in 0..self.n_links {
+                let row = layout.link_row(LinkId::from_index(l), t);
+                if duals.rows[row].to_bits() == self.last.rows[row].to_bits() {
+                    continue;
+                }
+                changed_rows += 1;
+                for &pair in &self.rev[l] {
+                    if self.stamp[pair as usize] != self.epoch {
+                        self.stamp[pair as usize] = self.epoch;
+                        self.dirty.push(pair);
+                    }
+                }
+            }
+            let base = t * v * v;
+            for &pair in &self.dirty {
+                let (i, j) = (pair as usize / v, pair as usize % v);
+                // lint:allow(raw-index): the packed pair index is dense
+                // over VHO indices by construction of the reverse index
+                let iv = vod_model::VhoId::from_index(i);
+                // lint:allow(raw-index): same dense-pair decoding
+                let jv = vod_model::VhoId::from_index(j);
+                let sum: f64 = inst
+                    .paths
+                    .path(iv, jv)
+                    .iter()
+                    .map(|&l| duals.rows[layout.link_row(l, t)])
+                    .sum();
+                self.data[base + pair as usize] = sum;
+            }
+            resummed += self.dirty.len();
+        }
+        // Carry the caller's version so a later update with a clone of
+        // the same snapshot hits the version fast path.
+        self.last.copy_from(duals);
+        PenaltyUpdate::Applied {
+            changed_rows,
+            resummed,
+        }
+    }
+
+    /// Penalty of serving client `j` from server `i` in window `t`.
+    #[inline]
+    pub fn at(&self, t: usize, i: usize, j: usize) -> f64 {
+        self.data[t * self.n_vhos * self.n_vhos + i * self.n_vhos + j]
+    }
+
+    /// The flat `V×V` matrix of one window.
+    #[inline]
+    pub fn window(&self, t: usize) -> &[f64] {
+        let v2 = self.n_vhos * self.n_vhos;
+        &self.data[t * v2..(t + 1) * v2]
+    }
+
+    /// The dual snapshot the arena currently reflects — the one every
+    /// consumer of the arena's entries must price against.
+    #[inline]
+    pub fn duals(&self) -> &Duals {
+        &self.last
+    }
+
+    #[inline]
+    pub fn n_windows(&self) -> usize {
+        self.n_windows
+    }
+
+    #[inline]
+    pub fn n_vhos(&self) -> usize {
+        self.n_vhos
+    }
+
+    /// Approximate heap bytes held by the arena (reported through
+    /// `EpfStats::approx_bytes`).
+    pub fn approx_bytes(&self) -> usize {
+        let rev: usize = self
+            .rev
+            .iter()
+            .map(|p| p.capacity() * 4 + std::mem::size_of::<Vec<u32>>())
+            .sum();
+        self.data.capacity() * 8
+            + rev
+            + self.last.rows.capacity() * 8
+            + self.stamp.capacity() * 4
+            + self.dirty.capacity() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::epf::tests::small_instance;
+    use crate::epf::{caps_of, compute_state, layout_of};
+    use crate::potential::Coupling;
+    use crate::solution::initial_block;
+
+    fn setup() -> (MipInstance, RowLayout, Duals) {
+        let inst = small_instance(30, 2.0, 1.0, 42);
+        let layout = layout_of(&inst);
+        let blocks: Vec<_> = inst
+            .blocks()
+            .iter()
+            .map(|b| initial_block(b, inst.n_vhos()))
+            .collect();
+        let (usage, obj) = compute_state(&inst, &layout, &blocks);
+        let mut coupling = Coupling::new(layout, caps_of(&inst, &layout), 1.0, None);
+        coupling.set_state(usage, obj);
+        coupling.init_scale(0.01);
+        let duals = coupling.duals();
+        (inst, layout, duals)
+    }
+
+    /// Reference implementation: the old from-scratch nested rebuild.
+    fn reference_matrices(inst: &MipInstance, layout: &RowLayout, duals: &Duals) -> Vec<Vec<f64>> {
+        let v = inst.n_vhos();
+        (0..layout.n_windows)
+            .map(|t| {
+                let mut mat = vec![0.0; v * v];
+                for i in inst.network.vho_ids() {
+                    for j in inst.network.vho_ids() {
+                        if i != j {
+                            let sum: f64 = inst
+                                .paths
+                                .path(i, j)
+                                .iter()
+                                .map(|&l| duals.rows[layout.link_row(l, t)])
+                                .sum();
+                            mat[i.index() * v + j.index()] = sum;
+                        }
+                    }
+                }
+                mat
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rebuild_matches_reference() {
+        let (inst, layout, duals) = setup();
+        let arena = PenaltyArena::for_duals(&inst, &layout, &duals);
+        let reference = reference_matrices(&inst, &layout, &duals);
+        for (t, want) in reference.iter().enumerate() {
+            assert_eq!(arena.window(t), want.as_slice(), "window {t}");
+        }
+    }
+
+    #[test]
+    fn version_skip_on_same_snapshot() {
+        let (inst, layout, duals) = setup();
+        let mut arena = PenaltyArena::new(&inst, &layout);
+        let first = arena.update(&inst, &layout, &duals);
+        assert!(matches!(first, PenaltyUpdate::Applied { .. }));
+        // Same snapshot (clone): skipped without any row comparison.
+        let again = arena.update(&inst, &layout, &duals.clone());
+        assert_eq!(again, PenaltyUpdate::SkippedVersion);
+        // A bumped clone with identical values is re-compared but
+        // resums nothing.
+        let mut bumped = duals.clone();
+        bumped.bump_version();
+        match arena.update(&inst, &layout, &bumped) {
+            PenaltyUpdate::Applied {
+                changed_rows,
+                resummed,
+            } => {
+                assert_eq!(changed_rows, 0);
+                assert_eq!(resummed, 0);
+            }
+            other => panic!("expected Applied, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn incremental_update_matches_rebuild_after_row_change() {
+        let (inst, layout, duals) = setup();
+        let mut arena = PenaltyArena::for_duals(&inst, &layout, &duals);
+        // Perturb a couple of link rows (and one disk row, which must
+        // not affect penalties at all).
+        let mut perturbed = duals.clone();
+        perturbed.rows[0] *= 3.0; // disk row
+        let link_row0 = layout.link_row(LinkId::new(0), 0);
+        perturbed.rows[link_row0] += 0.125;
+        if layout.n_windows > 1 {
+            let r = layout.link_row(LinkId::new(1), 1);
+            perturbed.rows[r] *= 0.5;
+        }
+        perturbed.bump_version();
+        let upd = arena.update(&inst, &layout, &perturbed);
+        let fresh = PenaltyArena::for_duals(&inst, &layout, &perturbed);
+        for t in 0..layout.n_windows {
+            assert_eq!(arena.window(t), fresh.window(t), "window {t}");
+        }
+        match upd {
+            PenaltyUpdate::Applied {
+                changed_rows,
+                resummed,
+            } => {
+                // Only the touched link rows count; the resummed pairs
+                // are exactly those routed over the changed links.
+                assert!((1..=2).contains(&changed_rows), "{changed_rows}");
+                assert!(resummed > 0);
+                let total_entries = layout.n_windows * inst.n_vhos() * inst.n_vhos();
+                assert!(
+                    resummed < total_entries,
+                    "incremental update resummed everything ({resummed}/{total_entries})"
+                );
+            }
+            other => panic!("expected Applied, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_arena_reflects_zero_duals() {
+        let (inst, layout, _) = setup();
+        let mut arena = PenaltyArena::new(&inst, &layout);
+        assert!(arena.window(0).iter().all(|&x| x == 0.0));
+        assert_eq!(arena.duals().obj, 1.0);
+        // Updating with an explicit zero snapshot compares equal
+        // everywhere and resums nothing.
+        let zeros = Duals::new(vec![0.0; layout.n_rows()], 1.0);
+        match arena.update(&inst, &layout, &zeros) {
+            PenaltyUpdate::Applied {
+                changed_rows,
+                resummed,
+            } => {
+                assert_eq!((changed_rows, resummed), (0, 0));
+            }
+            other => panic!("expected Applied, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn approx_bytes_counts_arena() {
+        let (inst, layout, duals) = setup();
+        let arena = PenaltyArena::for_duals(&inst, &layout, &duals);
+        let v = inst.n_vhos();
+        assert!(arena.approx_bytes() >= layout.n_windows * v * v * 8);
+    }
+}

@@ -8,7 +8,20 @@
 //! (`π_i = exp(α r_i)/b_i`), and the exact 1-D convex line search used
 //! for every block step.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use vod_model::{LinkId, VhoId};
+
+/// Process-global dual-snapshot version counter (see [`Duals::version`]).
+static DUAL_VERSION: AtomicU64 = AtomicU64::new(1);
+
+/// Allocate a fresh, process-unique dual-snapshot version. Versions
+/// never influence numerics — they only let consumers such as
+/// [`crate::penalty::PenaltyArena`] recognize "same snapshot passed
+/// again" and short-circuit recomputation — so the global counter does
+/// not threaten run-to-run determinism of placements.
+fn next_dual_version() -> u64 {
+    DUAL_VERSION.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Maps (disk, link×window) coupling constraints onto a flat row index.
 #[derive(Debug, Clone, Copy)]
@@ -82,6 +95,42 @@ pub struct Duals {
     pub rows: Vec<f64>,
     /// `π_0 = exp(α r_0)/B`; zero in feasibility mode.
     pub obj: f64,
+    /// Process-unique snapshot id: two `Duals` share a version iff one
+    /// is a clone of the other, so `version` equality certifies "values
+    /// identical" without comparing rows. Kept private so every
+    /// construction/mutation path restamps it ([`Duals::new`],
+    /// [`Duals::bump_version`]).
+    version: u64,
+}
+
+impl Duals {
+    /// A fresh snapshot with a new process-unique version.
+    pub fn new(rows: Vec<f64>, obj: f64) -> Self {
+        Self {
+            rows,
+            obj,
+            version: next_dual_version(),
+        }
+    }
+
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Restamp after mutating `rows`/`obj` in place (e.g. the EPF dual
+    /// smoothing step) so the snapshot no longer aliases its ancestor.
+    pub fn bump_version(&mut self) {
+        self.version = next_dual_version();
+    }
+
+    /// Copy `src` into `self` (version included), reusing the row
+    /// buffer instead of allocating like `clone` would.
+    pub fn copy_from(&mut self, src: &Duals) {
+        self.rows.clone_from(&src.rows);
+        self.obj = src.obj;
+        self.version = src.version;
+    }
 }
 
 impl Coupling {
@@ -203,7 +252,7 @@ impl Coupling {
             Some(b) => cexp(self.alpha * self.r0()) / b,
             None => 0.0,
         };
-        Duals { rows, obj }
+        Duals::new(rows, obj)
     }
 
     /// Total potential `Φ^δ(z)` (for diagnostics/tests).

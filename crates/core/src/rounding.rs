@@ -11,8 +11,10 @@
 //! Charikar–Guha-style local search of [`crate::block`] provides the
 //! provably-good-in-practice integer block solutions the paper uses.
 
-use crate::epf::{block_delta, build_ufl, caps_of, compute_state, layout_of, penalty_matrices};
+use crate::block::{UflProblem, UflScratch};
+use crate::epf::{block_delta, build_ufl_into, caps_of, compute_state, layout_of};
 use crate::instance::MipInstance;
+use crate::penalty::PenaltyArena;
 use crate::potential::Coupling;
 use crate::solution::{BlockSolution, FractionalSolution, Placement};
 
@@ -49,6 +51,11 @@ pub fn round_solution(
     coupling.init_scale(0.01);
 
     let mut rounded = 0usize;
+    // The penalty arena and UFL buffers are reused across all rounded
+    // videos (same flat hot path as the EPF loop; see crate::penalty).
+    let mut arena = PenaltyArena::new(inst, &layout);
+    let mut ufl = UflProblem::default();
+    let mut scratch = UflScratch::default();
     // `m` indexes `inst.blocks()` and `blocks` (mutated below) in
     // lockstep, so a range loop is the honest shape here.
     #[allow(clippy::needless_range_loop)]
@@ -58,8 +65,11 @@ pub fn round_solution(
         }
         rounded += 1;
         // Fresh multipliers for every committed video: later videos
-        // must see the load the earlier roundings committed.
-        let penalty = penalty_matrices(inst, &layout, &coupling.duals());
+        // must see the load the earlier roundings committed. Link
+        // penalties are priced *before* this block's own contribution
+        // is removed (incremental: only rows the previous rounding
+        // touched get re-summed).
+        arena.update(inst, &layout, &coupling.duals());
         let data = &inst.blocks()[m];
         // Remove this block's fractional contribution so the UFL sees
         // the load of everyone else.
@@ -71,8 +81,8 @@ pub fn round_solution(
         coupling.apply(&deltas_out, dobj_out, 1.0);
 
         let duals_now = coupling.duals();
-        let ufl = build_ufl(inst, &layout, data, &duals_now, &penalty);
-        let cand = ufl.solve_local_search();
+        build_ufl_into(inst, &layout, data, &duals_now, &arena, &mut ufl);
+        let cand = ufl.solve_local_search_with(&mut scratch);
         let hat = BlockSolution::from_ufl(&cand);
         let (deltas_in, dobj_in) = block_delta(inst, &layout, data, &empty, &hat);
         coupling.apply(&deltas_in, dobj_in, 1.0);
@@ -97,10 +107,10 @@ pub fn round_solution(
     {
         let (usage, obj) = compute_state(inst, &layout, &blocks);
         coupling.set_state(usage, obj);
-        let duals = coupling.duals();
-        let penalty = penalty_matrices(inst, &layout, &duals);
+        arena.update(inst, &layout, &coupling.duals());
+        let mut costs = Vec::new();
         for (m, data) in inst.blocks().iter().enumerate() {
-            let better = crate::epf::greedy_x_given_y(inst, data, &blocks[m].y, &duals, &penalty);
+            let better = crate::epf::greedy_x_given_y(inst, data, &blocks[m].y, &arena, &mut costs);
             blocks[m].x = better.x;
         }
     }

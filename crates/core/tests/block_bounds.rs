@@ -16,14 +16,14 @@ fn exact_ufl_lp(p: &UflProblem) -> f64 {
     let ys: Vec<usize> = (0..n)
         .map(|i| lp.add_var(p.facility_cost[i], Some(1.0)))
         .collect();
-    for row in &p.service {
+    for row in p.service_rows() {
         let xv: Vec<usize> = (0..n).map(|i| lp.add_var(row[i], None)).collect();
         lp.add_constraint(xv.iter().map(|&v| (v, 1.0)).collect(), Cmp::Eq, 1.0);
         for i in 0..n {
             lp.add_constraint(vec![(xv[i], 1.0), (ys[i], -1.0)], Cmp::Le, 0.0);
         }
     }
-    if p.service.is_empty() {
+    if p.n_clients() == 0 {
         lp.add_constraint(ys.iter().map(|&v| (v, 1.0)).collect(), Cmp::Ge, 1.0);
     }
     vod_lp::solve_lp(&lp).unwrap().objective
@@ -39,12 +39,12 @@ fn block_bounds_sandwich_exact_lp() {
     for _ in 0..200 {
         let n = 6;
         let c = rng.gen_range(1..7usize);
-        let p = UflProblem {
-            facility_cost: (0..n).map(|_| rng.gen_range(0.0..3.0f64)).collect(),
-            service: (0..c)
+        let p = UflProblem::from_rows(
+            (0..n).map(|_| rng.gen_range(0.0..3.0f64)).collect(),
+            (0..c)
                 .map(|_| (0..n).map(|_| rng.gen_range(0.0..10.0f64)).collect())
                 .collect(),
-        };
+        );
         let da = p.dual_ascent_bound();
         let ex = exact_ufl_lp(&p);
         let ls = p.cost(&p.solve_local_search());

@@ -1,0 +1,130 @@
+//! Property test for the incremental penalty arena: after **any**
+//! sequence of dual perturbations, the incrementally-maintained arena
+//! must be bitwise identical to a from-scratch rebuild under the final
+//! duals. This is the invariant (`crates/core/src/penalty.rs`: dirty
+//! entries are re-summed in path order, never patched with deltas)
+//! that lets the EPF hot path reuse one flat arena across tens of
+//! thousands of dual snapshots without ever drifting from the
+//! reference semantics.
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use vod_core::penalty::PenaltyArena;
+use vod_core::potential::{Duals, RowLayout};
+use vod_core::{DiskConfig, MipInstance};
+use vod_model::Mbps;
+use vod_net::topologies;
+use vod_trace::{
+    analysis, generate_trace, synthesize_library, DemandInput, LibraryConfig, TraceConfig,
+};
+
+fn setup() -> &'static (MipInstance, RowLayout) {
+    static SETUP: OnceLock<(MipInstance, RowLayout)> = OnceLock::new();
+    SETUP.get_or_init(|| {
+        let mut net = topologies::mesh_backbone(6, 9, 33);
+        net.set_uniform_capacity(Mbps::from_gbps(1.0));
+        let catalog = synthesize_library(&LibraryConfig::default_for(40, 7, 33));
+        let trace = generate_trace(&catalog, &net, &TraceConfig::default_for(600.0, 7, 33));
+        let windows = analysis::select_peak_windows(&trace, &catalog, 3600, 2);
+        let demand = DemandInput::from_trace(&trace, &catalog, net.num_nodes(), windows);
+        let inst = MipInstance::new(
+            net,
+            catalog,
+            demand,
+            &DiskConfig::UniformRatio { ratio: 2.0 },
+            1.0,
+            0.0,
+            None,
+        );
+        let layout = RowLayout {
+            n_vhos: inst.n_vhos(),
+            n_links: inst.network.num_links(),
+            n_windows: inst.n_windows(),
+        };
+        (inst, layout)
+    })
+}
+
+fn assert_arena_matches_rebuild(
+    inst: &MipInstance,
+    layout: &RowLayout,
+    arena: &PenaltyArena,
+    duals: &Duals,
+) {
+    let fresh = PenaltyArena::for_duals(inst, layout, duals);
+    for t in 0..layout.n_windows {
+        let (a, f) = (arena.window(t), fresh.window(t));
+        assert_eq!(a.len(), f.len());
+        for (k, (x, y)) in a.iter().zip(f).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "window {t} entry {k}: incremental {x} vs rebuild {y}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Apply a random sequence of row perturbations (scales, bumps and
+    /// zero-outs on random rows — link and disk alike) and check the
+    /// arena against the from-scratch rebuild after every update.
+    #[test]
+    fn incremental_matches_rebuild_after_random_perturbations(
+        init in prop::collection::vec(0.0f64..2.0, 1..2),
+        steps in prop::collection::vec(
+            (0usize..1000, 0u8..3, 0.25f64..4.0),
+            1..12,
+        ),
+    ) {
+        let (inst, layout) = setup();
+        let n_rows = layout.n_rows();
+        let mut duals = Duals::new(vec![init[0]; n_rows], 1.0);
+        let mut arena = PenaltyArena::new(inst, layout);
+        arena.update(inst, layout, &duals);
+        assert_arena_matches_rebuild(inst, layout, &arena, &duals);
+        for &(raw_row, op, factor) in &steps {
+            let row = raw_row % n_rows;
+            match op {
+                0 => duals.rows[row] *= factor,
+                1 => duals.rows[row] += factor,
+                _ => duals.rows[row] = 0.0,
+            }
+            duals.bump_version();
+            arena.update(inst, layout, &duals);
+            assert_arena_matches_rebuild(inst, layout, &arena, &duals);
+        }
+    }
+
+    /// Updating through intermediate snapshots and then jumping back to
+    /// an earlier one (values equal, version different) still lands on
+    /// the rebuild of that snapshot — path-order re-summing is
+    /// history-independent.
+    #[test]
+    fn arena_state_is_history_independent(scale in 0.5f64..3.0, detour in 1usize..5) {
+        let (inst, layout) = setup();
+        let n_rows = layout.n_rows();
+        let target = Duals::new((0..n_rows).map(|r| scale * (r % 7) as f64).collect(), 1.0);
+        // Route A: straight to the target.
+        let mut direct = PenaltyArena::new(inst, layout);
+        direct.update(inst, layout, &target);
+        // Route B: detour through other snapshots first.
+        let mut wandering = PenaltyArena::new(inst, layout);
+        for k in 0..detour {
+            let mid = Duals::new(
+                (0..n_rows).map(|r| (r + k) as f64 * 0.125).collect(),
+                1.0,
+            );
+            wandering.update(inst, layout, &mid);
+        }
+        wandering.update(inst, layout, &target);
+        for t in 0..layout.n_windows {
+            let (a, b) = (direct.window(t), wandering.window(t));
+            for (x, y) in a.iter().zip(b) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+}

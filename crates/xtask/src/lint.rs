@@ -1,12 +1,12 @@
 //! The rule engine behind `cargo xtask lint`.
 //!
-//! Four repo-specific source lints, all aimed at the same property the
-//! paper's evaluation depends on: **byte-identical placements from
-//! identical seeds**. The rules are textual (line-oriented with
-//! comment stripping and `#[cfg(test)]`-module tracking) rather than
-//! AST-based — deliberately so: they run in milliseconds with zero
-//! dependencies, and every construct they police is easy to name
-//! syntactically.
+//! Five repo-specific source lints — four aimed at the property the
+//! paper's evaluation depends on (**byte-identical placements from
+//! identical seeds**), one guarding the solver's flat-buffer hot path.
+//! The rules are textual (line-oriented with comment stripping and
+//! `#[cfg(test)]`-module tracking) rather than AST-based —
+//! deliberately so: they run in milliseconds with zero dependencies,
+//! and every construct they police is easy to name syntactically.
 //!
 //! | rule | forbids | where |
 //! |------|---------|-------|
@@ -14,6 +14,7 @@
 //! | `nan-unwrap-cmp` | `partial_cmp` (incl. `.unwrap()` comparators) | whole workspace |
 //! | `wall-clock` | `Instant::now` / `SystemTime` | outside `crates/bench` |
 //! | `raw-index` | `VhoId::new` / `VhoId::from_index` | outside `crates/model`, `crates/net` library code |
+//! | `vec-vec-f64` | `Vec<Vec<f64>>` | `vod-core` solver hot-path modules |
 //!
 //! Escape hatch: a comment line
 //! `// lint:allow(<rule>): <justification>` suppresses the rule on the
@@ -41,11 +42,12 @@ impl fmt::Display for Finding {
     }
 }
 
-pub const RULES: [&str; 4] = [
+pub const RULES: [&str; 5] = [
     "nondeterministic-map",
     "nan-unwrap-cmp",
     "wall-clock",
     "raw-index",
+    "vec-vec-f64",
 ];
 
 /// Paths (workspace-relative, `/`-separated) the linter never scans:
@@ -78,6 +80,24 @@ fn raw_index_exempt(path: &str) -> bool {
 /// Whether a path is test-only code (integration tests, benches).
 fn test_only_file(path: &str) -> bool {
     path.contains("/tests/") || path.starts_with("tests/") || path.contains("/benches/")
+}
+
+/// Solver hot-path modules where nested `Vec<Vec<f64>>` matrices are
+/// forbidden (flat row-major buffers only — see `crates/core/src/penalty.rs`
+/// and DESIGN.md "Solver performance architecture"). `direct.rs` is
+/// excluded: the simplex baseline is deliberately not a hot path.
+fn flat_buffer_scope(path: &str) -> bool {
+    const HOT: [&str; 7] = [
+        "block.rs",
+        "epf.rs",
+        "penalty.rs",
+        "pool.rs",
+        "potential.rs",
+        "rounding.rs",
+        "solution.rs",
+    ];
+    path.strip_prefix("crates/core/src/")
+        .is_some_and(|f| HOT.contains(&f))
 }
 
 /// Strip `//` line comments and (statefully) `/* ... */` block
@@ -260,6 +280,16 @@ pub fn lint_file(path: &str, content: &str) -> Vec<Finding> {
                     .to_string(),
             );
         }
+        if flat_buffer_scope(path) && !in_test_code {
+            check(
+                "vec-vec-f64",
+                code.contains("Vec<Vec<f64>>"),
+                "nested f64 matrices in solver hot paths re-allocate per chunk; use a \
+                 flat row-major buffer (crate::penalty::PenaltyArena, UflProblem) or \
+                 annotate a boundary constructor"
+                    .to_string(),
+            );
+        }
 
         pending_allows.clear();
     }
@@ -390,6 +420,25 @@ mod tests {
         let f = lint_file("crates/core/src/x.rs", src);
         assert_eq!(rules_of(&f), ["lint-allow"]);
         assert!(f[0].message.contains("unknown lint rule"));
+    }
+
+    #[test]
+    fn flags_nested_f64_matrices_in_hot_paths() {
+        let src = "fn f() { let m: Vec<Vec<f64>> = Vec::new(); }\n";
+        assert_eq!(
+            rules_of(&lint_file("crates/core/src/epf.rs", src)),
+            ["vec-vec-f64"]
+        );
+        // Outside the hot-path module list the rule is silent.
+        assert!(lint_file("crates/core/src/direct.rs", src).is_empty());
+        assert!(lint_file("crates/lp/src/lib.rs", src).is_empty());
+        // Test modules may build nested reference matrices freely.
+        let in_tests = format!("#[cfg(test)]\nmod tests {{\n    {src}\n}}\n");
+        assert!(lint_file("crates/core/src/penalty.rs", &in_tests).is_empty());
+        // A justified allow covers a boundary constructor.
+        let allowed = "// lint:allow(vec-vec-f64): boundary constructor flattens rows\n\
+                       pub fn from_rows(rows: Vec<Vec<f64>>) {}\n";
+        assert!(lint_file("crates/core/src/block.rs", allowed).is_empty());
     }
 
     #[test]

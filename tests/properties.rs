@@ -226,7 +226,7 @@ proptest! {
         let service: Vec<Vec<f64>> = svc.into_iter()
             .map(|row| (0..n).map(|i| row[i % row.len()]).collect())
             .collect();
-        let p = UflProblem { facility_cost: fac, service };
+        let p = UflProblem::from_rows(fac, service);
         let sol = p.solve_local_search();
         let lb = p.dual_ascent_bound();
         prop_assert!(lb <= p.cost(&sol) + 1e-9);
