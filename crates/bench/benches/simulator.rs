@@ -3,8 +3,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use vod_model::{Gigabytes, VideoId};
 use vod_net::PathSet;
 use vod_sim::{
-    random_single_vho_configs, simulate, Cache, CacheKind, LfuCache, LruCache, PolicyKind,
-    SimConfig,
+    random_single_vho_configs, simulate, simulate_batch, Cache, CacheKind, LfuCache, LruCache,
+    PolicyKind, SimConfig, SimJob,
 };
 use vod_trace::{generate_trace, synthesize_library, LibraryConfig, TraceConfig};
 
@@ -36,24 +36,54 @@ fn bench_simulator(c: &mut Criterion) {
 
 fn bench_caches(c: &mut Criterion) {
     c.bench_function("lru_insert_touch_1k", |b| {
+        let mut evicted = Vec::new();
         b.iter(|| {
-            let mut cache = LruCache::new(100.0);
+            let mut cache = LruCache::with_video_hint(100.0, 200);
             for i in 0..1000u32 {
-                cache.insert(VideoId::new(i % 200), 1.0);
+                cache.insert(VideoId::new(i % 200), 1.0, &mut evicted);
                 cache.touch(VideoId::new(i % 50));
             }
             cache.len()
         })
     });
     c.bench_function("lfu_insert_touch_1k", |b| {
+        let mut evicted = Vec::new();
         b.iter(|| {
-            let mut cache = LfuCache::new(100.0);
+            let mut cache = LfuCache::with_video_hint(100.0, 200);
             for i in 0..1000u32 {
-                cache.insert(VideoId::new(i % 200), 1.0);
+                cache.insert(VideoId::new(i % 200), 1.0, &mut evicted);
                 cache.touch(VideoId::new(i % 50));
             }
             cache.len()
         })
+    });
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let net = vod_net::topologies::mesh_backbone(10, 16, 5);
+    let paths = PathSet::shortest_paths(&net);
+    let lib = synthesize_library(&LibraryConfig::default_for(300, 7, 5));
+    let trace = generate_trace(&lib, &net, &TraceConfig::default_for(4000.0, 7, 5));
+    let disks = vec![Gigabytes::new(60.0); 10];
+    let vhos = random_single_vho_configs(&lib, &disks, CacheKind::Lru, 5);
+    let policy = PolicyKind::NearestReplica;
+    let jobs: Vec<SimJob> = (0..6u64)
+        .map(|seed| SimJob {
+            net: &net,
+            paths: &paths,
+            catalog: &lib,
+            trace: &trace,
+            vhos: &vhos,
+            policy: &policy,
+            cfg: SimConfig {
+                seed,
+                ..Default::default()
+            },
+        })
+        .collect();
+    let threads = vod_sim::default_threads();
+    c.bench_function("simulate_batch_6x28k_requests", |b| {
+        b.iter(|| simulate_batch(&jobs, threads).len())
     });
 }
 
@@ -69,5 +99,11 @@ fn bench_paths(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_simulator, bench_caches, bench_paths);
+criterion_group!(
+    benches,
+    bench_simulator,
+    bench_caches,
+    bench_batch,
+    bench_paths
+);
 criterion_main!(benches);

@@ -1,0 +1,224 @@
+//! Tracked simulator performance baseline — emits `BENCH_sim.json`.
+//!
+//! Replays the Fig. 12 cache-share ladder (five MIP placements, one
+//! week of trace each) twice: serially with per-row wall timing, then
+//! through `simulate_batch` on all cores. The reports must be
+//! byte-identical between the two passes — this binary asserts it on
+//! every run, so the baseline doubles as a determinism check.
+//!
+//! The point is the *trajectory*: run this binary before and after any
+//! simulator change and diff `results/BENCH_sim.json`. If a previous
+//! baseline file exists its per-row wall times are carried forward as
+//! `prev_wall_s`, so the committed file always records the pre→post
+//! movement of the last change. Solve time is excluded — only the
+//! replay is measured.
+//!
+//! Scales: `--quick` (CI smoke), default (the PR comparison ladder),
+//! `--full` (paper-scale).
+use std::time::Instant;
+use vod_bench::{fmt, results_dir, save_results, Defaults, Scale, Scenario, Table};
+use vod_core::{solve_placement, DiskConfig};
+use vod_estimate::{estimate_demand, EstimateConfig, EstimatorKind};
+use vod_json::{obj, ToJson, Value};
+use vod_model::SimTime;
+use vod_sim::{
+    default_threads, mip_vho_configs, simulate, simulate_batch, CacheKind, PolicyKind, SimConfig,
+    SimJob, SimReport, VhoConfig,
+};
+
+/// Per-row wall times from an existing `BENCH_sim.json`, keyed by row
+/// label. Missing / unparsable files yield an empty list (first run).
+fn previous_walls() -> Vec<(String, f64)> {
+    let path = results_dir().join("BENCH_sim.json");
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let Ok(doc) = Value::parse(&text) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    if let Some(rows) = doc.get("rows").and_then(Value::as_arr) {
+        for row in rows {
+            if let (Some(label), Some(wall)) = (
+                row.get("label").and_then(Value::as_str),
+                row.get("wall_s").and_then(Value::as_f64),
+            ) {
+                out.push((label.to_string(), wall));
+            }
+        }
+    }
+    out
+}
+
+/// Bitwise fingerprint of a report — any divergence between the serial
+/// and batched passes trips the assert below.
+fn fingerprint(rep: &SimReport) -> (u64, u64, u64, u64) {
+    let mut series = 0u64;
+    for &v in rep.peak_link_mbps.iter().chain(&rep.transfer_gb) {
+        series = series.rotate_left(7) ^ v.to_bits();
+    }
+    (
+        rep.total_requests,
+        rep.total_gb_hops.to_bits(),
+        rep.max_link_mbps.to_bits(),
+        series,
+    )
+}
+
+struct Row {
+    label: String,
+    requests: u64,
+    wall_s: f64,
+    reqs_per_sec: f64,
+    prev_wall_s: Option<f64>,
+}
+
+impl ToJson for Row {
+    fn to_value(&self) -> Value {
+        obj(vec![
+            ("label", self.label.to_value()),
+            ("requests", self.requests.to_value()),
+            ("wall_s", self.wall_s.to_value()),
+            ("reqs_per_sec", self.reqs_per_sec.to_value()),
+            (
+                "prev_wall_s",
+                match self.prev_wall_s {
+                    Some(w) => w.to_value(),
+                    None => Value::Null,
+                },
+            ),
+        ])
+    }
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let s = Scenario::operational(scale, 2010);
+    let d = Defaults::for_scale(scale);
+    let prev = previous_walls();
+    let mut net = s.net.clone();
+    net.set_uniform_capacity(vod_model::Mbps::from_gbps(d.link_gbps));
+    let full_disks = s.full_disks(&d);
+    let history = s.week(0);
+    let future = s.week(1);
+    let est = EstimateConfig {
+        window_secs: d.window_secs,
+        n_windows: d.n_windows,
+    };
+    // The Fig. 12 ladder: five placements, cache share 0 %..25 %.
+    let mut solved: Vec<(String, Vec<VhoConfig>, PolicyKind)> = Vec::new();
+    for frac in [0.0, 0.05, 0.10, 0.15, 0.25] {
+        let demand = estimate_demand(
+            EstimatorKind::History,
+            &s.catalog,
+            s.net.num_nodes(),
+            &history,
+            &future,
+            7,
+            7,
+            &est,
+        );
+        let inst = vod_core::MipInstance::new(
+            net.clone(),
+            s.catalog.clone(),
+            demand,
+            &DiskConfig::UniformRatio {
+                ratio: d.disk_ratio * (1.0 - frac),
+            },
+            1.0,
+            0.0,
+            None,
+        );
+        let out = solve_placement(&inst, &s.epf_config());
+        let vhos = mip_vho_configs(&out.placement, &full_disks, frac, CacheKind::Lru);
+        solved.push((
+            format!("cache {:.0}%", frac * 100.0),
+            vhos,
+            PolicyKind::MipRouting(out.placement),
+        ));
+    }
+    let cfg = SimConfig {
+        measure_from: SimTime::new(7 * 86_400),
+        seed: s.seed,
+        ..Default::default()
+    };
+
+    // ---- Serial pass: per-row wall time. ----
+    let mut rows: Vec<Row> = Vec::new();
+    let mut serial_reps = Vec::new();
+    let t_serial = Instant::now();
+    for (label, vhos, policy) in &solved {
+        let t0 = Instant::now();
+        let rep = simulate(&net, &s.paths, &s.catalog, &future, vhos, policy, &cfg);
+        let wall_s = t0.elapsed().as_secs_f64();
+        rows.push(Row {
+            label: label.clone(),
+            requests: rep.total_requests,
+            wall_s,
+            reqs_per_sec: rep.total_requests as f64 / wall_s.max(1e-9),
+            prev_wall_s: prev.iter().find(|(l, _)| l == label).map(|&(_, w)| w),
+        });
+        serial_reps.push(rep);
+    }
+    let serial_wall_s = t_serial.elapsed().as_secs_f64();
+
+    // ---- Batched pass: same jobs, all cores, must be byte-identical.
+    // At least two workers so the threaded path is exercised (and its
+    // determinism asserted) even on single-core runners.
+    let threads = default_threads().max(2);
+    let jobs: Vec<SimJob> = solved
+        .iter()
+        .map(|(_, vhos, policy)| SimJob {
+            net: &net,
+            paths: &s.paths,
+            catalog: &s.catalog,
+            trace: &future,
+            vhos,
+            policy,
+            cfg: cfg.clone(),
+        })
+        .collect();
+    let t_batch = Instant::now();
+    let batch_reps = simulate_batch(&jobs, threads);
+    let batched_wall_s = t_batch.elapsed().as_secs_f64();
+    for (i, (a, b)) in serial_reps.iter().zip(&batch_reps).enumerate() {
+        assert_eq!(
+            fingerprint(a),
+            fingerprint(b),
+            "batched report {i} diverged from serial"
+        );
+    }
+
+    let mut table = Table::new(
+        "Simulator baseline — Fig. 12 ladder replay",
+        &["row", "requests", "wall (s)", "req/s", "prev wall (s)"],
+    );
+    for r in &rows {
+        table.row(vec![
+            r.label.clone(),
+            r.requests.to_string(),
+            fmt(r.wall_s),
+            fmt(r.reqs_per_sec),
+            r.prev_wall_s.map_or_else(|| "-".into(), fmt),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nserial {serial_wall_s:.4} s vs batched {batched_wall_s:.4} s \
+         on {threads} threads ({:.2}x); batched reports byte-identical",
+        serial_wall_s / batched_wall_s.max(1e-9)
+    );
+    let payload = obj(vec![
+        ("schema", "BENCH_sim/v1".to_value()),
+        ("scale", format!("{scale:?}").to_value()),
+        ("threads", threads.to_value()),
+        ("rows", rows.to_value()),
+        ("serial_wall_s", serial_wall_s.to_value()),
+        ("batched_wall_s", batched_wall_s.to_value()),
+        (
+            "batch_speedup",
+            (serial_wall_s / batched_wall_s.max(1e-9)).to_value(),
+        ),
+    ]);
+    save_results("BENCH_sim", &payload);
+}

@@ -4,27 +4,42 @@
 //! outside the window exceeds the target); day-long windows
 //! over-constrain (feasibility demands far more capacity than the
 //! replay ever uses). One hour is the sweet spot.
+//!
+//! Feasibility probes and solves run serially per window size (each
+//! needs its own capacity search); the replays are fanned out over all
+//! cores via `simulate_batch`, which preserves row order exactly.
 use vod_bench::{fmt, save_results, Defaults, Scale, Scenario, Table};
 use vod_core::feasibility::{min_link_capacity, Scenario as FeasScenario};
 use vod_core::{solve_placement, MipInstance};
 use vod_model::time::{DAY, HOUR, MINUTE};
-use vod_model::Mbps;
-use vod_sim::{mip_vho_configs, simulate, CacheKind, PolicyKind, SimConfig};
+use vod_model::{Mbps, TimeWindow};
+use vod_net::Network;
+use vod_sim::{
+    default_threads, mip_vho_configs, simulate_batch, CacheKind, PolicyKind, SimConfig, SimJob,
+    VhoConfig,
+};
+
+/// One window size's solve products (rows that failed the feasibility
+/// probe carry no simulation).
+enum RowPlan {
+    Infeasible {
+        label: &'static str,
+    },
+    Feasible {
+        label: &'static str,
+        cap: Mbps,
+        windows: Vec<TimeWindow>,
+        net: Network,
+        vhos: Vec<VhoConfig>,
+        policy: PolicyKind,
+    },
+}
 
 fn main() {
     let s = Scenario::operational(Scale::from_args(), 2010);
     let d = Defaults::default();
     let week = s.week(0);
-    let mut table = Table::new(
-        "Table V — peak-window size vs bandwidth",
-        &[
-            "window",
-            "feasibility capacity (Gb/s)",
-            "max in-window (Gb/s)",
-            "max whole week (Gb/s)",
-        ],
-    );
-    let mut payload = Vec::new();
+    let mut plans = Vec::new();
     for (secs, label) in [
         (1, "1 second"),
         (MINUTE, "1 minute"),
@@ -56,15 +71,10 @@ fn main() {
             &s.probe_config(),
         );
         let Some(cap) = cap else {
-            table.row(vec![
-                label.into(),
-                "infeasible".into(),
-                "-".into(),
-                "-".into(),
-            ]);
+            plans.push(RowPlan::Infeasible { label });
             continue;
         };
-        // Solve at that capacity and replay the same week.
+        // Solve at that capacity; the replay joins the batch below.
         let mut net = s.net.clone();
         net.set_uniform_capacity(cap);
         let inst = MipInstance::new(
@@ -79,47 +89,97 @@ fn main() {
         let out = solve_placement(&inst, &s.epf_config());
         let disks = s.full_disks(&d);
         let vhos = mip_vho_configs(&out.placement, &disks, 0.0, CacheKind::Lru);
-        let rep = simulate(
-            &net,
-            &s.paths,
-            &s.catalog,
-            &week,
-            &vhos,
-            &PolicyKind::MipRouting(out.placement.clone()),
-            &SimConfig {
-                seed: s.seed,
-                insert_on_miss: false,
-                ..Default::default()
-            },
-        );
-        // Max load inside the enforced windows vs over the whole week.
-        let in_window = rep
-            .peak_link_mbps
-            .iter()
-            .enumerate()
-            .filter(|&(b, _)| {
-                let t = b as u64 * rep.bucket_secs;
-                windows.iter().any(|w| {
-                    w.overlaps(
-                        vod_model::SimTime::new(t),
-                        vod_model::SimTime::new(t + rep.bucket_secs),
-                    )
-                })
-            })
-            .map(|(_, &v)| v)
-            .fold(0.0, f64::max);
-        table.row(vec![
-            label.into(),
-            fmt(cap.gbps()),
-            fmt(in_window / 1000.0),
-            fmt(rep.max_link_mbps / 1000.0),
-        ]);
-        payload.push((
-            label.to_string(),
-            cap.gbps(),
-            in_window / 1000.0,
-            rep.max_link_mbps / 1000.0,
-        ));
+        plans.push(RowPlan::Feasible {
+            label,
+            cap,
+            windows,
+            net,
+            vhos,
+            policy: PolicyKind::MipRouting(out.placement),
+        });
+    }
+    let cfg = SimConfig {
+        seed: s.seed,
+        insert_on_miss: false,
+        ..Default::default()
+    };
+    let jobs: Vec<SimJob> = plans
+        .iter()
+        .filter_map(|p| match p {
+            RowPlan::Infeasible { .. } => None,
+            RowPlan::Feasible {
+                net, vhos, policy, ..
+            } => Some(SimJob {
+                net,
+                paths: &s.paths,
+                catalog: &s.catalog,
+                trace: &week,
+                vhos,
+                policy,
+                cfg: cfg.clone(),
+            }),
+        })
+        .collect();
+    let reps = simulate_batch(&jobs, default_threads());
+
+    let mut table = Table::new(
+        "Table V — peak-window size vs bandwidth",
+        &[
+            "window",
+            "feasibility capacity (Gb/s)",
+            "max in-window (Gb/s)",
+            "max whole week (Gb/s)",
+        ],
+    );
+    let mut payload = Vec::new();
+    let mut rep_iter = reps.iter();
+    for plan in &plans {
+        match plan {
+            RowPlan::Infeasible { label } => {
+                table.row(vec![
+                    (*label).into(),
+                    "infeasible".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
+            }
+            RowPlan::Feasible {
+                label,
+                cap,
+                windows,
+                ..
+            } => {
+                let rep = rep_iter.next().expect("one report per feasible row");
+                // Max load inside the enforced windows vs over the whole week.
+                let in_window = rep
+                    .peak_link_mbps
+                    .iter()
+                    .enumerate()
+                    .filter(|&(b, _)| {
+                        let t = b as u64 * rep.bucket_secs;
+                        windows.iter().any(|w| {
+                            w.overlaps(
+                                vod_model::SimTime::new(t),
+                                vod_model::SimTime::new(t + rep.bucket_secs),
+                            )
+                        })
+                    })
+                    .map(|(_, &v)| v)
+                    .fold(0.0, f64::max);
+                table.row(vec![
+                    (*label).into(),
+                    fmt(cap.gbps()),
+                    fmt(in_window / 1000.0),
+                    fmt(rep.max_link_mbps / 1000.0),
+                ]);
+                payload.push((
+                    (*label).to_string(),
+                    cap.gbps(),
+                    in_window / 1000.0,
+                    rep.max_link_mbps / 1000.0,
+                ));
+            }
+        }
     }
     table.print();
     println!(

@@ -2,15 +2,22 @@
 //! claims: MIP placement (weekly re-solves with history estimation and
 //! a 5 % complementary LRU cache) versus Random+LRU, Random+LFU and
 //! Top-K+LRU on identical disks, links and requests.
+//!
+//! The weekly MIP solves are serial (each anchors migration cost on the
+//! previous placement); every replay — per-week MIP and the three
+//! full-trace baselines — joins a single `simulate_batch` fan-out, and
+//! the series are stitched back together in week order so the outcome
+//! is byte-identical to the serial loop.
 
 use crate::{Defaults, Scenario};
 use vod_core::{solve_placement, MipInstance, Placement, PlacementCost};
 use vod_estimate::{estimate_demand, EstimateConfig, EstimatorKind};
 use vod_model::{SimTime, VhoId};
 use vod_sim::{
-    mip_vho_configs, random_single_vho_configs, simulate, top_k_vho_configs, CacheKind, PolicyKind,
-    SimConfig, SimReport,
+    default_threads, mip_vho_configs, random_single_vho_configs, simulate_batch, top_k_vho_configs,
+    CacheKind, PolicyKind, SimConfig, SimJob, SimReport, VhoConfig,
 };
+use vod_trace::Trace;
 
 /// One strategy's measured outcome over the evaluation period.
 #[derive(Debug)]
@@ -58,6 +65,14 @@ fn outcome_from(name: &str, rep: &SimReport, from_bucket: usize) -> StrategyOutc
     }
 }
 
+/// One week of the MIP schedule, solved and ready to replay.
+struct WeekPlan {
+    w: u64,
+    future: Trace,
+    vhos: Vec<VhoConfig>,
+    policy: PolicyKind,
+}
+
 /// Run the full comparison. The first `warmup_weeks` weeks warm the
 /// caches (and provide the first demand history); measurements cover
 /// the remaining weeks, with the MIP re-solved weekly from the previous
@@ -78,15 +93,10 @@ pub fn run_comparison(s: &Scenario, d: &Defaults, top_k: usize) -> Vec<StrategyO
     };
     let epf = s.epf_config();
 
-    // ---- MIP: weekly re-solve, simulate each week against its own
-    // placement, concatenate the series. ----
-    let mut peak_series = Vec::new();
-    let mut transfer_series = Vec::new();
-    let mut gb_hops = 0.0;
-    let mut local = 0u64;
-    let mut total_reqs = 0u64;
-    let mut uncachable = 0u64;
+    // ---- MIP: weekly re-solves (serial — migration cost chains each
+    // placement to the previous one). The replays join the batch below.
     let mut prev: Option<Placement> = None;
+    let mut plans = Vec::new();
     for w in 1..weeks {
         let history = s.week(w - 1);
         let future = s.week(w);
@@ -117,20 +127,84 @@ pub fn run_comparison(s: &Scenario, d: &Defaults, top_k: usize) -> Vec<StrategyO
         );
         let out = solve_placement(&inst, &epf);
         let vhos = mip_vho_configs(&out.placement, &full_disks, d.cache_frac, CacheKind::Lru);
-        let rep = simulate(
-            &net,
-            &s.paths,
-            &s.catalog,
-            &future,
-            &vhos,
-            &PolicyKind::MipRouting(out.placement.clone()),
-            &SimConfig {
-                seed: s.seed,
-                ..Default::default()
-            },
-        );
-        let lo = ((w * week_secs) / 300) as usize;
-        let hi = (((w + 1) * week_secs) / 300) as usize;
+        plans.push(WeekPlan {
+            w,
+            future,
+            vhos,
+            policy: PolicyKind::MipRouting(out.placement.clone()),
+        });
+        prev = Some(out.placement);
+    }
+
+    // ---- Baselines: static assignment + cache, full-trace run with
+    // week 0 as cache warm-up. ----
+    let ranked = {
+        let week0 = s.week(0);
+        let demand =
+            vod_trace::DemandInput::from_trace(&week0, &s.catalog, s.net.num_nodes(), vec![]);
+        demand.aggregate.rank_videos()
+    };
+    let baselines: Vec<(String, Vec<VhoConfig>)> = vec![
+        (
+            "Random+LRU".to_string(),
+            random_single_vho_configs(&s.catalog, &full_disks, CacheKind::Lru, s.seed),
+        ),
+        (
+            "Random+LFU".to_string(),
+            random_single_vho_configs(&s.catalog, &full_disks, CacheKind::Lfu, s.seed),
+        ),
+        (
+            format!("Top-{top_k}+LRU"),
+            top_k_vho_configs(&s.catalog, &ranked, top_k, &full_disks, s.seed),
+        ),
+    ];
+    let baseline_policy = PolicyKind::NearestReplica;
+
+    // ---- One fan-out over every replay: per-week MIP runs first, the
+    // three baselines after. ----
+    let mip_cfg = SimConfig {
+        seed: s.seed,
+        ..Default::default()
+    };
+    let base_cfg = SimConfig {
+        measure_from: eval_from,
+        seed: s.seed,
+        ..Default::default()
+    };
+    let jobs: Vec<SimJob> = plans
+        .iter()
+        .map(|p| SimJob {
+            net: &net,
+            paths: &s.paths,
+            catalog: &s.catalog,
+            trace: &p.future,
+            vhos: &p.vhos,
+            policy: &p.policy,
+            cfg: mip_cfg.clone(),
+        })
+        .chain(baselines.iter().map(|(_, vhos)| SimJob {
+            net: &net,
+            paths: &s.paths,
+            catalog: &s.catalog,
+            trace: &s.trace,
+            vhos,
+            policy: &baseline_policy,
+            cfg: base_cfg.clone(),
+        }))
+        .collect();
+    let reps = simulate_batch(&jobs, default_threads());
+    let (mip_reps, base_reps) = reps.split_at(plans.len());
+
+    // Stitch the MIP weeks back together in week order.
+    let mut peak_series = Vec::new();
+    let mut transfer_series = Vec::new();
+    let mut gb_hops = 0.0;
+    let mut local = 0u64;
+    let mut total_reqs = 0u64;
+    let mut uncachable = 0u64;
+    for (plan, rep) in plans.iter().zip(mip_reps) {
+        let lo = ((plan.w * week_secs) / 300) as usize;
+        let hi = (((plan.w + 1) * week_secs) / 300) as usize;
         peak_series.extend_from_slice(
             &rep.peak_link_mbps[lo.min(rep.peak_link_mbps.len())..hi.min(rep.peak_link_mbps.len())],
         );
@@ -141,7 +215,6 @@ pub fn run_comparison(s: &Scenario, d: &Defaults, top_k: usize) -> Vec<StrategyO
         local += rep.served_local_pinned + rep.served_local_cached;
         total_reqs += rep.total_requests;
         uncachable += rep.cache.rejections;
-        prev = Some(out.placement);
     }
     let mip_outcome = StrategyOutcome {
         name: "MIP".into(),
@@ -157,45 +230,9 @@ pub fn run_comparison(s: &Scenario, d: &Defaults, top_k: usize) -> Vec<StrategyO
         uncachable,
     };
 
-    // ---- Baselines: static assignment + cache, full-trace run with
-    // week 0 as cache warm-up. ----
-    let sim_cfg = SimConfig {
-        measure_from: eval_from,
-        seed: s.seed,
-        ..Default::default()
-    };
-    let ranked = {
-        let week0 = s.week(0);
-        let demand =
-            vod_trace::DemandInput::from_trace(&week0, &s.catalog, s.net.num_nodes(), vec![]);
-        demand.aggregate.rank_videos()
-    };
     let mut outcomes = vec![mip_outcome];
-    let baselines: Vec<(String, Vec<vod_sim::VhoConfig>)> = vec![
-        (
-            "Random+LRU".to_string(),
-            random_single_vho_configs(&s.catalog, &full_disks, CacheKind::Lru, s.seed),
-        ),
-        (
-            "Random+LFU".to_string(),
-            random_single_vho_configs(&s.catalog, &full_disks, CacheKind::Lfu, s.seed),
-        ),
-        (
-            format!("Top-{top_k}+LRU"),
-            top_k_vho_configs(&s.catalog, &ranked, top_k, &full_disks, s.seed),
-        ),
-    ];
-    for (name, vhos) in baselines {
-        let rep = simulate(
-            &net,
-            &s.paths,
-            &s.catalog,
-            &s.trace,
-            &vhos,
-            &PolicyKind::NearestReplica,
-            &sim_cfg,
-        );
-        outcomes.push(outcome_from(&name, &rep, from_bucket));
+    for ((name, _), rep) in baselines.iter().zip(base_reps) {
+        outcomes.push(outcome_from(name, rep, from_bucket));
     }
     outcomes
 }

@@ -37,7 +37,7 @@ pub mod epf;
 pub mod feasibility;
 pub mod instance;
 pub mod penalty;
-mod pool;
+pub mod pool;
 pub mod potential;
 pub mod rounding;
 pub mod solution;
@@ -47,6 +47,7 @@ pub use audit::{AuditReport, Violation};
 pub use epf::{solve_fractional, EpfConfig, EpfStats};
 pub use instance::{DiskConfig, MipInstance, PlacementCost};
 pub use penalty::{PenaltyArena, PenaltyUpdate};
+pub use pool::map_ordered;
 pub use rounding::RoundingStats;
 pub use solution::{BlockSolution, FractionalSolution, Placement};
 pub use solver::{solve_placement, PlacementOutput};

@@ -30,12 +30,58 @@ use crate::penalty::{PenaltyArena, PenaltyUpdate};
 use crate::potential::{Duals, RowLayout};
 use crate::solution::BlockSolution;
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{RwLock, RwLockReadGuard};
 
 /// Below this many items a dispatch runs inline on the calling thread:
 /// channel round-trips cost more than tiny chunks save.
 const PARALLEL_MIN: usize = 16;
+
+/// Fan `f` over `items` on up to `threads` scoped workers and return
+/// the results **in item order** — the pool's determinism contract
+/// generalized to arbitrary independent jobs (used by `vod-sim`'s
+/// batch runner). Each result lands at its item's index, so
+/// `threads = 1` and `threads = N` produce the same `Vec` whatever the
+/// completion order; with `threads <= 1` (or a single item) the
+/// closure runs inline on the caller.
+///
+/// Work is pulled from a shared atomic counter rather than pre-chunked
+/// so a slow item (a big scenario) does not leave workers idle.
+pub fn map_ordered<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let n = items.len();
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            let tx = tx.clone();
+            let (next, f) = (&next, &f);
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n || tx.send((i, f(&items[i]))).is_err() {
+                    return;
+                }
+            });
+        }
+        drop(tx);
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (i, r) = rx.recv().expect("map_ordered worker hung up");
+            out[i] = Some(r);
+        }
+        out.into_iter()
+            .map(|r| r.expect("map_ordered item missing"))
+            .collect()
+    })
+}
 
 /// What to do with each block index of a job.
 #[derive(Debug, Clone, Copy)]

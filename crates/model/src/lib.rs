@@ -25,6 +25,7 @@ pub mod fcmp;
 pub mod ids;
 pub mod narrow;
 pub mod rng;
+pub mod slab;
 pub mod time;
 pub mod units;
 pub mod video;

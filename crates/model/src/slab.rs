@@ -1,0 +1,247 @@
+//! Dense-slab helpers: an intrusive, index-linked doubly-linked list.
+//!
+//! [`IndexList`] stores `prev`/`next` cursors in two flat `Vec<u32>`s
+//! indexed by the same dense id space as the caller's entry slab (for
+//! the simulator's caches: `VideoId::index()`). Linking, unlinking and
+//! positional insertion are O(1) and allocation-free once the backing
+//! vectors have grown to the id range — exactly what a cache touch on
+//! the simulator hot path needs, where a `BTreeSet` re-key used to pay
+//! a log-time node rebalance and allocator traffic per request.
+//!
+//! The list does not own element *presence*: callers must only link an
+//! index that is currently unlinked and unlink one that is linked
+//! (both are `debug_assert`ed via the `NIL` sentinel convention).
+
+use std::fmt;
+
+/// Sentinel for "no element" in [`IndexList`] cursors.
+pub const NIL: u32 = u32::MAX;
+
+/// An intrusive doubly-linked list over a dense `u32` index space.
+#[derive(Clone, Default)]
+pub struct IndexList {
+    head: u32,
+    tail: u32,
+    prev: Vec<u32>,
+    next: Vec<u32>,
+}
+
+impl IndexList {
+    pub fn new() -> Self {
+        Self {
+            head: NIL,
+            tail: NIL,
+            prev: Vec::new(),
+            next: Vec::new(),
+        }
+    }
+
+    /// Pre-size the cursor arrays for indices `0..n` (amortized; safe
+    /// to call repeatedly with growing `n`).
+    pub fn ensure(&mut self, n: usize) {
+        if self.prev.len() < n {
+            self.prev.resize(n, NIL);
+            self.next.resize(n, NIL);
+        }
+    }
+
+    /// First (eviction-side) element, or `NIL` when empty.
+    #[inline]
+    pub fn head(&self) -> u32 {
+        self.head
+    }
+
+    /// Last (most-recently-filed) element, or `NIL` when empty.
+    #[inline]
+    pub fn tail(&self) -> u32 {
+        self.tail
+    }
+
+    /// Successor of `i`, or `NIL` at the tail.
+    #[inline]
+    pub fn next(&self, i: u32) -> u32 {
+        self.next[i as usize]
+    }
+
+    /// Predecessor of `i`, or `NIL` at the head.
+    #[inline]
+    pub fn prev(&self, i: u32) -> u32 {
+        self.prev[i as usize]
+    }
+
+    /// Append `i` at the tail. `i` must be unlinked and within the
+    /// `ensure`d range.
+    pub fn push_back(&mut self, i: u32) {
+        debug_assert!(self.unlinked(i), "push_back of a linked index {i}");
+        let t = self.tail;
+        self.prev[i as usize] = t;
+        self.next[i as usize] = NIL;
+        if t == NIL {
+            self.head = i;
+        } else {
+            self.next[t as usize] = i;
+        }
+        self.tail = i;
+    }
+
+    /// Insert `i` at the head. `i` must be unlinked.
+    pub fn push_front(&mut self, i: u32) {
+        debug_assert!(self.unlinked(i), "push_front of a linked index {i}");
+        let h = self.head;
+        self.next[i as usize] = h;
+        self.prev[i as usize] = NIL;
+        if h == NIL {
+            self.tail = i;
+        } else {
+            self.prev[h as usize] = i;
+        }
+        self.head = i;
+    }
+
+    /// Insert `i` immediately after the linked element `at`.
+    pub fn insert_after(&mut self, at: u32, i: u32) {
+        debug_assert!(self.unlinked(i), "insert_after of a linked index {i}");
+        let n = self.next[at as usize];
+        self.prev[i as usize] = at;
+        self.next[i as usize] = n;
+        self.next[at as usize] = i;
+        if n == NIL {
+            self.tail = i;
+        } else {
+            self.prev[n as usize] = i;
+        }
+    }
+
+    /// Remove `i` from the list (it must currently be linked).
+    pub fn unlink(&mut self, i: u32) {
+        let p = self.prev[i as usize];
+        let n = self.next[i as usize];
+        if p == NIL {
+            debug_assert_eq!(self.head, i, "unlink of an unlinked index {i}");
+            self.head = n;
+        } else {
+            self.next[p as usize] = n;
+        }
+        if n == NIL {
+            self.tail = p;
+        } else {
+            self.prev[n as usize] = p;
+        }
+        self.prev[i as usize] = NIL;
+        self.next[i as usize] = NIL;
+    }
+
+    /// Whether `i` carries no links (head-of-a-single-element lists are
+    /// linked yet have NIL cursors, hence the head check).
+    fn unlinked(&self, i: u32) -> bool {
+        self.prev[i as usize] == NIL && self.next[i as usize] == NIL && self.head != i
+    }
+
+    /// Iterate front-to-back (eviction order).
+    pub fn iter(&self) -> IndexListIter<'_> {
+        IndexListIter {
+            list: self,
+            at: self.head,
+        }
+    }
+}
+
+impl fmt::Debug for IndexList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+/// Front-to-back iterator over an [`IndexList`].
+#[derive(Debug)]
+pub struct IndexListIter<'a> {
+    list: &'a IndexList,
+    at: u32,
+}
+
+impl Iterator for IndexListIter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        if self.at == NIL {
+            return None;
+        }
+        let i = self.at;
+        self.at = self.list.next(i);
+        Some(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(l: &IndexList) -> Vec<u32> {
+        l.iter().collect()
+    }
+
+    #[test]
+    fn push_and_iterate() {
+        let mut l = IndexList::new();
+        l.ensure(5);
+        l.push_back(1);
+        l.push_back(3);
+        l.push_front(0);
+        assert_eq!(collect(&l), vec![0, 1, 3]);
+        assert_eq!(l.head(), 0);
+        assert_eq!(l.tail(), 3);
+    }
+
+    #[test]
+    fn unlink_middle_head_tail() {
+        let mut l = IndexList::new();
+        l.ensure(4);
+        for i in 0..4 {
+            l.push_back(i);
+        }
+        l.unlink(2);
+        assert_eq!(collect(&l), vec![0, 1, 3]);
+        l.unlink(0);
+        assert_eq!(collect(&l), vec![1, 3]);
+        l.unlink(3);
+        assert_eq!(collect(&l), vec![1]);
+        l.unlink(1);
+        assert_eq!(collect(&l), Vec::<u32>::new());
+        assert_eq!(l.head(), NIL);
+        assert_eq!(l.tail(), NIL);
+    }
+
+    #[test]
+    fn insert_after_updates_tail() {
+        let mut l = IndexList::new();
+        l.ensure(4);
+        l.push_back(0);
+        l.push_back(2);
+        l.insert_after(0, 1);
+        assert_eq!(collect(&l), vec![0, 1, 2]);
+        l.insert_after(2, 3);
+        assert_eq!(collect(&l), vec![0, 1, 2, 3]);
+        assert_eq!(l.tail(), 3);
+    }
+
+    #[test]
+    fn relink_after_unlink() {
+        let mut l = IndexList::new();
+        l.ensure(3);
+        l.push_back(0);
+        l.push_back(1);
+        l.unlink(0);
+        l.push_back(0); // move-to-back idiom
+        assert_eq!(collect(&l), vec![1, 0]);
+    }
+
+    #[test]
+    fn ensure_grows_without_relinking() {
+        let mut l = IndexList::new();
+        l.ensure(1);
+        l.push_back(0);
+        l.ensure(10);
+        l.push_back(9);
+        assert_eq!(collect(&l), vec![0, 9]);
+    }
+}

@@ -1,6 +1,15 @@
 //! The simulation engine: trace replay with exact link-load accounting.
+//!
+//! Hot-path structure (see DESIGN.md "Simulator performance
+//! architecture"): link loads live in an implicit tournament tree so
+//! stream add/remove are O(log L) with the running max a root read;
+//! caches are statically-dispatched dense slabs ([`CacheImpl`]); and
+//! evictions reuse one scratch vector across the whole replay. All of
+//! it is bit-for-bit compatible with the original O(L)-rescan,
+//! `BTreeMap`-cache implementation — `SimReport` at a fixed seed is
+//! byte-identical, which the determinism and property tests pin.
 
-use crate::cache::{make_cache, Cache, CacheKind, CacheStats, InsertOutcome};
+use crate::cache::{Cache, CacheImpl, CacheKind, CacheStats, InsertOutcome};
 use rand::Rng;
 use std::collections::BinaryHeap;
 use vod_core::Placement;
@@ -100,6 +109,18 @@ impl SimReport {
     }
 }
 
+/// Final dynamic state of a run — what the caches ended up holding.
+/// Separated from [`SimReport`] so the report stays byte-comparable
+/// across implementations while tests/audits can still inspect state.
+#[derive(Debug, Clone)]
+pub struct SimFinalState {
+    /// Per video: sorted ids of the VHOs whose *cache* (not pinned
+    /// store) holds it when the replay ends.
+    pub cached_holders: Vec<Vec<VhoId>>,
+    /// Per VHO: sorted cache contents (empty for cacheless VHOs).
+    pub cache_contents: Vec<Vec<VideoId>>,
+}
+
 /// A stream-end event (min-heap by time; `seq` keeps ordering stable).
 #[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
 struct EndEvent {
@@ -113,9 +134,18 @@ struct EndEvent {
     unpin_client_cache: bool,
 }
 
+/// Per-link load levels with the running maximum maintained in an
+/// implicit tournament (segment) tree: leaves hold link loads, each
+/// internal node the max of its two children, so add/remove cost
+/// O(log L) per touched link and the current max is a root read. This
+/// replaces an epsilon-guarded O(L) rescan per stream end (and its
+/// `1e-9` "touched the max" heuristic). `f64::max` is exact selection
+/// — the root equals a linear fold over the links bit-for-bit, so the
+/// reported series are unchanged.
 struct Loads {
-    per_link: Vec<f64>,
-    current_max: f64,
+    /// 1-indexed implicit binary tree; leaves at `leaf_base..`.
+    tree: Vec<f64>,
+    leaf_base: usize,
     current_total: f64,
     last_event: u64,
     bucket_secs: u64,
@@ -126,14 +156,30 @@ struct Loads {
 impl Loads {
     fn new(n_links: usize, horizon: SimTime, bucket_secs: u64) -> Self {
         let n_buckets = narrow::usize_from(horizon.secs().div_ceil(bucket_secs)).max(1);
+        let leaf_base = n_links.next_power_of_two().max(1);
         Self {
-            per_link: vec![0.0; n_links],
-            current_max: 0.0,
+            tree: vec![0.0; 2 * leaf_base],
+            leaf_base,
             current_total: 0.0,
             last_event: 0,
             bucket_secs,
             peaks: vec![0.0; n_buckets],
             volumes_gb: vec![0.0; n_buckets],
+        }
+    }
+
+    /// Current max load over all links.
+    #[inline]
+    fn max(&self) -> f64 {
+        self.tree[1]
+    }
+
+    /// Recompute ancestors of leaf `i` after its value changed.
+    #[inline]
+    fn pull_up(&mut self, mut i: usize) {
+        while i > 1 {
+            i /= 2;
+            self.tree[i] = self.tree[2 * i].max(self.tree[2 * i + 1]);
         }
     }
 
@@ -147,7 +193,7 @@ impl Loads {
                 break;
             }
             let seg_end = ((b as u64 + 1) * self.bucket_secs).min(now);
-            self.peaks[b] = self.peaks[b].max(self.current_max);
+            self.peaks[b] = self.peaks[b].max(self.max());
             // Mb/s × s = Mb; /8000 → GB.
             self.volumes_gb[b] += self.current_total * (seg_end - t) as f64 / 8000.0;
             t = seg_end;
@@ -156,32 +202,49 @@ impl Loads {
         // The new level also counts toward the bucket containing `now`.
         let b = narrow::usize_from(now / self.bucket_secs);
         if b < self.peaks.len() {
-            self.peaks[b] = self.peaks[b].max(self.current_max);
+            self.peaks[b] = self.peaks[b].max(self.max());
         }
     }
 
     fn add(&mut self, links: &[vod_model::LinkId], rate: f64) {
         for &l in links {
-            let v = &mut self.per_link[l.index()];
-            *v += rate;
-            self.current_max = self.current_max.max(*v);
+            let i = self.leaf_base + l.index();
+            self.tree[i] += rate;
+            self.pull_up(i);
         }
         self.current_total += rate * links.len() as f64;
     }
 
     fn remove(&mut self, links: &[vod_model::LinkId], rate: f64) {
-        let mut touched_max = false;
         for &l in links {
-            let v = &mut self.per_link[l.index()];
-            if *v >= self.current_max - 1e-9 {
-                touched_max = true;
-            }
-            *v = (*v - rate).max(0.0);
+            let i = self.leaf_base + l.index();
+            #[cfg(feature = "audit")]
+            assert!(
+                self.tree[i] - rate >= -1e-6,
+                "audit: link {} load would go negative ({} - {rate})",
+                l.index(),
+                self.tree[i],
+            );
+            self.tree[i] = (self.tree[i] - rate).max(0.0);
+            self.pull_up(i);
         }
         self.current_total = (self.current_total - rate * links.len() as f64).max(0.0);
-        if touched_max {
-            self.current_max = self.per_link.iter().cloned().fold(0.0, f64::max);
-        }
+    }
+}
+
+/// Audit check: `cached_holders[m]` must list exactly the VHOs whose
+/// cache contains `m`.
+#[cfg(feature = "audit")]
+fn audit_video_holders(m: VideoId, cached_holders: &[Vec<VhoId>], caches: &[Option<CacheImpl>]) {
+    for (jj, c) in caches.iter().enumerate() {
+        // lint:allow(raw-index): recovers the id from a dense 0..n_vhos vector index
+        let id = VhoId::from_index(jj);
+        let in_cache = c.as_ref().is_some_and(|c| c.contains(m));
+        let in_holders = cached_holders[m.index()].binary_search(&id).is_ok();
+        assert_eq!(
+            in_cache, in_holders,
+            "audit: holder-set divergence for video {m} at VHO {jj}"
+        );
     }
 }
 
@@ -201,6 +264,20 @@ pub fn simulate(
     policy: &PolicyKind,
     cfg: &SimConfig,
 ) -> SimReport {
+    simulate_with_final(net, paths, catalog, trace, vhos, policy, cfg).0
+}
+
+/// As [`simulate`], additionally returning the end-of-run cache state
+/// (used by the property tests and the audit layer).
+pub fn simulate_with_final(
+    net: &Network,
+    paths: &PathSet,
+    catalog: &Catalog,
+    trace: &Trace,
+    vhos: &[VhoConfig],
+    policy: &PolicyKind,
+    cfg: &SimConfig,
+) -> (SimReport, SimFinalState) {
     let n_vhos = net.num_nodes();
     let n_videos = catalog.len();
     assert_eq!(vhos.len(), n_vhos, "one VhoConfig per VHO");
@@ -220,10 +297,15 @@ pub fn simulate(
     }
     // Dynamic cache holders per video, kept sorted.
     let mut cached_holders: Vec<Vec<VhoId>> = vec![Vec::new(); n_videos];
-    let mut caches: Vec<Option<Box<dyn Cache + Send>>> = vhos
+    let mut caches: Vec<Option<CacheImpl>> = vhos
         .iter()
-        .map(|vc| vc.cache.map(|(kind, gb)| make_cache(kind, gb)))
+        .map(|vc| {
+            vc.cache
+                .map(|(kind, gb)| CacheImpl::with_video_hint(kind, gb, n_videos))
+        })
         .collect();
+    // Eviction scratch, reused across the whole replay.
+    let mut evicted: Vec<VideoId> = Vec::new();
 
     let mut loads = Loads::new(net.num_links(), trace.horizon(), cfg.bucket_secs);
     let mut ends: BinaryHeap<std::cmp::Reverse<EndEvent>> = BinaryHeap::new();
@@ -236,24 +318,23 @@ pub fn simulate(
     let mut served_remote = 0u64;
     let mut total_gb_hops = 0.0f64;
 
-    let finish =
-        |ev: EndEvent, loads: &mut Loads, caches: &mut Vec<Option<Box<dyn Cache + Send>>>| {
-            loads.advance(ev.time.secs());
-            if ev.server != ev.client {
-                let path = paths.path(ev.server, ev.client);
-                loads.remove(path, catalog.video(ev.video).bitrate().value());
+    let finish = |ev: EndEvent, loads: &mut Loads, caches: &mut Vec<Option<CacheImpl>>| {
+        loads.advance(ev.time.secs());
+        if ev.server != ev.client {
+            let path = paths.path(ev.server, ev.client);
+            loads.remove(path, catalog.video(ev.video).bitrate().value());
+        }
+        if ev.unpin_server_cache {
+            if let Some(c) = caches[ev.server.index()].as_mut() {
+                c.unpin(ev.video);
             }
-            if ev.unpin_server_cache {
-                if let Some(c) = caches[ev.server.index()].as_mut() {
-                    c.unpin(ev.video);
-                }
+        }
+        if ev.unpin_client_cache {
+            if let Some(c) = caches[ev.client.index()].as_mut() {
+                c.unpin(ev.video);
             }
-            if ev.unpin_client_cache {
-                if let Some(c) = caches[ev.client.index()].as_mut() {
-                    c.unpin(ev.video);
-                }
-            }
-        };
+        }
+    };
 
     for r in trace.requests() {
         // Complete streams that ended before this request.
@@ -365,15 +446,15 @@ pub fn simulate(
         let mut unpin_client = false;
         if cfg.insert_on_miss {
             if let Some(c) = caches[j.index()].as_mut() {
-                match c.insert(m, video.size().value()) {
-                    InsertOutcome::Inserted(evicted) => {
+                match c.insert(m, video.size().value(), &mut evicted) {
+                    InsertOutcome::Inserted => {
                         c.pin(m);
                         unpin_client = true;
                         let row = &mut cached_holders[m.index()];
                         if let Err(pos) = row.binary_search(&j) {
                             row.insert(pos, j);
                         }
-                        for victim in evicted {
+                        for victim in &evicted {
                             let row = &mut cached_holders[victim.index()];
                             if let Ok(pos) = row.binary_search(&j) {
                                 row.remove(pos);
@@ -386,6 +467,16 @@ pub fn simulate(
                     }
                     InsertOutcome::Rejected => {}
                 }
+            }
+        }
+
+        // Holder-set/cache consistency for every video whose membership
+        // this event may have changed.
+        #[cfg(feature = "audit")]
+        {
+            audit_video_holders(m, &cached_holders, &caches);
+            for &victim in &evicted {
+                audit_video_holders(victim, &cached_holders, &caches);
             }
         }
 
@@ -407,6 +498,19 @@ pub fn simulate(
     }
     loads.advance(trace.horizon().secs());
 
+    #[cfg(feature = "audit")]
+    {
+        for i in 0..n_videos {
+            audit_video_holders(VideoId::new(narrow::u32_from(i)), &cached_holders, &caches);
+        }
+        // Every stream was unloaded; only float residue may remain.
+        assert!(
+            loads.max() <= 1e-6,
+            "audit: residual link load {} after drain",
+            loads.max()
+        );
+    }
+
     let mut cache_stats = CacheStats::default();
     for c in caches.iter().flatten() {
         let s = c.stats();
@@ -416,18 +520,28 @@ pub fn simulate(
         cache_stats.rejections += s.rejections;
     }
     let max_link_mbps = loads.peaks.iter().cloned().fold(0.0, f64::max);
-    SimReport {
-        bucket_secs: cfg.bucket_secs,
-        peak_link_mbps: loads.peaks,
-        transfer_gb: loads.volumes_gb,
-        total_requests,
-        served_local_pinned,
-        served_local_cached,
-        served_remote,
-        total_gb_hops,
-        max_link_mbps,
-        cache: cache_stats,
-    }
+    let cache_contents = caches
+        .iter()
+        .map(|c| c.as_ref().map(Cache::contents_sorted).unwrap_or_default())
+        .collect();
+    (
+        SimReport {
+            bucket_secs: cfg.bucket_secs,
+            peak_link_mbps: loads.peaks,
+            transfer_gb: loads.volumes_gb,
+            total_requests,
+            served_local_pinned,
+            served_local_cached,
+            served_remote,
+            total_gb_hops,
+            max_link_mbps,
+            cache: cache_stats,
+        },
+        SimFinalState {
+            cached_holders,
+            cache_contents,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -699,5 +813,26 @@ mod tests {
         };
         assert!((rep.local_fraction() - 0.6).abs() < 1e-12);
         assert_eq!(rep.max_aggregate_gb(), 3.0);
+    }
+
+    #[test]
+    fn final_state_reflects_cache_contents() {
+        let (net, paths) = line3();
+        let cat = catalog(1);
+        let trace = Trace::new(SimTime::new(20_000), vec![req(0, 2, 0)]);
+        let mut vhos = no_cache_vhos(vec![vec![0], vec![], vec![]]);
+        vhos[2].cache = Some((CacheKind::Lru, 5.0));
+        let (_, fin) = simulate_with_final(
+            &net,
+            &paths,
+            &cat,
+            &trace,
+            &vhos,
+            &PolicyKind::NearestReplica,
+            &SimConfig::default(),
+        );
+        assert_eq!(fin.cache_contents[2], vec![VideoId::new(0)]);
+        assert_eq!(fin.cached_holders[0], vec![VhoId::new(2)]);
+        assert!(fin.cache_contents[0].is_empty());
     }
 }

@@ -31,12 +31,16 @@
     )
 )]
 
+pub mod batch;
 pub mod cache;
 pub mod engine;
 pub mod setups;
 
-pub use cache::{Cache, CacheKind, CacheStats, LfuCache, LrfuCache, LruCache};
-pub use engine::{simulate, PolicyKind, SimConfig, SimReport, VhoConfig};
+pub use batch::{default_threads, simulate_batch, SimJob};
+pub use cache::{Cache, CacheImpl, CacheKind, CacheStats, LfuCache, LrfuCache, LruCache};
+pub use engine::{
+    simulate, simulate_with_final, PolicyKind, SimConfig, SimFinalState, SimReport, VhoConfig,
+};
 pub use setups::{
     mip_vho_configs, origin_vho_configs, random_single_vho_configs, top_k_vho_configs,
 };

@@ -1,8 +1,9 @@
 //! The rule engine behind `cargo xtask lint`.
 //!
-//! Five repo-specific source lints — four aimed at the property the
+//! Six repo-specific source lints — four aimed at the property the
 //! paper's evaluation depends on (**byte-identical placements from
-//! identical seeds**), one guarding the solver's flat-buffer hot path.
+//! identical seeds**), two guarding the solver's and simulator's
+//! allocation-free hot paths.
 //! The rules are textual (line-oriented with comment stripping and
 //! `#[cfg(test)]`-module tracking) rather than AST-based —
 //! deliberately so: they run in milliseconds with zero dependencies,
@@ -14,7 +15,8 @@
 //! | `nan-unwrap-cmp` | `partial_cmp` (incl. `.unwrap()` comparators) | whole workspace |
 //! | `wall-clock` | `Instant::now` / `SystemTime` | outside `crates/bench` |
 //! | `raw-index` | `VhoId::new` / `VhoId::from_index` | outside `crates/model`, `crates/net` library code |
-//! | `vec-vec-f64` | `Vec<Vec<f64>>` | `vod-core` solver hot-path modules |
+//! | `vec-vec-f64` | `Vec<Vec<f64>>` | `vod-core` solver + `vod-sim` simulator hot-path modules |
+//! | `dyn-dispatch` | `Box<dyn` | `vod-sim` simulator hot-path modules |
 //!
 //! Escape hatch: a comment line
 //! `// lint:allow(<rule>): <justification>` suppresses the rule on the
@@ -42,12 +44,13 @@ impl fmt::Display for Finding {
     }
 }
 
-pub const RULES: [&str; 5] = [
+pub const RULES: [&str; 6] = [
     "nondeterministic-map",
     "nan-unwrap-cmp",
     "wall-clock",
     "raw-index",
     "vec-vec-f64",
+    "dyn-dispatch",
 ];
 
 /// Paths (workspace-relative, `/`-separated) the linter never scans:
@@ -97,6 +100,18 @@ fn flat_buffer_scope(path: &str) -> bool {
         "solution.rs",
     ];
     path.strip_prefix("crates/core/src/")
+        .is_some_and(|f| HOT.contains(&f))
+        || sim_hot_path_scope(path)
+}
+
+/// Simulator hot-path modules where heap-boxed trait objects (and
+/// nested matrices) are forbidden: the per-event loop must stay
+/// monomorphized and allocation-free (see the `CacheImpl` enum in
+/// `crates/sim/src/cache.rs` and DESIGN.md "Simulator performance
+/// architecture").
+fn sim_hot_path_scope(path: &str) -> bool {
+    const HOT: [&str; 3] = ["batch.rs", "cache.rs", "engine.rs"];
+    path.strip_prefix("crates/sim/src/")
         .is_some_and(|f| HOT.contains(&f))
 }
 
@@ -290,6 +305,16 @@ pub fn lint_file(path: &str, content: &str) -> Vec<Finding> {
                     .to_string(),
             );
         }
+        if sim_hot_path_scope(path) && !in_test_code {
+            check(
+                "dyn-dispatch",
+                code.contains("Box<dyn"),
+                "boxed trait objects in the simulator hot path cost a heap indirection \
+                 and an uninlinable virtual call per event; dispatch through the \
+                 CacheImpl enum (crates/sim/src/cache.rs) instead"
+                    .to_string(),
+            );
+        }
 
         pending_allows.clear();
     }
@@ -439,6 +464,39 @@ mod tests {
         let allowed = "// lint:allow(vec-vec-f64): boundary constructor flattens rows\n\
                        pub fn from_rows(rows: Vec<Vec<f64>>) {}\n";
         assert!(lint_file("crates/core/src/block.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn flags_nested_f64_matrices_in_sim_hot_paths() {
+        let src = "fn f() { let m: Vec<Vec<f64>> = Vec::new(); }\n";
+        assert_eq!(
+            rules_of(&lint_file("crates/sim/src/engine.rs", src)),
+            ["vec-vec-f64"]
+        );
+        // Non-hot-path sim modules are out of scope.
+        assert!(lint_file("crates/sim/src/configs.rs", src).is_empty());
+    }
+
+    #[test]
+    fn flags_boxed_trait_objects_in_sim_hot_paths() {
+        let src = "fn f() { let c: Box<dyn Cache + Send> = make(); }\n";
+        for path in [
+            "crates/sim/src/engine.rs",
+            "crates/sim/src/cache.rs",
+            "crates/sim/src/batch.rs",
+        ] {
+            assert_eq!(rules_of(&lint_file(path, src)), ["dyn-dispatch"], "{path}");
+        }
+        // Out of scope: other crates, non-hot sim modules, test code.
+        assert!(lint_file("crates/core/src/epf.rs", src).is_empty());
+        assert!(lint_file("crates/sim/src/configs.rs", src).is_empty());
+        assert!(lint_file("crates/sim/tests/x.rs", src).is_empty());
+        let in_tests = format!("#[cfg(test)]\nmod tests {{\n    {src}\n}}\n");
+        assert!(lint_file("crates/sim/src/cache.rs", &in_tests).is_empty());
+        // A justified allow still works.
+        let allowed = "// lint:allow(dyn-dispatch): plugin boundary, cold path\n\
+                       fn g() -> Box<dyn Cache> { todo!() }\n";
+        assert!(lint_file("crates/sim/src/engine.rs", allowed).is_empty());
     }
 
     #[test]

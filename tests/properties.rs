@@ -59,10 +59,11 @@ proptest! {
             Box::new(LfuCache::new(cap))
         };
         let mut pins: std::collections::HashMap<u32, u32> = Default::default();
+        let mut evicted = Vec::new();
         for (op, vid, size) in ops {
             let m = VideoId::new(vid);
             match op {
-                0 => { let _ = cache.insert(m, size as f64); }
+                0 => { let _ = cache.insert(m, size as f64, &mut evicted); }
                 1 => cache.touch(m),
                 2 => {
                     if cache.contains(m) {
