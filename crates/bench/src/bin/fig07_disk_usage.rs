@@ -20,7 +20,7 @@ fn main() {
         0.0,
         None,
     );
-    let out = solve_placement(&inst, &s.epf_config());
+    let out = solve_placement(&inst, &s.epf_config()).expect("scenario instance is well-formed");
     let ranked = inst.demand.aggregate.rank_videos();
     let split = out
         .placement

@@ -19,7 +19,7 @@ fn main() {
         0.0,
         None,
     );
-    let out = solve_placement(&inst, &s.epf_config());
+    let out = solve_placement(&inst, &s.epf_config()).expect("scenario instance is well-formed");
     let ranked = inst.demand.aggregate.rank_videos();
     let counts = out.placement.copy_counts(&ranked);
     let mut table = Table::new(

@@ -43,7 +43,8 @@ fn main() {
             0.0,
             None,
         );
-        let out = solve_placement(&inst, &s.epf_config());
+        let out =
+            solve_placement(&inst, &s.epf_config()).expect("scenario instance is well-formed");
         let vhos = mip_vho_configs(&out.placement, &disks, d.cache_frac, CacheKind::Lru);
         let mip = simulate(
             &net,

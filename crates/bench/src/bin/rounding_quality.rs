@@ -46,7 +46,8 @@ fn main() {
                 seed: 17,
                 ..Default::default()
             },
-        );
+        )
+        .expect("instance is well-formed");
         let degradation =
             (out.rounding.objective - out.fractional.objective) / out.fractional.objective;
         table.row(vec![

@@ -129,7 +129,8 @@ fn main() {
             0.0,
             None,
         );
-        let out = solve_placement(&inst, &s.epf_config());
+        let out =
+            solve_placement(&inst, &s.epf_config()).expect("scenario instance is well-formed");
         let vhos = mip_vho_configs(&out.placement, &full_disks, frac, CacheKind::Lru);
         solved.push((
             format!("cache {:.0}%", frac * 100.0),

@@ -86,7 +86,8 @@ fn main() {
             0.0,
             None,
         );
-        let out = solve_placement(&inst, &s.epf_config());
+        let out =
+            solve_placement(&inst, &s.epf_config()).expect("scenario instance is well-formed");
         let disks = s.full_disks(&d);
         let vhos = mip_vho_configs(&out.placement, &disks, 0.0, CacheKind::Lru);
         plans.push(RowPlan::Feasible {

@@ -86,7 +86,7 @@ fn run(
             0.0,
             pc.as_ref(),
         );
-        let out = solve_placement(&inst, &epf);
+        let out = solve_placement(&inst, &epf).expect("scenario instance is well-formed");
         if let Some(p) = &prev {
             migrated += out.placement.migration_copies_from(p);
         }

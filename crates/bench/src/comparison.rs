@@ -125,7 +125,7 @@ pub fn run_comparison(s: &Scenario, d: &Defaults, top_k: usize) -> Vec<StrategyO
             0.0,
             pc.as_ref(),
         );
-        let out = solve_placement(&inst, &epf);
+        let out = solve_placement(&inst, &epf).expect("weekly placement instance is well-formed");
         let vhos = mip_vho_configs(&out.placement, &full_disks, d.cache_frac, CacheKind::Lru);
         plans.push(WeekPlan {
             w,

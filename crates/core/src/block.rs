@@ -322,7 +322,7 @@ impl UflProblem {
                         let best = (0..n)
                             .filter(|&i| (open[i] && i != k) || i == k2)
                             .min_by(|&a, &b| row[a].total_cmp(&row[b]))
-                            .expect("k2 is always available");
+                            .expect("k2 is always available"); // lint:allow(no-panic-hot-path): filter admits i == k2, set never empty
                         delta += row[best] - row[cur];
                         new_assign[c] = best;
                     }
@@ -353,7 +353,7 @@ impl UflProblem {
             let keep = (0..n)
                 .filter(|&i| open[i])
                 .min_by(|&a, &b| self.facility_cost[a].total_cmp(&self.facility_cost[b]))
-                .expect("at least one facility is open");
+                .expect("at least one facility is open"); // lint:allow(no-panic-hot-path): UFL keeps >= 1 facility open
             open_list.push(keep);
         }
         UflSolution {

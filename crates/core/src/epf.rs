@@ -20,7 +20,7 @@ use crate::instance::{MipInstance, VideoBlock};
 use crate::penalty::PenaltyArena;
 use crate::pool::WorkerPool;
 use crate::potential::{Coupling, Duals, RowLayout};
-use crate::solution::{initial_block, BlockSolution, FractionalSolution};
+use crate::solution::{initial_block, BlockSolution, FractionalSolution, Placement};
 use rand::seq::SliceRandom;
 use std::collections::BTreeMap;
 use std::sync::RwLock;
@@ -53,6 +53,14 @@ pub struct EpfConfig {
     /// (0 disables it).
     pub polish_iters: usize,
     pub seed: u64,
+    /// Optional wall-clock budget. When exceeded, the solver stops at
+    /// the next pass boundary and returns its best incumbent with
+    /// `converged = false` and honest gap statistics — it never
+    /// aborts. **Determinism caveat:** where the cutoff lands depends
+    /// on machine speed, so two runs with the same seed may return
+    /// different (equally valid) incumbents; leave this `None` (the
+    /// default) for byte-reproducible experiments.
+    pub wall_limit: Option<Duration>,
 }
 
 impl Default for EpfConfig {
@@ -68,6 +76,7 @@ impl Default for EpfConfig {
             lb_every: 1,
             polish_iters: 120,
             seed: 0,
+            wall_limit: None,
         }
     }
 }
@@ -494,6 +503,18 @@ fn approx_bytes(
 /// Solve the LP relaxation with the EPF method (Algorithm 1), returning
 /// the ε-feasible, ε-optimal fractional solution and statistics.
 pub fn solve_fractional(inst: &MipInstance, cfg: &EpfConfig) -> (FractionalSolution, EpfStats) {
+    solve_fractional_seeded(inst, cfg, None)
+}
+
+/// As [`solve_fractional`], but optionally warm-started from a
+/// previous placement: each video's block begins at its old holders
+/// (greedily re-routed) instead of the cold single-copy start. Used by
+/// `solver::resolve_from` to repair a placement after a fault.
+pub(crate) fn solve_fractional_seeded(
+    inst: &MipInstance,
+    cfg: &EpfConfig,
+    warm: Option<&Placement>,
+) -> (FractionalSolution, EpfStats) {
     // lint:allow(wall-clock): solver wall time is reported in EpfStats
     // and never feeds back into the optimization, so it cannot break
     // run-to-run determinism of the placement itself.
@@ -510,8 +531,48 @@ pub fn solve_fractional(inst: &MipInstance, cfg: &EpfConfig) -> (FractionalSolut
     let arena = RwLock::new(PenaltyArena::new(inst, &layout));
     std::thread::scope(|scope| {
         let pool = WorkerPool::new(scope, threads, inst, layout, &arena);
-        solve_with_pool(inst, cfg, layout, &pool, start)
+        solve_with_pool(inst, cfg, layout, &pool, start, warm)
     })
+}
+
+/// Warm-start block for one video: open every surviving previous
+/// holder and route each client to its cheapest one. Falls back to the
+/// cold start when the previous placement held no copy.
+fn warm_block(
+    inst: &MipInstance,
+    b: &crate::instance::VideoBlock,
+    prev: &[vod_model::VhoId],
+    n_vhos: usize,
+) -> BlockSolution {
+    let holders: Vec<vod_model::VhoId> = prev
+        .iter()
+        .copied()
+        .filter(|h| h.index() < n_vhos)
+        .collect();
+    if holders.is_empty() {
+        return initial_block(b, n_vhos);
+    }
+    let fallback = holders[0];
+    let x = b
+        .clients
+        .iter()
+        .map(|c| {
+            let best = holders
+                .iter()
+                .copied()
+                .min_by(|&a, &bb| {
+                    inst.cost(a, c.j)
+                        .total_cmp(&inst.cost(bb, c.j))
+                        .then(a.cmp(&bb))
+                })
+                .unwrap_or(fallback);
+            vec![(best, 1.0)]
+        })
+        .collect();
+    BlockSolution {
+        y: holders.into_iter().map(|h| (h, 1.0)).collect(),
+        x,
+    }
 }
 
 fn solve_with_pool(
@@ -520,15 +581,20 @@ fn solve_with_pool(
     layout: RowLayout,
     pool: &WorkerPool<'_>,
     start: Instant,
+    warm: Option<&Placement>,
 ) -> (FractionalSolution, EpfStats) {
     let n = inst.n_videos();
     let threads = cfg.effective_threads(n);
 
-    // Initial solution: each video stored at its biggest client.
+    // Initial solution: warm-started from a previous placement when
+    // given, otherwise each video stored at its biggest client.
     let mut blocks: Vec<BlockSolution> = inst
         .blocks()
         .iter()
-        .map(|b| initial_block(b, inst.n_vhos()))
+        .map(|b| match warm {
+            Some(prev) => warm_block(inst, b, prev.stores(b.video), inst.n_vhos()),
+            None => initial_block(b, inst.n_vhos()),
+        })
         .collect();
 
     // Trivial lower bound LR(0): per-block dual ascent with zero
@@ -583,6 +649,11 @@ fn solve_with_pool(
         // Greedy-rerouting cost scratch, reused across all chunks.
         let mut greedy_costs: Vec<(f64, vod_model::VhoId, f64)> = Vec::new();
         for local_pass in 1..=budget {
+            // Opt-in wall budget: stop at a pass boundary and let the
+            // caller keep the best incumbent seen so far.
+            if cfg.wall_limit.is_some_and(|w| start.elapsed() >= w) {
+                return RunOutcome::Budget;
+            }
             *global_pass += 1;
             *passes_done += 1;
             let mut rng = derive_rng(cfg.seed, 0xE9F ^ *global_pass);
@@ -785,7 +856,8 @@ fn solve_with_pool(
     let mut lo = lb.max(ub * 1e-3).max(1e-12);
     let mut converged = ub <= (1.0 + cfg.epsilon) * lb + 1e-9;
     let run_budget = (cfg.max_passes / 6).clamp(25, 400);
-    while !converged && passes_done < cfg.max_passes {
+    let over_wall = || cfg.wall_limit.is_some_and(|w| start.elapsed() >= w);
+    while !converged && passes_done < cfg.max_passes && !over_wall() {
         if ub <= lo * (1.0 + cfg.epsilon) {
             break; // pinched: B cannot move meaningfully anymore
         }

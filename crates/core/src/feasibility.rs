@@ -6,8 +6,9 @@
 //! uniform link capacity trace out the paper's trade-off curves.
 
 use crate::epf::{solve_fractional, EpfConfig};
+use crate::error::SolveError;
 use crate::instance::{DiskConfig, MipInstance};
-use vod_model::Mbps;
+use vod_model::{Gigabytes, LinkId, Mbps, VhoId};
 use vod_net::Network;
 use vod_trace::DemandInput;
 
@@ -31,6 +32,32 @@ pub struct Scenario<'a> {
     pub beta: f64,
 }
 
+/// Per-element capacity scales applied on top of a scenario's uniform
+/// settings — the solver-side mirror of a fault schedule: a failed VHO
+/// is `(vho, 0.0)` disk scale, a cut link `(link, 0.0)`, a brownout
+/// `(link, 0.5)`. Scales must be finite and non-negative;
+/// [`Scenario::instance_with`] rejects anything else with a typed
+/// error instead of letting NaN capacities poison the potential.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CapacityOverrides {
+    /// `(link, scale)`: the link's capacity is multiplied by `scale`.
+    pub link_scale: Vec<(LinkId, f64)>,
+    /// `(vho, scale)`: the VHO's disk is multiplied by `scale`.
+    pub disk_scale: Vec<(VhoId, f64)>,
+}
+
+impl CapacityOverrides {
+    pub fn is_empty(&self) -> bool {
+        self.link_scale.is_empty() && self.disk_scale.is_empty()
+    }
+}
+
+/// A zero scale must still leave the potential's relative-violation
+/// ratios finite, so scaled capacities are floored here: anything
+/// placed on a "removed" resource shows up as an astronomical (but
+/// finite) violation the solver then steers away from.
+const CAPACITY_FLOOR: f64 = 1e-6;
+
 impl Scenario<'_> {
     fn instance(&self, disk: &DiskConfig, capacity: Mbps) -> MipInstance {
         let mut net = self.network.clone();
@@ -44,6 +71,63 @@ impl Scenario<'_> {
             self.beta,
             None,
         )
+    }
+
+    /// Build an instance with validated per-link / per-VHO capacity
+    /// overrides applied on top of the uniform settings — the entry
+    /// point for fault-repair re-solves (`solver::resolve_from` after
+    /// a VHO outage or link cut).
+    pub fn instance_with(
+        &self,
+        disk: &DiskConfig,
+        capacity: Mbps,
+        overrides: &CapacityOverrides,
+    ) -> Result<MipInstance, SolveError> {
+        let bad = |what: String| Err(SolveError::InvalidOverride { what });
+        if !capacity.value().is_finite() || capacity.value() <= 0.0 {
+            return bad(format!(
+                "uniform link capacity must be finite and > 0 (got {})",
+                capacity.value()
+            ));
+        }
+        let n_links = self.network.num_links();
+        let n_vhos = self.network.num_nodes();
+        for &(l, s) in &overrides.link_scale {
+            if l.index() >= n_links {
+                return bad(format!("link {l} out of range (n_links = {n_links})"));
+            }
+            if !s.is_finite() || s < 0.0 {
+                return bad(format!("link {l} scale {s} must be finite and >= 0"));
+            }
+        }
+        for &(v, s) in &overrides.disk_scale {
+            if v.index() >= n_vhos {
+                return bad(format!("VHO {v} out of range (n_vhos = {n_vhos})"));
+            }
+            if !s.is_finite() || s < 0.0 {
+                return bad(format!("VHO {v} disk scale {s} must be finite and >= 0"));
+            }
+        }
+
+        let mut net = self.network.clone();
+        net.set_uniform_capacity(capacity);
+        for &(l, s) in &overrides.link_scale {
+            net.set_link_capacity(l, Mbps::new((capacity.value() * s).max(CAPACITY_FLOOR)));
+        }
+        let mut inst = MipInstance::new(
+            net,
+            self.catalog.clone(),
+            self.demand.clone(),
+            disk,
+            self.alpha,
+            self.beta,
+            None,
+        );
+        for &(v, s) in &overrides.disk_scale {
+            let scaled = (inst.disks[v.index()].value() * s).max(CAPACITY_FLOOR);
+            inst.disks[v.index()] = Gigabytes::new(scaled);
+        }
+        Ok(inst)
     }
 }
 
@@ -220,6 +304,107 @@ mod tests {
             None,
         );
         assert!(is_feasible(&inst, &cfg(32)));
+    }
+
+    #[test]
+    fn overrides_validate_and_apply() {
+        let w = world(34);
+        let scenario = Scenario {
+            network: &w.net,
+            catalog: &w.catalog,
+            demand: &w.demand,
+            alpha: 1.0,
+            beta: 0.0,
+        };
+        let disk = DiskConfig::UniformRatio { ratio: 2.0 };
+        let cap = Mbps::from_gbps(1.0);
+
+        // Empty overrides reproduce the plain instance exactly.
+        let plain = scenario.instance(&disk, cap);
+        let same = scenario
+            .instance_with(&disk, cap, &CapacityOverrides::default())
+            .expect("empty overrides are valid");
+        assert_eq!(plain.disks, same.disks);
+        assert_eq!(plain.network.links(), same.network.links());
+
+        // A degraded link and a halved disk show up scaled.
+        let ov = CapacityOverrides {
+            link_scale: vec![(LinkId::new(0), 0.25)],
+            disk_scale: vec![(VhoId::new(1), 0.5)],
+        };
+        let inst = scenario.instance_with(&disk, cap, &ov).expect("valid");
+        assert!((inst.network.link(LinkId::new(0)).capacity.value() - 250.0).abs() < 1e-9);
+        assert!((inst.disks[1].value() - 0.5 * plain.disks[1].value()).abs() < 1e-9);
+
+        // A zero scale is floored, never zero (the potential divides
+        // by capacities).
+        let cut = CapacityOverrides {
+            link_scale: vec![(LinkId::new(2), 0.0)],
+            disk_scale: vec![(VhoId::new(0), 0.0)],
+        };
+        let inst = scenario.instance_with(&disk, cap, &cut).expect("valid");
+        assert!(inst.network.link(LinkId::new(2)).capacity.value() > 0.0);
+        assert!(inst.disks[0].value() > 0.0);
+    }
+
+    #[test]
+    fn overrides_reject_bad_inputs() {
+        let w = world(35);
+        let scenario = Scenario {
+            network: &w.net,
+            catalog: &w.catalog,
+            demand: &w.demand,
+            alpha: 1.0,
+            beta: 0.0,
+        };
+        let disk = DiskConfig::UniformRatio { ratio: 2.0 };
+        let cap = Mbps::from_gbps(1.0);
+        let is_invalid = |r: Result<MipInstance, SolveError>| {
+            matches!(r, Err(SolveError::InvalidOverride { .. }))
+        };
+        let link = |l: usize, s: f64| CapacityOverrides {
+            link_scale: vec![(LinkId::from_index(l), s)],
+            disk_scale: vec![],
+        };
+        let vho = |v: usize, s: f64| CapacityOverrides {
+            link_scale: vec![],
+            disk_scale: vec![(VhoId::from_index(v), s)],
+        };
+        assert!(is_invalid(scenario.instance_with(
+            &disk,
+            cap,
+            &link(0, -0.5)
+        )));
+        assert!(is_invalid(scenario.instance_with(
+            &disk,
+            cap,
+            &link(0, f64::NAN)
+        )));
+        assert!(is_invalid(scenario.instance_with(
+            &disk,
+            cap,
+            &link(w.net.num_links(), 1.0)
+        )));
+        assert!(is_invalid(scenario.instance_with(
+            &disk,
+            cap,
+            &vho(0, -1.0)
+        )));
+        assert!(is_invalid(scenario.instance_with(
+            &disk,
+            cap,
+            &vho(0, f64::INFINITY)
+        )));
+        assert!(is_invalid(scenario.instance_with(
+            &disk,
+            cap,
+            &vho(w.net.num_nodes(), 1.0)
+        )));
+        assert!(is_invalid(scenario.instance_with(
+            &disk,
+            Mbps::new(0.0),
+            &CapacityOverrides::default()
+        )));
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod audit;
 pub mod block;
 pub mod direct;
 pub mod epf;
+pub mod error;
 pub mod feasibility;
 pub mod instance;
 pub mod penalty;
@@ -45,9 +46,11 @@ pub mod solver;
 
 pub use audit::{AuditReport, Violation};
 pub use epf::{solve_fractional, EpfConfig, EpfStats};
+pub use error::SolveError;
+pub use feasibility::{CapacityOverrides, Scenario};
 pub use instance::{DiskConfig, MipInstance, PlacementCost};
 pub use penalty::{PenaltyArena, PenaltyUpdate};
 pub use pool::map_ordered;
 pub use rounding::RoundingStats;
 pub use solution::{BlockSolution, FractionalSolution, Placement};
-pub use solver::{solve_placement, PlacementOutput};
+pub use solver::{resolve_from, solve_placement, PlacementOutput};

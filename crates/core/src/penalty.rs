@@ -70,7 +70,7 @@ impl PenaltyArena {
             for j in inst.network.vho_ids() {
                 if i != j {
                     let pair = u32::try_from(i.index() * v + j.index())
-                        .expect("VHO pair index exceeds u32");
+                        .expect("VHO pair index exceeds u32"); // lint:allow(no-panic-hot-path): constructor-only size guard, once per instance
                     for &l in inst.paths.path(i, j) {
                         rev[l.index()].push(pair);
                     }

@@ -74,11 +74,11 @@ where
         drop(tx);
         let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
         for _ in 0..n {
-            let (i, r) = rx.recv().expect("map_ordered worker hung up");
+            let (i, r) = rx.recv().expect("map_ordered worker hung up"); // lint:allow(no-panic-hot-path): hangup implies a worker panic; re-raise it
             out[i] = Some(r);
         }
         out.into_iter()
-            .map(|r| r.expect("map_ordered item missing"))
+            .map(|r| r.expect("map_ordered item missing")) // lint:allow(no-panic-hot-path): every index sent exactly once above
             .collect()
     })
 }
@@ -161,14 +161,14 @@ impl<'env> WorkerPool<'env> {
     pub(crate) fn update_penalty(&self, duals: &Duals) -> PenaltyUpdate {
         self.arena
             .write()
-            .expect("penalty arena lock poisoned")
+            .expect("penalty arena lock poisoned") // lint:allow(no-panic-hot-path): poisoned lock implies a worker panic; re-raise it
             .update(self.inst, &self.layout, duals)
     }
 
     /// Read access to the current penalty arena (callers must drop the
     /// guard before the next [`WorkerPool::update_penalty`]).
     pub(crate) fn penalty(&self) -> RwLockReadGuard<'_, PenaltyArena> {
-        self.arena.read().expect("penalty arena lock poisoned")
+        self.arena.read().expect("penalty arena lock poisoned") // lint:allow(no-panic-hot-path): poisoned lock implies a worker panic; re-raise it
     }
 
     /// Heuristic UFL minimizers for `items`, in item order.
@@ -177,7 +177,7 @@ impl<'env> WorkerPool<'env> {
             .into_iter()
             .flat_map(|o| match o {
                 JobOutput::Solutions(v) => v,
-                _ => unreachable!("Solve job returned a non-Solutions output"),
+                _ => unreachable!("Solve job returned a non-Solutions output"), // lint:allow(no-panic-hot-path): exec_job pairs Solve with Solutions
             })
             .collect()
     }
@@ -188,7 +188,7 @@ impl<'env> WorkerPool<'env> {
             .into_iter()
             .flat_map(|o| match o {
                 JobOutput::Bounds(v) => v,
-                _ => unreachable!("DualBound job returned a non-Bounds output"),
+                _ => unreachable!("DualBound job returned a non-Bounds output"), // lint:allow(no-panic-hot-path): exec_job pairs DualBound with Bounds
             })
             .collect()
     }
@@ -203,7 +203,7 @@ impl<'env> WorkerPool<'env> {
             .into_iter()
             .flat_map(|o| match o {
                 JobOutput::Polish(v) => v,
-                _ => unreachable!("Polish job returned a non-Polish output"),
+                _ => unreachable!("Polish job returned a non-Polish output"), // lint:allow(no-panic-hot-path): exec_job pairs Polish with Polish
             })
             .collect()
     }
@@ -232,16 +232,16 @@ impl<'env> WorkerPool<'env> {
                 part,
                 items: slice.to_vec(),
             })
-            .expect("solver worker hung up");
+            .expect("solver worker hung up"); // lint:allow(no-panic-hot-path): hangup implies a worker panic; re-raise it
             n_parts += 1;
         }
         let mut out: Vec<Option<JobOutput>> = (0..n_parts).map(|_| None).collect();
         for _ in 0..n_parts {
-            let (part, o) = self.rx.recv().expect("solver worker hung up");
+            let (part, o) = self.rx.recv().expect("solver worker hung up"); // lint:allow(no-panic-hot-path): hangup implies a worker panic; re-raise it
             out[part] = Some(o);
         }
         out.into_iter()
-            .map(|o| o.expect("worker part missing"))
+            .map(|o| o.expect("worker part missing")) // lint:allow(no-panic-hot-path): every part sent exactly once above
             .collect()
     }
 }
@@ -256,7 +256,7 @@ fn worker_loop(
     let mut scratch = BlockScratch::default();
     while let Ok(job) = jobs.recv() {
         let out = {
-            let arena = arena.read().expect("penalty arena lock poisoned");
+            let arena = arena.read().expect("penalty arena lock poisoned"); // lint:allow(no-panic-hot-path): poisoned lock implies a worker panic; re-raise it
             exec_job(inst, &layout, &arena, job.kind, &job.items, &mut scratch)
         };
         if results.send((job.part, out)).is_err() {

@@ -178,16 +178,17 @@ fn repair_disks(inst: &MipInstance, blocks: &mut [BlockSolution]) {
                 .map(|&(_, v)| v)
                 .sum();
             if moved > 0.0 {
+                let Some(target) = stores.iter().copied().min_by(|&a, &b| {
+                    inst.cost(a, client.j)
+                        .total_cmp(&inst.cost(b, client.j))
+                        .then(a.cmp(&b))
+                }) else {
+                    // Callers only drop a copy when another holder
+                    // survives; if that invariant ever slips, keep the
+                    // old routing rather than dropping served demand.
+                    continue;
+                };
                 dist.retain(|&(i, _)| i != from);
-                let target = stores
-                    .iter()
-                    .copied()
-                    .min_by(|&a, &b| {
-                        inst.cost(a, client.j)
-                            .total_cmp(&inst.cost(b, client.j))
-                            .then(a.cmp(&b))
-                    })
-                    .expect("video keeps at least one copy");
                 match dist.binary_search_by_key(&target, |&(i, _)| i) {
                     Ok(k) => dist[k].1 += moved,
                     Err(k) => dist.insert(k, (target, moved)),

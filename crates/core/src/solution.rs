@@ -119,7 +119,7 @@ fn merge_combine(a: &[(VhoId, f64)], b: &[(VhoId, f64)], tau: f64, tol: f64) -> 
                 ib += 1;
                 (vb, tau * xb)
             }
-            (None, None) => unreachable!(),
+            (None, None) => unreachable!(), // lint:allow(no-panic-hot-path): loop condition keeps one side Some
         };
         if val > tol {
             out.push((id, val.min(1.0)));

@@ -1,6 +1,15 @@
 //! The end-to-end placement pipeline: EPF fractional solve + rounding.
+//!
+//! Both entry points return `Result` with a typed [`SolveError`]:
+//! malformed configs and provably-infeasible instances are rejected up
+//! front, while budget-limited solves come back `Ok` with
+//! `epf.converged == false` and honest gap statistics — an operational
+//! re-solve loop must never abort. [`resolve_from`] warm-starts from a
+//! previous placement, modeling the paper's incremental placement
+//! updates (Section VII-H / eq. (11)) after a fault or demand shift.
 
-use crate::epf::{solve_fractional, EpfConfig, EpfStats};
+use crate::epf::{solve_fractional_seeded, EpfConfig, EpfStats};
+use crate::error::SolveError;
 use crate::instance::MipInstance;
 use crate::rounding::{round_solution, RoundingStats};
 use crate::solution::{FractionalSolution, Placement};
@@ -14,18 +23,97 @@ pub struct PlacementOutput {
     pub rounding: RoundingStats,
 }
 
+impl PlacementOutput {
+    /// Whether the ε-criteria were met within the budgets. A `false`
+    /// here is a *degraded incumbent*, not a failure: the placement is
+    /// usable and its gaps are reported.
+    pub fn converged(&self) -> bool {
+        self.epf.converged
+    }
+
+    /// Worst relative coupling-constraint violation of the integer
+    /// placement (0 = fully feasible).
+    pub fn feasibility_gap(&self) -> f64 {
+        self.rounding.max_violation
+    }
+
+    /// Relative gap between the integer objective and the certified
+    /// Lagrangian lower bound (`None` when the run produced no bound,
+    /// e.g. a budget-truncated solve that never priced one).
+    pub fn optimality_gap(&self) -> Option<f64> {
+        self.rounding.optimality_gap
+    }
+}
+
+/// Reject out-of-domain solver parameters before any work happens.
+fn validate(inst: &MipInstance, cfg: &EpfConfig) -> Result<(), SolveError> {
+    if inst.n_videos() == 0 {
+        return Err(SolveError::EmptyInstance);
+    }
+    let bad = |what: String| Err(SolveError::InvalidConfig { what });
+    if !cfg.epsilon.is_finite() || cfg.epsilon <= 0.0 {
+        return bad(format!(
+            "epsilon must be finite and > 0 (got {})",
+            cfg.epsilon
+        ));
+    }
+    if !cfg.gamma.is_finite() || cfg.gamma <= 0.0 {
+        return bad(format!("gamma must be finite and > 0 (got {})", cfg.gamma));
+    }
+    if !cfg.rho.is_finite() || !(0.0..1.0).contains(&cfg.rho) {
+        return bad(format!("rho must be in [0, 1) (got {})", cfg.rho));
+    }
+    if cfg.lb_every == 0 {
+        return bad("lb_every must be >= 1".to_string());
+    }
+    if cfg.max_passes == 0 {
+        return bad("max_passes must be >= 1".to_string());
+    }
+    inst.quick_feasibility_check()
+        .map_err(|reason| SolveError::Infeasible { reason })
+}
+
 /// Solve the placement MIP end-to-end: LP relaxation via the EPF
 /// decomposition (Section V-C), then the sequential integer rounding
 /// pass (Section V-D).
-pub fn solve_placement(inst: &MipInstance, cfg: &EpfConfig) -> PlacementOutput {
-    let (fractional, epf) = solve_fractional(inst, cfg);
+pub fn solve_placement(inst: &MipInstance, cfg: &EpfConfig) -> Result<PlacementOutput, SolveError> {
+    validate(inst, cfg)?;
+    let (fractional, epf) = solve_fractional_seeded(inst, cfg, None);
     let (placement, rounding) = round_solution(inst, &fractional, cfg.gamma);
-    PlacementOutput {
+    Ok(PlacementOutput {
         placement,
         fractional,
         epf,
         rounding,
+    })
+}
+
+/// Re-solve after the world changed (a fault, a demand shift, a new
+/// library week), warm-starting from `prev`: every video's block opens
+/// at its previous holders and the EPF passes repair from there, so
+/// mild perturbations converge in far fewer passes than a cold solve.
+/// Pair with a [`crate::instance::PlacementCost`]-carrying instance to
+/// also *charge* for migrations (eq. (11)).
+pub fn resolve_from(
+    inst: &MipInstance,
+    prev: &Placement,
+    cfg: &EpfConfig,
+) -> Result<PlacementOutput, SolveError> {
+    validate(inst, cfg)?;
+    if prev.n_videos() != inst.n_videos() {
+        return Err(SolveError::MismatchedWarmStart {
+            prev_videos: prev.n_videos(),
+            instance_videos: inst.n_videos(),
+        });
     }
+    let (fractional, epf) = solve_fractional_seeded(inst, cfg, Some(prev));
+    let (placement, rounding) = round_solution(inst, &fractional, cfg.gamma);
+    Ok(PlacementOutput {
+        placement,
+        fractional,
+        epf,
+        rounding,
+    })
 }
 
 #[cfg(test)]
@@ -61,7 +149,8 @@ mod tests {
                 seed,
                 ..Default::default()
             },
-        );
+        )
+        .expect("pipeline instance is well-formed");
         (inst, out)
     }
 
@@ -114,7 +203,8 @@ mod tests {
                 seed: 42,
                 ..Default::default()
             },
-        );
+        )
+        .expect("update-cost instance is well-formed");
         // And with no incentive (weight 0 ≡ None) — same seed.
         let out_free = solve_placement(
             &inst2_without_cost(&inst),
@@ -123,7 +213,8 @@ mod tests {
                 seed: 43,
                 ..Default::default()
             },
-        );
+        )
+        .expect("cost-free instance is well-formed");
         let prev_p = crate::solution::Placement::from_stores(inst.n_vhos(), prev);
         let moved_with = out2.placement.migration_copies_from(&prev_p);
         let moved_free = out_free.placement.migration_copies_from(&prev_p);
@@ -143,5 +234,126 @@ mod tests {
             0.0,
             None,
         )
+    }
+
+    #[test]
+    fn invalid_configs_are_typed_errors() {
+        let (inst, _) = pipeline(44, None);
+        let cases = [
+            EpfConfig {
+                epsilon: 0.0,
+                ..Default::default()
+            },
+            EpfConfig {
+                epsilon: f64::NAN,
+                ..Default::default()
+            },
+            EpfConfig {
+                gamma: -1.0,
+                ..Default::default()
+            },
+            EpfConfig {
+                rho: 1.0,
+                ..Default::default()
+            },
+            EpfConfig {
+                lb_every: 0,
+                ..Default::default()
+            },
+            EpfConfig {
+                max_passes: 0,
+                ..Default::default()
+            },
+        ];
+        for cfg in cases {
+            let err = solve_placement(&inst, &cfg).expect_err("must reject");
+            assert!(
+                matches!(err, crate::error::SolveError::InvalidConfig { .. }),
+                "{err}"
+            );
+        }
+    }
+
+    #[test]
+    fn infeasible_instance_is_a_typed_error() {
+        let (inst, _) = pipeline(45, None);
+        // Shrink disks below one library copy: provably no placement.
+        let starved = MipInstance::new(
+            inst.network.clone(),
+            inst.catalog.clone(),
+            inst.demand.clone(),
+            &DiskConfig::UniformRatio { ratio: 0.5 },
+            1.0,
+            0.0,
+            None,
+        );
+        let err = solve_placement(&starved, &EpfConfig::default()).expect_err("must reject");
+        assert!(
+            matches!(err, crate::error::SolveError::Infeasible { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn resolve_from_repairs_a_previous_placement() {
+        let (inst, base) = pipeline(46, None);
+        let cfg = EpfConfig {
+            max_passes: 100,
+            seed: 46,
+            ..Default::default()
+        };
+        // Warm re-solve of the *same* instance: must succeed and stay
+        // close to the previous placement (the warm blocks start
+        // there), with quality no worse than a fresh solve's tolerance.
+        let out = resolve_from(&inst, &base.placement, &cfg).expect("warm re-solve");
+        assert_eq!(out.placement.n_videos(), inst.n_videos());
+        assert!(out.feasibility_gap() <= base.feasibility_gap() + 0.05);
+        let moved = out.placement.migration_copies_from(&base.placement);
+        let total: usize = (0..inst.n_videos())
+            .map(|m| {
+                out.placement
+                    .stores(vod_model::VideoId::new(m as u32))
+                    .len()
+            })
+            .sum();
+        assert!(
+            moved <= total,
+            "warm start should not churn more copies than exist ({moved} vs {total})"
+        );
+    }
+
+    #[test]
+    fn resolve_from_rejects_mismatched_shapes() {
+        let (inst, base) = pipeline(47, None);
+        let tiny = Placement::from_stores(inst.n_vhos(), vec![vec![vod_model::VhoId::new(0)]; 3]);
+        let err = resolve_from(&inst, &tiny, &EpfConfig::default()).expect_err("must reject");
+        assert!(
+            matches!(err, crate::error::SolveError::MismatchedWarmStart { .. }),
+            "{err}"
+        );
+        let _ = base;
+    }
+
+    #[test]
+    fn wall_budget_returns_degraded_incumbent() {
+        let (inst, _) = pipeline(48, None);
+        // A zero wall budget stops the solver at the first pass
+        // boundary: the result must still be a complete, usable
+        // placement with honest gap statistics — never an abort.
+        let out = solve_placement(
+            &inst,
+            &EpfConfig {
+                wall_limit: Some(std::time::Duration::ZERO),
+                seed: 48,
+                ..Default::default()
+            },
+        )
+        .expect("budget exhaustion is not an error");
+        assert!(!out.converged());
+        assert_eq!(out.placement.n_videos(), inst.n_videos());
+        assert!(out.feasibility_gap().is_finite());
+        if let Some(gap) = out.optimality_gap() {
+            assert!(gap.is_finite());
+        }
     }
 }

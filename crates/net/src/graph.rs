@@ -158,6 +158,12 @@ impl Network {
         }
     }
 
+    /// Set one link's capacity (used by fault scenarios that degrade
+    /// or cut individual links). Topology and adjacency are untouched.
+    pub fn set_link_capacity(&mut self, id: LinkId, capacity: Mbps) {
+        self.links[id.index()].capacity = capacity;
+    }
+
     /// Total subscriber population across all metros.
     pub fn total_population(&self) -> f64 {
         self.nodes.iter().map(|n| n.population).sum()

@@ -58,7 +58,14 @@ impl PathSet {
                 let mut links = Vec::with_capacity(dist[j.index()]);
                 let mut cur = j;
                 while cur != i {
-                    let (prev, l) = parent[cur.index()].expect("strong connectivity checked above");
+                    // Strong connectivity is asserted on entry, so the
+                    // parent chain is complete; if that ever regresses,
+                    // an empty path (treated as unreachable downstream)
+                    // beats tearing the process down.
+                    let Some((prev, l)) = parent[cur.index()] else {
+                        links.clear();
+                        break;
+                    };
                     links.push(l);
                     cur = prev;
                 }

@@ -10,6 +10,7 @@
 //! byte-identical, which the determinism and property tests pin.
 
 use crate::cache::{Cache, CacheImpl, CacheKind, CacheStats, InsertOutcome};
+use crate::faults::{FaultSchedule, FaultState};
 use rand::Rng;
 use std::collections::BinaryHeap;
 use vod_core::Placement;
@@ -51,6 +52,11 @@ pub struct SimConfig {
     /// Insert remotely-fetched videos into the local cache.
     pub insert_on_miss: bool,
     pub seed: u64,
+    /// Timed faults injected into the replay. The default (empty)
+    /// schedule leaves the engine on its exact fault-free code path,
+    /// so reports stay byte-identical to a build without the fault
+    /// layer.
+    pub faults: FaultSchedule,
 }
 
 impl Default for SimConfig {
@@ -60,6 +66,7 @@ impl Default for SimConfig {
             measure_from: SimTime::ZERO,
             insert_on_miss: true,
             seed: 0,
+            faults: FaultSchedule::default(),
         }
     }
 }
@@ -83,6 +90,15 @@ pub struct SimReport {
     pub total_gb_hops: f64,
     /// Max over the whole run of the per-bucket peaks.
     pub max_link_mbps: f64,
+    /// Requests with no reachable replica (every holder down or cut
+    /// off — or, with a malformed placement, no holder at all).
+    pub denied_no_replica: u64,
+    /// Requests refused by admission control: some path link had no
+    /// headroom under its (possibly degraded) capacity.
+    pub denied_capacity: u64,
+    /// Streams killed mid-flight by a VHO outage or link cut — the
+    /// rebuffer events a real system would surface to subscribers.
+    pub interrupted_streams: u64,
     /// Aggregated cache counters across VHOs.
     pub cache: CacheStats,
 }
@@ -106,6 +122,29 @@ impl SimReport {
     /// Peak of the aggregate-transfer series, in GB per bucket.
     pub fn max_aggregate_gb(&self) -> f64 {
         self.transfer_gb.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Total requests denied (no replica reachable, or no capacity).
+    pub fn denied(&self) -> u64 {
+        self.denied_no_replica + self.denied_capacity
+    }
+
+    /// Fraction of measured requests denied — Table VI-style quality
+    /// loss under stress.
+    pub fn denial_rate(&self) -> f64 {
+        if self.total_requests == 0 {
+            return 0.0;
+        }
+        self.denied() as f64 / self.total_requests as f64
+    }
+
+    /// Fraction of measured requests whose stream was interrupted
+    /// mid-flight (a rebuffer/abort in subscriber terms).
+    pub fn rebuffer_rate(&self) -> f64 {
+        if self.total_requests == 0 {
+            return 0.0;
+        }
+        self.interrupted_streams as f64 / self.total_requests as f64
     }
 }
 
@@ -132,6 +171,9 @@ struct EndEvent {
     client: VhoId,
     unpin_server_cache: bool,
     unpin_client_cache: bool,
+    /// Whether the originating request counted toward the report (so
+    /// interruptions are measured consistently with services).
+    measured: bool,
 }
 
 /// Per-link load levels with the running maximum maintained in an
@@ -172,6 +214,12 @@ impl Loads {
     #[inline]
     fn max(&self) -> f64 {
         self.tree[1]
+    }
+
+    /// Current load on one link (leaf read; used by admission control).
+    #[inline]
+    fn level(&self, l: vod_model::LinkId) -> f64 {
+        self.tree[self.leaf_base + l.index()]
     }
 
     /// Recompute ancestors of leaf `i` after its value changed.
@@ -248,13 +296,60 @@ fn audit_video_holders(m: VideoId, cached_holders: &[Vec<VhoId>], caches: &[Opti
     }
 }
 
+/// Kill every active remote stream whose server or route a
+/// just-started fault took down: release its link load at `now`,
+/// undo its cache pins, and drop it from the end-event heap. Returns
+/// the number of measured streams interrupted. Only called on
+/// disruptive transitions, so the fault-free path never pays for it.
+#[allow(clippy::too_many_arguments)]
+fn interrupt_dead_streams(
+    now: SimTime,
+    ends: &mut BinaryHeap<std::cmp::Reverse<EndEvent>>,
+    fstate: &FaultState<'_>,
+    paths: &PathSet,
+    catalog: &Catalog,
+    loads: &mut Loads,
+    caches: &mut [Option<CacheImpl>],
+    survivors: &mut Vec<EndEvent>,
+) -> u64 {
+    loads.advance(now.secs());
+    survivors.clear();
+    let mut killed = 0u64;
+    for std::cmp::Reverse(ev) in std::mem::take(ends).into_vec() {
+        let dead = ev.server != ev.client
+            && (!fstate.vho_up(ev.server) || !fstate.path_alive(paths.path(ev.server, ev.client)));
+        if !dead {
+            survivors.push(ev);
+            continue;
+        }
+        killed += u64::from(ev.measured);
+        loads.remove(
+            paths.path(ev.server, ev.client),
+            catalog.video(ev.video).bitrate().value(),
+        );
+        if ev.unpin_server_cache {
+            if let Some(c) = caches[ev.server.index()].as_mut() {
+                c.unpin(ev.video);
+            }
+        }
+        if ev.unpin_client_cache {
+            if let Some(c) = caches[ev.client.index()].as_mut() {
+                c.unpin(ev.video);
+            }
+        }
+    }
+    ends.extend(survivors.drain(..).map(std::cmp::Reverse));
+    killed
+}
+
 /// Run the simulation: replay `trace` over `net` with the given per-VHO
 /// storage and serving policy.
 ///
-/// Every video must have at least one pinned copy somewhere (the
-/// placement strategies all guarantee this), otherwise the first
-/// request for an unhosted video panics — losing content would silently
-/// corrupt every downstream metric.
+/// A request for a video with no reachable copy — because the
+/// placement is malformed, or because faults took every holder down —
+/// is counted in [`SimReport::denied_no_replica`] rather than
+/// aborting the replay; losing content degrades the metrics visibly
+/// instead of silently corrupting them.
 pub fn simulate(
     net: &Network,
     paths: &PathSet,
@@ -282,6 +377,19 @@ pub fn simulate_with_final(
     let n_videos = catalog.len();
     assert_eq!(vhos.len(), n_vhos, "one VhoConfig per VHO");
     assert!(cfg.bucket_secs > 0);
+    let schedule_ok = cfg.faults.validate(n_vhos, net.num_links());
+    assert!(
+        schedule_ok.is_ok(),
+        "invalid fault schedule: {}",
+        schedule_ok.err().map(|e| e.to_string()).unwrap_or_default()
+    );
+
+    // Fault machinery: constructing the state from an empty schedule
+    // is a few empty vectors, and `faulted == false` keeps every fault
+    // branch below off the replay's hot path.
+    let faulted = cfg.faults.is_active();
+    let mut fstate = FaultState::new(&cfg.faults, net);
+    let mut interrupt_scratch: Vec<EndEvent> = Vec::new();
 
     // Pinned holders per video, sorted.
     let mut pinned_holders: Vec<Vec<VhoId>> = vec![Vec::new(); n_videos];
@@ -317,6 +425,9 @@ pub fn simulate_with_final(
     let mut served_local_cached = 0u64;
     let mut served_remote = 0u64;
     let mut total_gb_hops = 0.0f64;
+    let mut denied_no_replica = 0u64;
+    let mut denied_capacity = 0u64;
+    let mut interrupted_streams = 0u64;
 
     let finish = |ev: EndEvent, loads: &mut Loads, caches: &mut Vec<Option<CacheImpl>>| {
         loads.advance(ev.time.secs());
@@ -337,163 +448,258 @@ pub fn simulate_with_final(
     };
 
     for r in trace.requests() {
-        // Complete streams that ended before this request.
-        while ends.peek().is_some_and(|e| e.0.time <= r.time) {
-            let ev = ends.pop().expect("peeked a pending end event").0;
-            finish(ev, &mut loads, &mut caches);
+        // Complete ended streams and apply due fault transitions in
+        // time order. With an empty schedule `peek_time()` is always
+        // `None` and this is exactly the plain drain-ends loop. At
+        // equal timestamps stream ends run first, so a stream ending
+        // the instant a fault begins is not interrupted.
+        loop {
+            let next_end = ends.peek().map(|e| e.0.time);
+            let transition_due = match (next_end, fstate.peek_time()) {
+                (_, None) => false,
+                (None, Some(tt)) => tt <= r.time,
+                (Some(te), Some(tt)) => tt <= r.time && tt < te,
+            };
+            if transition_due {
+                let (t, disruptive) = fstate.apply_next();
+                if disruptive {
+                    interrupted_streams += interrupt_dead_streams(
+                        t,
+                        &mut ends,
+                        &fstate,
+                        paths,
+                        catalog,
+                        &mut loads,
+                        &mut caches,
+                        &mut interrupt_scratch,
+                    );
+                }
+                continue;
+            }
+            match ends.peek() {
+                Some(e) if e.0.time <= r.time => {
+                    let Some(std::cmp::Reverse(ev)) = ends.pop() else {
+                        break;
+                    };
+                    finish(ev, &mut loads, &mut caches);
+                }
+                _ => break,
+            }
         }
         loads.advance(r.time.secs());
 
         let measured = r.time >= cfg.measure_from;
-        if measured {
-            total_requests += 1;
-        }
         let j = r.vho;
         let m = r.video;
         let video = catalog.video(m);
         let dur = video.duration_secs();
         let end_time = r.time + dur;
 
-        // 1) Local pinned copy.
-        if pinned_holders[m.index()].binary_search(&j).is_ok() {
+        // An active flash crowd replays the request `copies` times;
+        // the fault-free path is exactly one iteration with no extra
+        // RNG draws or arithmetic.
+        let copies = if faulted { fstate.surge_copies(j) } else { 1 };
+        for _copy in 0..copies {
             if measured {
-                served_local_pinned += 1;
+                total_requests += 1;
             }
-            continue;
-        }
-        // 2) Local cached copy.
-        if caches[j.index()].as_ref().is_some_and(|c| c.contains(m)) {
-            let c = caches[j.index()]
-                .as_mut()
-                .expect("cache presence checked above");
-            c.touch(m);
-            c.pin(m);
+
+            // 1) Local pinned copy (offline while the VHO is down).
+            if (!faulted || fstate.vho_up(j)) && pinned_holders[m.index()].binary_search(&j).is_ok()
+            {
+                if measured {
+                    served_local_pinned += 1;
+                }
+                continue;
+            }
+            // 2) Local cached copy.
+            if !faulted || fstate.vho_up(j) {
+                if let Some(c) = caches[j.index()].as_mut() {
+                    if c.contains(m) {
+                        c.touch(m);
+                        c.pin(m);
+                        if measured {
+                            served_local_cached += 1;
+                        }
+                        seq += 1;
+                        ends.push(std::cmp::Reverse(EndEvent {
+                            time: end_time,
+                            seq,
+                            video: m,
+                            server: j,
+                            client: j,
+                            unpin_server_cache: false,
+                            unpin_client_cache: true,
+                            measured,
+                        }));
+                        continue;
+                    }
+                }
+            }
+
+            // 3) Remote service: pick a surviving server (failover to
+            // the next-cheapest reachable replica under faults).
+            let pinned = &pinned_holders[m.index()];
+            let cached = &cached_holders[m.index()];
+            let nearest = || -> Option<VhoId> {
+                pinned
+                    .iter()
+                    .chain(cached.iter())
+                    .copied()
+                    .filter(|&i| !faulted || fstate.server_usable(i, j, paths))
+                    .min_by_key(|&i| (paths.hops(i, j), i))
+            };
+            let server = match policy {
+                PolicyKind::MipRouting(placement) => {
+                    match placement.serving_distribution(m, j) {
+                        Some(dist) => {
+                            // Weighted random server choice (Section V-B);
+                            // guard against a distribution entry whose
+                            // holder disappeared (shouldn't happen when the
+                            // placement matches the pinned sets) or is
+                            // currently down/cut off.
+                            let total: f64 = dist.iter().map(|&(_, w)| w).sum();
+                            let mut pick = rng.gen::<f64>() * total;
+                            let mut chosen = dist[0].0;
+                            for &(i, w) in dist {
+                                if pick <= w {
+                                    chosen = i;
+                                    break;
+                                }
+                                pick -= w;
+                            }
+                            if pinned_holders[m.index()].binary_search(&chosen).is_ok()
+                                && (!faulted || fstate.server_usable(chosen, j, paths))
+                            {
+                                Some(chosen)
+                            } else {
+                                nearest()
+                            }
+                        }
+                        None => nearest(),
+                    }
+                }
+                PolicyKind::NearestReplica => nearest(),
+            };
+            // No reachable replica anywhere: a counted denial, never
+            // an abort — malformed placements and total outages both
+            // land here.
+            let Some(server) = server else {
+                if measured {
+                    denied_no_replica += 1;
+                }
+                continue;
+            };
+            debug_assert_ne!(server, j, "remote path reached with a local copy");
+
+            let path = paths.path(server, j);
+            let rate = video.bitrate().value();
+            // Admission control: refuse a stream that would push any
+            // path link past its (possibly degraded) capacity.
+            if faulted && cfg.faults.admission && !fstate.admits(path, rate, |l| loads.level(l)) {
+                if measured {
+                    denied_capacity += 1;
+                }
+                continue;
+            }
+
+            // The serving copy may live in the server's cache: pin it.
+            let server_cached = pinned_holders[m.index()].binary_search(&server).is_err();
+            if server_cached {
+                if let Some(c) = caches[server.index()].as_mut() {
+                    c.touch(m);
+                    c.pin(m);
+                }
+            }
+
+            loads.add(path, rate);
             if measured {
-                served_local_cached += 1;
+                served_remote += 1;
+                total_gb_hops += video.size().value() * path.len() as f64;
             }
+
+            // 4) Cache the fetched video locally (not while the local
+            // VHO's storage is down).
+            let mut unpin_client = false;
+            if cfg.insert_on_miss && (!faulted || fstate.vho_up(j)) {
+                if let Some(c) = caches[j.index()].as_mut() {
+                    match c.insert(m, video.size().value(), &mut evicted) {
+                        InsertOutcome::Inserted => {
+                            c.pin(m);
+                            unpin_client = true;
+                            let row = &mut cached_holders[m.index()];
+                            if let Err(pos) = row.binary_search(&j) {
+                                row.insert(pos, j);
+                            }
+                            for victim in &evicted {
+                                let row = &mut cached_holders[victim.index()];
+                                if let Ok(pos) = row.binary_search(&j) {
+                                    row.remove(pos);
+                                }
+                            }
+                        }
+                        InsertOutcome::AlreadyPresent => {
+                            c.pin(m);
+                            unpin_client = true;
+                        }
+                        InsertOutcome::Rejected => {}
+                    }
+                }
+            }
+
+            // Holder-set/cache consistency for every video whose membership
+            // this event may have changed.
+            #[cfg(feature = "audit")]
+            {
+                audit_video_holders(m, &cached_holders, &caches);
+                for &victim in &evicted {
+                    audit_video_holders(victim, &cached_holders, &caches);
+                }
+            }
+
             seq += 1;
             ends.push(std::cmp::Reverse(EndEvent {
                 time: end_time,
                 seq,
                 video: m,
-                server: j,
+                server,
                 client: j,
-                unpin_server_cache: false,
-                unpin_client_cache: true,
+                unpin_server_cache: server_cached,
+                unpin_client_cache: unpin_client,
+                measured,
             }));
-            continue;
         }
-
-        // 3) Remote service: pick a server.
-        let pinned = &pinned_holders[m.index()];
-        let cached = &cached_holders[m.index()];
-        let nearest = || -> VhoId {
-            pinned
-                .iter()
-                .chain(cached.iter())
-                .copied()
-                .min_by_key(|&i| (paths.hops(i, j), i))
-                .unwrap_or_else(|| panic!("video {m} has no copy anywhere"))
-        };
-        let server = match policy {
-            PolicyKind::MipRouting(placement) => {
-                match placement.serving_distribution(m, j) {
-                    Some(dist) => {
-                        // Weighted random server choice (Section V-B);
-                        // guard against a distribution entry whose
-                        // holder disappeared (shouldn't happen when the
-                        // placement matches the pinned sets).
-                        let total: f64 = dist.iter().map(|&(_, w)| w).sum();
-                        let mut pick = rng.gen::<f64>() * total;
-                        let mut chosen = dist[0].0;
-                        for &(i, w) in dist {
-                            if pick <= w {
-                                chosen = i;
-                                break;
-                            }
-                            pick -= w;
-                        }
-                        if pinned_holders[m.index()].binary_search(&chosen).is_ok() {
-                            chosen
-                        } else {
-                            nearest()
-                        }
-                    }
-                    None => nearest(),
-                }
-            }
-            PolicyKind::NearestReplica => nearest(),
-        };
-        debug_assert_ne!(server, j, "remote path reached with a local copy");
-
-        // The serving copy may live in the server's cache: pin it.
-        let server_cached = pinned_holders[m.index()].binary_search(&server).is_err();
-        if server_cached {
-            if let Some(c) = caches[server.index()].as_mut() {
-                c.touch(m);
-                c.pin(m);
-            }
-        }
-
-        let path = paths.path(server, j);
-        loads.add(path, video.bitrate().value());
-        if measured {
-            served_remote += 1;
-            total_gb_hops += video.size().value() * path.len() as f64;
-        }
-
-        // 4) Cache the fetched video locally.
-        let mut unpin_client = false;
-        if cfg.insert_on_miss {
-            if let Some(c) = caches[j.index()].as_mut() {
-                match c.insert(m, video.size().value(), &mut evicted) {
-                    InsertOutcome::Inserted => {
-                        c.pin(m);
-                        unpin_client = true;
-                        let row = &mut cached_holders[m.index()];
-                        if let Err(pos) = row.binary_search(&j) {
-                            row.insert(pos, j);
-                        }
-                        for victim in &evicted {
-                            let row = &mut cached_holders[victim.index()];
-                            if let Ok(pos) = row.binary_search(&j) {
-                                row.remove(pos);
-                            }
-                        }
-                    }
-                    InsertOutcome::AlreadyPresent => {
-                        c.pin(m);
-                        unpin_client = true;
-                    }
-                    InsertOutcome::Rejected => {}
-                }
-            }
-        }
-
-        // Holder-set/cache consistency for every video whose membership
-        // this event may have changed.
-        #[cfg(feature = "audit")]
-        {
-            audit_video_holders(m, &cached_holders, &caches);
-            for &victim in &evicted {
-                audit_video_holders(victim, &cached_holders, &caches);
-            }
-        }
-
-        seq += 1;
-        ends.push(std::cmp::Reverse(EndEvent {
-            time: end_time,
-            seq,
-            video: m,
-            server,
-            client: j,
-            unpin_server_cache: server_cached,
-            unpin_client_cache: unpin_client,
-        }));
     }
 
-    // Drain remaining streams (clamped to the horizon for bucketing).
-    while let Some(std::cmp::Reverse(ev)) = ends.pop() {
+    // Drain remaining streams (clamped to the horizon for bucketing),
+    // still interleaved with any fault transitions left on the clock.
+    // Once no streams remain, pending transitions cannot affect the
+    // report and are skipped.
+    loop {
+        let next_end = ends.peek().map(|e| e.0.time);
+        let transition_due = match (next_end, fstate.peek_time()) {
+            (_, None) | (None, Some(_)) => false,
+            (Some(te), Some(tt)) => tt < te,
+        };
+        if transition_due {
+            let (t, disruptive) = fstate.apply_next();
+            if disruptive {
+                interrupted_streams += interrupt_dead_streams(
+                    t,
+                    &mut ends,
+                    &fstate,
+                    paths,
+                    catalog,
+                    &mut loads,
+                    &mut caches,
+                    &mut interrupt_scratch,
+                );
+            }
+            continue;
+        }
+        let Some(std::cmp::Reverse(ev)) = ends.pop() else {
+            break;
+        };
         finish(ev, &mut loads, &mut caches);
     }
     loads.advance(trace.horizon().secs());
@@ -508,6 +714,17 @@ pub fn simulate_with_final(
             loads.max() <= 1e-6,
             "audit: residual link load {} after drain",
             loads.max()
+        );
+        // Conservation: service classes and denials partition the
+        // measured requests (interruptions overlap the served counts).
+        assert_eq!(
+            served_local_pinned
+                + served_local_cached
+                + served_remote
+                + denied_no_replica
+                + denied_capacity,
+            total_requests,
+            "audit: served + denied must equal issued"
         );
     }
 
@@ -535,6 +752,9 @@ pub fn simulate_with_final(
             served_remote,
             total_gb_hops,
             max_link_mbps,
+            denied_no_replica,
+            denied_capacity,
+            interrupted_streams,
             cache: cache_stats,
         },
         SimFinalState {
@@ -780,13 +1000,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no copy anywhere")]
-    fn unhosted_video_panics() {
+    fn unhosted_video_is_denied_not_a_panic() {
         let (net, paths) = line3();
         let cat = catalog(1);
         let trace = Trace::new(SimTime::new(8000), vec![req(0, 2, 0)]);
+        // Malformed placement: the video exists nowhere. The request
+        // must surface as a counted denial, never an abort.
         let vhos = no_cache_vhos(vec![vec![], vec![], vec![]]);
-        let _ = simulate(
+        let rep = simulate(
             &net,
             &paths,
             &cat,
@@ -795,6 +1016,11 @@ mod tests {
             &PolicyKind::NearestReplica,
             &SimConfig::default(),
         );
+        assert_eq!(rep.denied_no_replica, 1);
+        assert_eq!(rep.total_requests, 1);
+        assert_eq!(rep.served_remote, 0);
+        assert_eq!(rep.max_link_mbps, 0.0);
+        assert!((rep.denial_rate() - 1.0).abs() < 1e-12);
     }
 
     #[test]
@@ -806,13 +1032,19 @@ mod tests {
             total_requests: 10,
             served_local_pinned: 4,
             served_local_cached: 2,
-            served_remote: 4,
+            served_remote: 2,
             total_gb_hops: 12.0,
             max_link_mbps: 5.0,
+            denied_no_replica: 1,
+            denied_capacity: 1,
+            interrupted_streams: 2,
             cache: CacheStats::default(),
         };
         assert!((rep.local_fraction() - 0.6).abs() < 1e-12);
         assert_eq!(rep.max_aggregate_gb(), 3.0);
+        assert_eq!(rep.denied(), 2);
+        assert!((rep.denial_rate() - 0.2).abs() < 1e-12);
+        assert!((rep.rebuffer_rate() - 0.2).abs() < 1e-12);
     }
 
     #[test]
@@ -834,5 +1066,191 @@ mod tests {
         assert_eq!(fin.cache_contents[2], vec![VideoId::new(0)]);
         assert_eq!(fin.cached_holders[0], vec![VhoId::new(2)]);
         assert!(fin.cache_contents[0].is_empty());
+    }
+
+    // ---- fault-injection behaviour ----------------------------------
+
+    use crate::faults::{FaultEvent, FaultKind, FaultSchedule};
+    use vod_model::LinkId;
+
+    fn fault_cfg(events: Vec<FaultEvent>, admission: bool) -> SimConfig {
+        SimConfig {
+            faults: FaultSchedule { events, admission },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn vho_outage_fails_over_to_next_replica() {
+        let (net, paths) = line3();
+        let cat = catalog(1);
+        // Copies at 0 and 1, client at 2. Fault-free the nearest is 1
+        // (1 hop); with 1 down the request fails over to 0 (2 hops).
+        let trace = Trace::new(SimTime::new(8000), vec![req(0, 2, 0)]);
+        let vhos = no_cache_vhos(vec![vec![0], vec![0], vec![]]);
+        let cfg = fault_cfg(
+            vec![FaultEvent {
+                start: SimTime::new(0),
+                end: SimTime::new(10),
+                kind: FaultKind::VhoOutage { vho: VhoId::new(1) },
+            }],
+            false,
+        );
+        let rep = simulate(
+            &net,
+            &paths,
+            &cat,
+            &trace,
+            &vhos,
+            &PolicyKind::NearestReplica,
+            &cfg,
+        );
+        assert_eq!(rep.served_remote, 1);
+        assert_eq!(rep.total_gb_hops, 2.0, "failover took the 2-hop route");
+        assert_eq!(rep.denied(), 0);
+    }
+
+    #[test]
+    fn link_cut_interrupts_denies_then_recovers() {
+        let (net, paths) = line3();
+        let cat = catalog(1);
+        // Only copy at 0; client at 2 (path links 0->1, 1->2). Stream
+        // starts at t=0; link 1->2 is cut on [1000, 2000): the stream
+        // is interrupted, a request at 1500 finds no route (denied),
+        // and a request at 2500 is served again after recovery.
+        let trace = Trace::new(
+            SimTime::new(30_000),
+            vec![req(0, 2, 0), req(1500, 2, 0), req(2500, 2, 0)],
+        );
+        let vhos = no_cache_vhos(vec![vec![0], vec![], vec![]]);
+        let cfg = fault_cfg(
+            vec![FaultEvent {
+                start: SimTime::new(1000),
+                end: SimTime::new(2000),
+                kind: FaultKind::LinkDegrade {
+                    link: LinkId::new(2),
+                    capacity_scale: 0.0,
+                },
+            }],
+            false,
+        );
+        let rep = simulate(
+            &net,
+            &paths,
+            &cat,
+            &trace,
+            &vhos,
+            &PolicyKind::NearestReplica,
+            &cfg,
+        );
+        assert_eq!(rep.interrupted_streams, 1);
+        assert_eq!(rep.denied_no_replica, 1);
+        assert_eq!(rep.served_remote, 2);
+        assert_eq!(rep.total_requests, 3);
+        // The cut window shows zero load (bucket 4 covers 1200..1500).
+        assert_eq!(rep.peak_link_mbps[4], 0.0);
+    }
+
+    #[test]
+    fn flash_crowd_replays_requests() {
+        let (net, paths) = line3();
+        let cat = catalog(1);
+        let trace = Trace::new(SimTime::new(30_000), vec![req(100, 2, 0)]);
+        let vhos = no_cache_vhos(vec![vec![0], vec![], vec![]]);
+        let cfg = fault_cfg(
+            vec![FaultEvent {
+                start: SimTime::new(0),
+                end: SimTime::new(200),
+                kind: FaultKind::FlashCrowd {
+                    vho: Some(VhoId::new(2)),
+                    multiplier: 3,
+                },
+            }],
+            false,
+        );
+        let rep = simulate(
+            &net,
+            &paths,
+            &cat,
+            &trace,
+            &vhos,
+            &PolicyKind::NearestReplica,
+            &cfg,
+        );
+        assert_eq!(rep.total_requests, 3);
+        assert_eq!(rep.served_remote, 3);
+        // Three concurrent copies of the same 2 Mb/s stream.
+        assert_eq!(rep.max_link_mbps, 6.0);
+    }
+
+    #[test]
+    fn admission_control_denies_overload() {
+        let (mut net, _) = line3();
+        net.set_uniform_capacity(vod_model::Mbps::new(3.0));
+        let paths = PathSet::shortest_paths(&net);
+        let cat = catalog(2);
+        // Two concurrent 2 Mb/s streams over a 3 Mb/s link: the second
+        // must be refused, not overload the link.
+        let trace = Trace::new(SimTime::new(30_000), vec![req(0, 2, 0), req(100, 2, 1)]);
+        let vhos = no_cache_vhos(vec![vec![0, 1], vec![], vec![]]);
+        let cfg = fault_cfg(vec![], true);
+        let rep = simulate(
+            &net,
+            &paths,
+            &cat,
+            &trace,
+            &vhos,
+            &PolicyKind::NearestReplica,
+            &cfg,
+        );
+        assert_eq!(rep.served_remote, 1);
+        assert_eq!(rep.denied_capacity, 1);
+        assert!(rep.max_link_mbps <= 3.0, "admission kept links feasible");
+    }
+
+    #[test]
+    fn dormant_schedule_matches_fault_free_run() {
+        let (net, paths) = line3();
+        let cat = catalog(2);
+        let trace = Trace::new(
+            SimTime::new(30_000),
+            vec![req(0, 2, 0), req(100, 1, 1), req(5000, 2, 1)],
+        );
+        let mut vhos = no_cache_vhos(vec![vec![0, 1], vec![], vec![]]);
+        vhos[2].cache = Some((CacheKind::Lru, 5.0));
+        let base = simulate(
+            &net,
+            &paths,
+            &cat,
+            &trace,
+            &vhos,
+            &PolicyKind::NearestReplica,
+            &SimConfig::default(),
+        );
+        // A schedule whose only event never overlaps the trace flips
+        // the engine onto the fault-aware path but must not change a
+        // single bit of the report.
+        let cfg = fault_cfg(
+            vec![FaultEvent {
+                start: SimTime::new(40_000),
+                end: SimTime::new(50_000),
+                kind: FaultKind::VhoOutage { vho: VhoId::new(0) },
+            }],
+            false,
+        );
+        let rep = simulate(
+            &net,
+            &paths,
+            &cat,
+            &trace,
+            &vhos,
+            &PolicyKind::NearestReplica,
+            &cfg,
+        );
+        assert_eq!(rep.total_requests, base.total_requests);
+        assert_eq!(rep.total_gb_hops.to_bits(), base.total_gb_hops.to_bits());
+        assert_eq!(rep.peak_link_mbps, base.peak_link_mbps);
+        assert_eq!(rep.transfer_gb, base.transfer_gb);
+        assert_eq!(rep.denied(), 0);
     }
 }

@@ -34,6 +34,7 @@
 pub mod batch;
 pub mod cache;
 pub mod engine;
+pub mod faults;
 pub mod setups;
 
 pub use batch::{default_threads, simulate_batch, SimJob};
@@ -41,6 +42,7 @@ pub use cache::{Cache, CacheImpl, CacheKind, CacheStats, LfuCache, LrfuCache, Lr
 pub use engine::{
     simulate, simulate_with_final, PolicyKind, SimConfig, SimFinalState, SimReport, VhoConfig,
 };
+pub use faults::{FaultConfigError, FaultEvent, FaultKind, FaultSchedule};
 pub use setups::{
     mip_vho_configs, origin_vho_configs, random_single_vho_configs, top_k_vho_configs,
 };

@@ -38,6 +38,18 @@ fn assert_bit_identical(a: &SimReport, b: &SimReport, ctx: &str) {
         b.max_link_mbps.to_bits(),
         "{ctx}: max_link_mbps"
     );
+    assert_eq!(
+        a.denied_no_replica, b.denied_no_replica,
+        "{ctx}: denied_no_replica"
+    );
+    assert_eq!(
+        a.denied_capacity, b.denied_capacity,
+        "{ctx}: denied_capacity"
+    );
+    assert_eq!(
+        a.interrupted_streams, b.interrupted_streams,
+        "{ctx}: interrupted_streams"
+    );
     assert_eq!(a.cache.insertions, b.cache.insertions, "{ctx}: insertions");
     assert_eq!(a.cache.evictions, b.cache.evictions, "{ctx}: evictions");
     assert_eq!(a.cache.hits, b.cache.hits, "{ctx}: hits");

@@ -60,7 +60,11 @@ pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
 ///
 /// `cum` must be non-decreasing with a positive final entry.
 pub fn sample_cumulative<R: Rng + ?Sized>(rng: &mut R, cum: &[f64]) -> usize {
-    let total = *cum.last().expect("empty cumulative table");
+    // An empty table has no mass to sample; index 0 is the only
+    // defensible answer and keeps trace generation running.
+    let Some(&total) = cum.last() else {
+        return 0;
+    };
     debug_assert!(total > 0.0, "cumulative table must have positive mass");
     let x = rng.gen::<f64>() * total;
     // partition_point: first index with cum[idx] > x.

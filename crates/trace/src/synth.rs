@@ -159,8 +159,12 @@ pub fn synthesize_library(cfg: &LibraryConfig) -> Catalog {
     }
     // --- Back catalog fills the rest, consuming the shuffled ranks. ---
     let mut rank_iter = ranks.into_iter();
+    // `ranks` holds one entry per requested video, so the iterator
+    // outlasts the loop; a short table just yields a smaller catalog.
     while videos.len() < n {
-        let rank = rank_iter.next().expect("enough ranks for catalog");
+        let Some(rank) = rank_iter.next() else {
+            break;
+        };
         videos.push(Video {
             id: VideoId::from_index(videos.len()),
             class: sample_class(&mut rng),

@@ -1,9 +1,11 @@
 //! The rule engine behind `cargo xtask lint`.
 //!
-//! Six repo-specific source lints — four aimed at the property the
+//! Seven repo-specific source lints — four aimed at the property the
 //! paper's evaluation depends on (**byte-identical placements from
 //! identical seeds**), two guarding the solver's and simulator's
-//! allocation-free hot paths.
+//! allocation-free hot paths, and one keeping those hot paths free of
+//! process-killing panics (graceful degradation is a deliverable of
+//! the fault-injection layer).
 //! The rules are textual (line-oriented with comment stripping and
 //! `#[cfg(test)]`-module tracking) rather than AST-based —
 //! deliberately so: they run in milliseconds with zero dependencies,
@@ -17,6 +19,7 @@
 //! | `raw-index` | `VhoId::new` / `VhoId::from_index` | outside `crates/model`, `crates/net` library code |
 //! | `vec-vec-f64` | `Vec<Vec<f64>>` | `vod-core` solver + `vod-sim` simulator hot-path modules |
 //! | `dyn-dispatch` | `Box<dyn` | `vod-sim` simulator hot-path modules |
+//! | `no-panic-hot-path` | `panic!` / `unreachable!` / `todo!` / `.unwrap()` / `.expect(` | modules reachable from `simulate` / `solve_placement` |
 //!
 //! Escape hatch: a comment line
 //! `// lint:allow(<rule>): <justification>` suppresses the rule on the
@@ -44,13 +47,14 @@ impl fmt::Display for Finding {
     }
 }
 
-pub const RULES: [&str; 6] = [
+pub const RULES: [&str; 7] = [
     "nondeterministic-map",
     "nan-unwrap-cmp",
     "wall-clock",
     "raw-index",
     "vec-vec-f64",
     "dyn-dispatch",
+    "no-panic-hot-path",
 ];
 
 /// Paths (workspace-relative, `/`-separated) the linter never scans:
@@ -110,9 +114,22 @@ fn flat_buffer_scope(path: &str) -> bool {
 /// `crates/sim/src/cache.rs` and DESIGN.md "Simulator performance
 /// architecture").
 fn sim_hot_path_scope(path: &str) -> bool {
-    const HOT: [&str; 3] = ["batch.rs", "cache.rs", "engine.rs"];
+    const HOT: [&str; 4] = ["batch.rs", "cache.rs", "engine.rs", "faults.rs"];
     path.strip_prefix("crates/sim/src/")
         .is_some_and(|f| HOT.contains(&f))
+}
+
+/// Modules reachable from `vod_sim::simulate` or
+/// `vod_core::solve_placement` at run time: the fault-injection layer
+/// promises graceful degradation (typed errors, denial accounting,
+/// best-incumbent returns), so nothing on those paths may tear the
+/// process down. Entry-guard `assert!`s on caller-supplied shapes are
+/// deliberately NOT policed — they fire before any work starts.
+fn no_panic_scope(path: &str) -> bool {
+    flat_buffer_scope(path)
+        || path == "crates/core/src/solver.rs"
+        || path == "crates/net/src/routing.rs"
+        || path.starts_with("crates/trace/src/")
 }
 
 /// Strip `//` line comments and (statefully) `/* ... */` block
@@ -302,6 +319,21 @@ pub fn lint_file(path: &str, content: &str) -> Vec<Finding> {
                 "nested f64 matrices in solver hot paths re-allocate per chunk; use a \
                  flat row-major buffer (crate::penalty::PenaltyArena, UflProblem) or \
                  annotate a boundary constructor"
+                    .to_string(),
+            );
+        }
+        if no_panic_scope(path) && !in_test_code {
+            check(
+                "no-panic-hot-path",
+                code.contains("panic!(")
+                    || code.contains("unreachable!(")
+                    || code.contains("todo!(")
+                    || code.contains(".unwrap()")
+                    || code.contains(".expect("),
+                "panics and unwraps reachable from simulate/solve kill the whole run; \
+                 degrade instead (typed SolveError, denial accounting, let-else \
+                 fallbacks) or justify an unreachable invariant with \
+                 lint:allow(no-panic-hot-path)"
                     .to_string(),
             );
         }
@@ -495,8 +527,46 @@ mod tests {
         assert!(lint_file("crates/sim/src/cache.rs", &in_tests).is_empty());
         // A justified allow still works.
         let allowed = "// lint:allow(dyn-dispatch): plugin boundary, cold path\n\
-                       fn g() -> Box<dyn Cache> { todo!() }\n";
+                       fn g() -> Box<dyn Cache> { make() }\n";
         assert!(lint_file("crates/sim/src/engine.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn flags_panics_in_hot_paths() {
+        let src = "fn f(v: Option<u32>) -> u32 {\n    let x = v.unwrap();\n    \
+                   let y = v.expect(\"set\");\n    panic!(\"boom\");\n}\n";
+        for path in [
+            "crates/sim/src/engine.rs",
+            "crates/sim/src/faults.rs",
+            "crates/core/src/epf.rs",
+            "crates/core/src/solver.rs",
+            "crates/net/src/routing.rs",
+            "crates/trace/src/stats.rs",
+        ] {
+            assert_eq!(
+                rules_of(&lint_file(path, src)),
+                ["no-panic-hot-path"; 3],
+                "{path}"
+            );
+        }
+        // Cold paths, test files, and test modules are out of scope.
+        assert!(lint_file("crates/core/src/direct.rs", src).is_empty());
+        assert!(lint_file("crates/sim/tests/x.rs", src).is_empty());
+        let in_tests = format!("#[cfg(test)]\nmod tests {{\n    {src}\n}}\n");
+        assert!(lint_file("crates/sim/src/engine.rs", &in_tests).is_empty());
+    }
+
+    #[test]
+    fn asserts_and_fallible_cousins_are_not_panics() {
+        // Entry-guard asserts and the _or/_err/_else family are fine.
+        let src = "fn f(v: Option<u32>) -> u32 {\n    assert!(true);\n    \
+                   assert_eq!(1, 1);\n    debug_assert!(true);\n    \
+                   v.unwrap_or(0)\n}\n";
+        assert!(lint_file("crates/sim/src/engine.rs", src).is_empty());
+        let justified =
+            "// lint:allow(no-panic-hot-path): index proven in-bounds by construction\n\
+             let x = v.unwrap();\n";
+        assert!(lint_file("crates/core/src/pool.rs", justified).is_empty());
     }
 
     #[test]

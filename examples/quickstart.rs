@@ -50,7 +50,7 @@ fn main() {
         seed: 42,
         ..Default::default()
     };
-    let out = solve_placement(&instance, &cfg);
+    let out = solve_placement(&instance, &cfg).expect("quickstart instance is well-formed");
 
     println!(
         "\nEPF solve: {} passes, {} block steps, {:.1} ms",

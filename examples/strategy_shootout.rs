@@ -46,7 +46,8 @@ fn main() {
             seed,
             ..Default::default()
         },
-    );
+    )
+    .expect("instance is well-formed");
     println!(
         "MIP solved: violation {:.2} %, gap {:.2} %",
         out.rounding.max_violation * 100.0,

@@ -69,7 +69,8 @@ fn main() {
             0.0,
             placement_cost.as_ref(),
         );
-        let out = vodplace::core::solve_placement(&instance, &epf_cfg);
+        let out = vodplace::core::solve_placement(&instance, &epf_cfg)
+            .expect("weekly instance is well-formed");
 
         let migrated = prev
             .as_ref()

@@ -42,7 +42,8 @@
 //!     &DiskConfig::UniformRatio { ratio: 2.0 },
 //!     1.0, 0.0, None,
 //! );
-//! let out = solve_placement(&instance, &EpfConfig { max_passes: 40, ..Default::default() });
+//! let out = solve_placement(&instance, &EpfConfig { max_passes: 40, ..Default::default() })
+//!     .expect("well-formed instance");
 //! assert_eq!(out.placement.n_videos(), instance.n_videos());
 //! ```
 

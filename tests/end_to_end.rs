@@ -39,7 +39,8 @@ fn placement_pipeline_respects_capacities() {
             seed: 101,
             ..Default::default()
         },
-    );
+    )
+    .expect("instance is well-formed");
     // Every video stored; disks respected after repair.
     for m in inst.catalog.ids() {
         assert!(!out.placement.stores(m).is_empty());
@@ -75,7 +76,8 @@ fn mip_beats_caching_on_peak_bandwidth() {
             seed: 102,
             ..Default::default()
         },
-    );
+    )
+    .expect("instance is well-formed");
     let disks = DiskConfig::UniformRatio { ratio: 2.0 }.capacities(&net, catalog.total_size());
     let cfg = SimConfig {
         measure_from: SimTime::new(7 * 86_400),
@@ -153,7 +155,8 @@ fn estimation_pipeline_improves_over_no_estimate() {
                 seed: 103,
                 ..Default::default()
             },
-        );
+        )
+        .expect("instance is well-formed");
         let disks = DiskConfig::UniformRatio { ratio: 2.0 }.capacities(&net, catalog.total_size());
         vodplace::sim::simulate(
             &net,

@@ -69,7 +69,8 @@ fn empty_trace_demand_still_places_everything() {
             seed: 9,
             ..Default::default()
         },
-    );
+    )
+    .expect("instance is well-formed");
     // Zero demand: every video still gets exactly one copy somewhere.
     for m in inst.catalog.ids() {
         assert!(!out.placement.stores(m).is_empty());
@@ -130,6 +131,7 @@ fn solver_handles_zero_window_instances() {
             seed: 4,
             ..Default::default()
         },
-    );
+    )
+    .expect("instance is well-formed");
     assert!(out.rounding.max_violation < 0.05);
 }
