@@ -1,0 +1,270 @@
+//! Ops drill — crash-safe re-optimization (robustness harness, not a
+//! paper table). Runs the supervised estimate→solve→round→validate→
+//! simulate schedule of `vod-ops` three ways over the same scenario:
+//!
+//! - **baseline**: uninterrupted,
+//! - **interrupted**: killed mid-solve at seeded points, with the
+//!   surviving solver checkpoint truncated after some crashes (torn
+//!   write) and one transient injected failure per cycle, then resumed
+//!   from the durable state alone,
+//! - **degraded**: cycle 1's solve forced to exhaust every retry.
+//!
+//! Asserts the interrupted run's per-cycle placements are
+//! *byte-identical* to the baseline's, and that the degraded run falls
+//! back to the last-good placement with a typed reason. Emits
+//! `results/BENCH_ops.json` — counters and fingerprints only, no wall
+//! times (the supervisor never reads a clock).
+use std::path::{Path, PathBuf};
+use vod_bench::{save_results, Defaults, Scale, Scenario};
+use vod_estimate::{EstimateConfig, EstimatorKind};
+use vod_json::{obj, Value};
+use vod_model::rng::derive_seed;
+use vod_model::Mbps;
+use vod_ops::{
+    CycleRecord, DegradeReason, FaultPlan, OpsConfig, OpsWorld, Pipeline, PipelineState, StageId,
+    StepOutcome,
+};
+
+fn world(s: &Scenario, d: &Defaults) -> OpsWorld {
+    let mut net = s.net.clone();
+    net.set_uniform_capacity(Mbps::from_gbps(d.link_gbps));
+    OpsWorld {
+        net,
+        paths: s.paths.clone(),
+        catalog: s.catalog.clone(),
+        trace: s.trace.clone(),
+        disks: s.full_disks(d),
+        mip_disk: s.mip_disk(d),
+        est: EstimateConfig {
+            window_secs: d.window_secs,
+            n_windows: d.n_windows,
+        },
+    }
+}
+
+fn config(s: &Scenario, dir: PathBuf) -> OpsConfig {
+    OpsConfig {
+        cycles: 3,
+        period_days: match s.scale {
+            Scale::Quick => 2,
+            _ => 7,
+        },
+        start_day: 7,
+        estimator: EstimatorKind::History,
+        // The scenario config already budgets via the deterministic
+        // `step_limit` (never `wall_limit`), which checkpoint resume
+        // preserves — a prerequisite for the identity assertion below.
+        epf: s.epf_config(),
+        max_attempts: 3,
+        checkpoint_every: 3,
+        backoff_base_ms: 250,
+        validate_tol: 1e-6,
+        simulate: true,
+        state_dir: dir,
+    }
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vod_ops_bench_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn fingerprints(st: &PipelineState) -> Vec<u64> {
+    st.records.iter().map(|r| r.placement_fnv).collect()
+}
+
+/// The interrupted run: drop the pipeline value on every simulated
+/// crash and resume from disk, truncating the solver checkpoint after
+/// every other crash to model a torn write.
+fn run_interrupted(w: &OpsWorld, s: &Scenario, dir: &Path) -> PipelineState {
+    let seed = s.seed;
+    let stages = StageId::ALL;
+    // One transient failure per cycle at a seeded stage (attempt 0
+    // only — the retry then succeeds).
+    let fail: Vec<(usize, StageId, u32)> = (0..3)
+        .map(|c| {
+            let pick = derive_seed(seed, 0xFA11 ^ c as u64) % stages.len() as u64;
+            (c, stages[usize::try_from(pick).expect("pick < 5")], 0)
+        })
+        .collect();
+    // Kill cycles 0 and 1 mid-solve after a seeded number of surviving
+    // checkpoints.
+    let mut kills: Vec<(usize, u64)> = (0..2)
+        .map(|c| (c, derive_seed(seed, 0x6111 ^ c as u64) % 3))
+        .collect();
+    let mut truncate_next = true;
+    loop {
+        let mut p = Pipeline::resume_or_start(
+            w,
+            config(s, dir.to_path_buf()),
+            FaultPlan {
+                fail: fail.clone(),
+                kill_mid_solve: kills.clone(),
+            },
+        )
+        .expect("pipeline config is valid");
+        let mut crashed = false;
+        loop {
+            match p.step().expect("only NoFallback/Io are fatal") {
+                StepOutcome::SimulatedCrash { cycle } => {
+                    kills.retain(|(c, _)| *c != cycle);
+                    crashed = true;
+                    break;
+                }
+                StepOutcome::Finished => break,
+                _ => {}
+            }
+        }
+        if !crashed {
+            return p.state().clone();
+        }
+        // Simulate a torn checkpoint write on alternating crashes: the
+        // supervisor must fall back to a cold (still deterministic)
+        // solve instead of resuming.
+        let ckpt = dir.join("solver.ckpt");
+        if truncate_next {
+            if let Ok(bytes) = std::fs::read(&ckpt) {
+                if bytes.len() > 8 {
+                    // lint:allow(snapshot-io): deliberately tearing the checkpoint to test recovery
+                    std::fs::write(&ckpt, &bytes[..bytes.len() / 2]).expect("truncate checkpoint");
+                }
+            }
+        }
+        truncate_next = !truncate_next;
+    }
+}
+
+fn reason_str(r: &DegradeReason) -> String {
+    match r {
+        DegradeReason::StageFailed {
+            stage, attempts, ..
+        } => {
+            format!("stage-failed:{stage}:{attempts}")
+        }
+        DegradeReason::ValidationFailed { .. } => "validation-failed".into(),
+    }
+}
+
+fn ledger(st: &PipelineState) -> Value {
+    let row = |r: &CycleRecord| {
+        obj(vec![
+            ("cycle", Value::Num(r.cycle as f64)),
+            (
+                "degraded",
+                r.degraded
+                    .as_ref()
+                    .map_or(Value::Null, |d| Value::Str(reason_str(d))),
+            ),
+            ("attempts", Value::Num(f64::from(r.attempts))),
+            ("backoff_ms", Value::Num(r.backoff_ms as f64)),
+            ("solver_resumes", Value::Num(f64::from(r.solver_resumes))),
+            (
+                "placement_fnv",
+                Value::Str(format!("{:016x}", r.placement_fnv)),
+            ),
+            ("objective", r.objective.map_or(Value::Null, Value::Num)),
+            ("migrated", Value::Num(r.migrated as f64)),
+            (
+                "sim",
+                r.sim.as_ref().map_or(Value::Null, |m| {
+                    obj(vec![
+                        ("max_gbps", Value::Num(m.max_gbps)),
+                        ("local_frac", Value::Num(m.local_frac)),
+                        ("total_requests", Value::Num(m.total_requests as f64)),
+                    ])
+                }),
+            ),
+        ])
+    };
+    obj(vec![
+        ("records", Value::Arr(st.records.iter().map(row).collect())),
+        ("resumes", Value::Num(st.resumes as f64)),
+        ("cold_restarts", Value::Num(st.cold_restarts as f64)),
+    ])
+}
+
+fn main() {
+    let s = Scenario::operational(Scale::from_args(), 2010);
+    let d = Defaults::for_scale(s.scale);
+    let w = world(&s, &d);
+
+    // Baseline: uninterrupted.
+    let base = {
+        let mut p =
+            Pipeline::resume_or_start(&w, config(&s, fresh_dir("base")), FaultPlan::default())
+                .expect("pipeline config is valid");
+        p.run().expect("baseline run completes").clone()
+    };
+    let base_fps = fingerprints(&base);
+    assert!(
+        base.records.iter().all(|r| r.degraded.is_none()),
+        "baseline must not degrade"
+    );
+
+    // Interrupted: kills + truncation + transient failures, resumed.
+    let dir_b = fresh_dir("interrupted");
+    let inter = run_interrupted(&w, &s, &dir_b);
+    let identical = fingerprints(&inter) == base_fps;
+    assert!(
+        identical,
+        "interrupted run placements diverged from baseline:\n  base  {base_fps:x?}\n  inter {:x?}",
+        fingerprints(&inter)
+    );
+    assert!(
+        inter.resumes >= 2,
+        "expected at least two process resumes, saw {}",
+        inter.resumes
+    );
+
+    // Degraded: cycle 1's solve exhausts its retries.
+    let deg = {
+        let faults = FaultPlan {
+            fail: (0..3).map(|a| (1usize, StageId::Solve, a)).collect(),
+            kill_mid_solve: Vec::new(),
+        };
+        let mut p = Pipeline::resume_or_start(&w, config(&s, fresh_dir("degraded")), faults)
+            .expect("pipeline config is valid");
+        p.run().expect("degraded run still completes").clone()
+    };
+    let bad = &deg.records[1];
+    assert!(
+        matches!(
+            bad.degraded,
+            Some(DegradeReason::StageFailed {
+                stage: StageId::Solve,
+                ..
+            })
+        ),
+        "cycle 1 must degrade on the solve stage, got {:?}",
+        bad.degraded
+    );
+    assert_eq!(
+        bad.placement_fnv, deg.records[0].placement_fnv,
+        "degraded cycle must serve the previous cycle's placement"
+    );
+
+    println!(
+        "ops_pipeline: {} cycles | interrupted identical to baseline: {} \
+         ({} resumes, {} solver checkpoint resumes) | degraded cycle served last-good",
+        base.records.len(),
+        identical,
+        inter.resumes,
+        inter
+            .records
+            .iter()
+            .map(|r| u64::from(r.solver_resumes))
+            .sum::<u64>(),
+    );
+
+    save_results(
+        "BENCH_ops",
+        &obj(vec![
+            ("scale", Value::Str(format!("{:?}", s.scale).to_lowercase())),
+            ("identical_after_interruptions", Value::Bool(identical)),
+            ("baseline", ledger(&base)),
+            ("interrupted", ledger(&inter)),
+            ("degraded", ledger(&deg)),
+        ]),
+    );
+}

@@ -144,27 +144,40 @@ impl Scenario {
     }
 
     /// EPF configuration appropriate for this scale.
+    ///
+    /// The solve budget is the deterministic `step_limit` (a global
+    /// pass count, identical on every machine and preserved across
+    /// checkpoint resume), never `wall_limit`: a wall-clock budget
+    /// stops at a machine-speed-dependent pass, so two runs of the
+    /// same experiment could publish different (equally valid) rows.
+    /// `wall_limit` is for interactive/operational use where latency
+    /// matters more than reproducibility.
     pub fn epf_config(&self) -> EpfConfig {
+        let passes = match self.scale {
+            Scale::Quick => 200,
+            Scale::Default => 400,
+            Scale::Full => 600,
+        };
         EpfConfig {
-            max_passes: match self.scale {
-                Scale::Quick => 200,
-                Scale::Default => 400,
-                Scale::Full => 600,
-            },
+            max_passes: passes,
+            step_limit: Some(passes as u64),
             seed: self.seed,
             ..Default::default()
         }
     }
 
     /// A faster EPF configuration for feasibility probes (binary
-    /// searches run dozens of them).
+    /// searches run dozens of them). Same deterministic budgeting as
+    /// [`Scenario::epf_config`].
     pub fn probe_config(&self) -> EpfConfig {
+        let passes = match self.scale {
+            Scale::Quick => 80,
+            Scale::Default => 120,
+            Scale::Full => 150,
+        };
         EpfConfig {
-            max_passes: match self.scale {
-                Scale::Quick => 80,
-                Scale::Default => 120,
-                Scale::Full => 150,
-            },
+            max_passes: passes,
+            step_limit: Some(passes as u64),
             seed: self.seed,
             ..Default::default()
         }
@@ -259,12 +272,14 @@ impl ToJson for Table {
 }
 
 /// Write an experiment's result tables (plus free-form metadata) to
-/// `results/<name>.json`.
+/// `results/<name>.json`. The write is atomic (temp file + rename) so
+/// an interrupted bench never leaves a half-written result behind.
 pub fn save_results<T: ToJson + ?Sized>(name: &str, payload: &T) {
     let dir = results_dir();
     std::fs::create_dir_all(&dir).expect("create results dir");
     let path = dir.join(format!("{name}.json"));
-    std::fs::write(&path, vod_json::to_string_pretty(payload)).expect("write results file");
+    vod_json::snapshot::write_atomic(&path, vod_json::to_string_pretty(payload).as_bytes())
+        .expect("write results file");
     println!("\n[results written to {}]", path.display());
 }
 

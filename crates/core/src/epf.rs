@@ -16,6 +16,7 @@
 //! raises the objective target `B` of `FEAS(B)`.
 
 use crate::block::{UflProblem, UflSolution};
+use crate::checkpoint::SolverCheckpoint;
 use crate::instance::{MipInstance, VideoBlock};
 use crate::penalty::PenaltyArena;
 use crate::pool::WorkerPool;
@@ -59,8 +60,21 @@ pub struct EpfConfig {
     /// aborts. **Determinism caveat:** where the cutoff lands depends
     /// on machine speed, so two runs with the same seed may return
     /// different (equally valid) incumbents; leave this `None` (the
-    /// default) for byte-reproducible experiments.
+    /// default) for byte-reproducible experiments. On a checkpoint
+    /// resume the clock restarts: `wall_limit` is an operational
+    /// latency cap for *this* process, never part of the deterministic
+    /// resume contract. Use [`EpfConfig::step_limit`] for budgets that
+    /// must land in the same place on every machine.
     pub wall_limit: Option<Duration>,
+    /// Deterministic budget in *global passes*: the solver stops at the
+    /// pass boundary once this many passes have completed, returning
+    /// the best incumbent exactly like `wall_limit` does — but the
+    /// cutoff lands on the same pass on every machine and survives
+    /// checkpoint/resume (the pass counter is checkpointed), so
+    /// budgeted runs stay byte-reproducible. When both limits are set,
+    /// whichever trips first wins. Benchmarks use `step_limit`;
+    /// `wall_limit` is for latency-capped operation.
+    pub step_limit: Option<u64>,
 }
 
 impl Default for EpfConfig {
@@ -77,6 +91,7 @@ impl Default for EpfConfig {
             polish_iters: 120,
             seed: 0,
             wall_limit: None,
+            step_limit: None,
         }
     }
 }
@@ -515,6 +530,62 @@ pub(crate) fn solve_fractional_seeded(
     cfg: &EpfConfig,
     warm: Option<&Placement>,
 ) -> (FractionalSolution, EpfStats) {
+    solve_fractional_driven(inst, cfg, warm, None, None)
+}
+
+/// Loop state of one fixed-target FEAS run — the control-flow half of
+/// the checkpointable solver state (the numeric half lives in the
+/// coupling, the smoothed duals, and the block vectors; see
+/// [`crate::checkpoint`]).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RunState {
+    /// Passes completed within the current run.
+    pub(crate) local_pass: usize,
+    /// Pass budget of the current run.
+    pub(crate) budget: usize,
+    /// `δ(z)` at the last stall-window boundary.
+    pub(crate) snap_delta: f64,
+    /// Whether to sample the Lagrangian bound (phase 2 only — phase 1
+    /// has no objective row, so `LR` needs `π_0 > 0`).
+    pub(crate) track_lb: bool,
+    /// Best bound seen within this run.
+    pub(crate) lb_run: f64,
+}
+
+/// Periodic checkpoint emission: every `every` completed global passes
+/// the solver hands a [`SolverCheckpoint`] to `sink`. Emission happens
+/// at *pass boundaries* only — mid-chunk state is not serializable —
+/// and only while a FEAS run is in flight; the inter-run transition
+/// logic is a pure function of the checkpointed state and replays
+/// identically on resume.
+pub struct CheckpointSpec<'a> {
+    /// Checkpoint cadence in global passes (0 disables emission).
+    pub every: u64,
+    /// Receiver for each captured checkpoint (typically: serialize and
+    /// write atomically via `vod_json::snapshot`).
+    pub sink: &'a mut dyn FnMut(SolverCheckpoint),
+}
+
+impl std::fmt::Debug for CheckpointSpec<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CheckpointSpec")
+            .field("every", &self.every)
+            .field("sink", &"<fn>")
+            .finish()
+    }
+}
+
+/// The full-control entry: warm start, checkpoint resume, and periodic
+/// checkpoint emission. `resume` must have been validated against
+/// `(inst, cfg)` by the caller (`solver::solve_resumable` does); the
+/// solver itself only debug-asserts shapes.
+pub(crate) fn solve_fractional_driven(
+    inst: &MipInstance,
+    cfg: &EpfConfig,
+    warm: Option<&Placement>,
+    resume: Option<&SolverCheckpoint>,
+    ckpt: Option<CheckpointSpec<'_>>,
+) -> (FractionalSolution, EpfStats) {
     // lint:allow(wall-clock): solver wall time is reported in EpfStats
     // and never feeds back into the optimization, so it cannot break
     // run-to-run determinism of the placement itself.
@@ -527,11 +598,14 @@ pub(crate) fn solve_fractional_seeded(
     // The penalty arena and the worker pool live for the whole solve:
     // workers borrow both the instance and the arena, so the arena is
     // created first and the pool inside one scope wrapping the solver
-    // body (see `crate::pool` for the determinism contract).
+    // body (see `crate::pool` for the determinism contract). On resume
+    // the arena starts fresh and is rebuilt at the first chunk's dual
+    // snapshot — bitwise-equal to the incremental updates it replaces,
+    // by the arena's rebuild invariant (`tests/penalty_props.rs`).
     let arena = RwLock::new(PenaltyArena::new(inst, &layout));
     std::thread::scope(|scope| {
         let pool = WorkerPool::new(scope, threads, inst, layout, &arena);
-        solve_with_pool(inst, cfg, layout, &pool, start, warm)
+        solve_with_pool(inst, cfg, layout, &pool, start, warm, resume, ckpt)
     })
 }
 
@@ -575,6 +649,21 @@ fn warm_block(
     }
 }
 
+/// The EPF solve as an explicit state machine over pass boundaries.
+///
+/// The solver's control flow — phase 1 feasibility, the phase-2 target
+/// bisection, and the FEAS runs inside each — is flattened into a
+/// `Phase` loop whose complete state at any `Phase::Run` boundary is
+/// `(blocks, zstar, coupling, smoothed, order, counters, lb/ub/lo,
+/// RunState)`. That is exactly what [`SolverCheckpoint`] captures, so a
+/// kill-and-resume at any checkpointed pass replays the remaining
+/// passes bitwise-identically: the shuffle RNG re-derives from
+/// `(seed, global_pass)`, the penalty arena rebuild equals its
+/// incremental updates, and every inter-run transition is a pure
+/// function of the captured state.
+// One extra arg over clippy's threshold: the resume/checkpoint pair
+// belongs at this lowest level, where the loop state lives.
+#[allow(clippy::too_many_arguments)]
 fn solve_with_pool(
     inst: &MipInstance,
     cfg: &EpfConfig,
@@ -582,43 +671,17 @@ fn solve_with_pool(
     pool: &WorkerPool<'_>,
     start: Instant,
     warm: Option<&Placement>,
+    resume: Option<&SolverCheckpoint>,
+    mut ckpt: Option<CheckpointSpec<'_>>,
 ) -> (FractionalSolution, EpfStats) {
     let n = inst.n_videos();
     let threads = cfg.effective_threads(n);
-
-    // Initial solution: warm-started from a previous placement when
-    // given, otherwise each video stored at its biggest client.
-    let mut blocks: Vec<BlockSolution> = inst
-        .blocks()
-        .iter()
-        .map(|b| match warm {
-            Some(prev) => warm_block(inst, b, prev.stores(b.video), inst.n_vhos()),
-            None => initial_block(b, inst.n_vhos()),
-        })
-        .collect();
-
-    // Trivial lower bound LR(0): per-block dual ascent with zero
-    // multipliers (pure objective UFL). The fresh arena is already the
-    // zero-dual penalty, so the update only retargets its snapshot.
-    let zero_duals = Duals::new(vec![0.0; layout.n_rows()], 1.0);
     let idx_all: Vec<usize> = (0..n).collect();
-    pool.update_penalty(&zero_duals);
-    let lb0: f64 = pool.dual_bounds(&idx_all).iter().sum();
-
-    let (usage, obj0) = compute_state(inst, &layout, &blocks);
-    let mut coupling = Coupling::new(layout, caps_of(inst, &layout), cfg.gamma, None);
-    coupling.set_state(usage, obj0);
-    coupling.init_scale(cfg.epsilon);
-
     let chunk_size = cfg.chunk_size.clamp(1, n.max(1));
-    let mut block_steps = 0u64;
-    let mut passes_done = 0usize;
-    let mut global_pass = 0u64;
-    let mut order: Vec<usize> = (0..n).collect();
-    let mut smoothed = coupling.duals();
+    let fingerprint = crate::checkpoint::config_fingerprint(cfg, inst);
 
     /// Outcome of one fixed-target FEAS run.
-    #[derive(PartialEq)]
+    #[derive(PartialEq, Clone, Copy)]
     enum RunOutcome {
         /// δ(z) ≤ ε reached.
         Reached,
@@ -628,154 +691,128 @@ fn solve_with_pool(
         Budget,
     }
 
-    // One FEAS run: minimize Φ for the coupling's *current* objective
-    // target until δ(z) ≤ ε, progress stalls, or the budget runs out.
-    // With the target fixed, Φ is a well-defined convex function, so
-    // the per-block Frank-Wolfe steps genuinely converge — unlike any
-    // scheme that retargets B every pass (see DESIGN.md §4).
-    let feas_run = |coupling: &mut Coupling,
-                    blocks: &mut Vec<BlockSolution>,
-                    smoothed: &mut Duals,
-                    order: &mut Vec<usize>,
-                    block_steps: &mut u64,
-                    global_pass: &mut u64,
-                    passes_done: &mut usize,
-                    lb_seen: &mut f64,
-                    track_lb: bool,
-                    budget: usize|
-     -> RunOutcome {
-        const STALL_WINDOW: usize = 25;
-        let mut snap_delta = f64::INFINITY;
-        // Greedy-rerouting cost scratch, reused across all chunks.
-        let mut greedy_costs: Vec<(f64, vod_model::VhoId, f64)> = Vec::new();
-        for local_pass in 1..=budget {
-            // Opt-in wall budget: stop at a pass boundary and let the
-            // caller keep the best incumbent seen so far.
-            if cfg.wall_limit.is_some_and(|w| start.elapsed() >= w) {
-                return RunOutcome::Budget;
-            }
-            *global_pass += 1;
-            *passes_done += 1;
-            let mut rng = derive_rng(cfg.seed, 0xE9F ^ *global_pass);
-            order.shuffle(&mut rng);
+    /// Control state between ticks of the solver loop. Only `Run` is
+    /// ever checkpointed; the other states are transient transitions.
+    enum Phase {
+        /// One FEAS run in flight: minimize Φ for the coupling's
+        /// *current* objective target until δ(z) ≤ ε, progress stalls,
+        /// or the budget runs out. With the target fixed, Φ is a
+        /// well-defined convex function, so the per-block Frank-Wolfe
+        /// steps genuinely converge — unlike any scheme that retargets
+        /// B every pass (see DESIGN.md §4).
+        Run(RunState),
+        /// A run just ended; fold its outcome into lb/ub/lo.
+        RunDone { outcome: RunOutcome, lb_run: f64 },
+        /// Phase 2 steering: converged/budget checks, next target B.
+        PickTarget,
+    }
 
-            for chunk in order.chunks(chunk_size) {
-                // Retarget the shared arena at this chunk's snapshot —
-                // incremental: only dual rows the previous chunk's
-                // applied steps touched get re-summed.
-                pool.update_penalty(&coupling.duals());
-                let candidates: Vec<UflSolution> = pool.solve(chunk);
-                let arena = pool.penalty();
-                for (&m, cand) in chunk.iter().zip(&candidates) {
-                    let hat = BlockSolution::from_ufl(cand);
-                    let (deltas, dobj) =
-                        block_delta(inst, &layout, &inst.blocks()[m], &blocks[m], &hat);
-                    let tau = coupling.line_search(&deltas, dobj);
-                    if tau > 0.0 {
-                        coupling.apply(&deltas, dobj, tau);
-                        blocks[m].step_toward(&hat, tau);
-                        *block_steps += 1;
-                    }
-                    // Corrective step: optimal x within the current y.
-                    let corrective = greedy_x_given_y(
-                        inst,
-                        &inst.blocks()[m],
-                        &blocks[m].y,
-                        &arena,
-                        &mut greedy_costs,
-                    );
-                    let (deltas, dobj) =
-                        block_delta(inst, &layout, &inst.blocks()[m], &blocks[m], &corrective);
-                    let tau = coupling.line_search(&deltas, dobj);
-                    if tau > 0.0 {
-                        coupling.apply(&deltas, dobj, tau);
-                        blocks[m].step_toward(&corrective, tau);
-                        *block_steps += 1;
-                    }
-                }
-                // Drop the read guard before the next chunk's update.
-                drop(arena);
-            }
+    // --- State init: cold/warm start, or restored from a checkpoint ---
+    let (
+        mut blocks,
+        mut zstar,
+        mut coupling,
+        mut smoothed,
+        mut order,
+        mut global_pass,
+        mut passes_done,
+        mut block_steps,
+        mut lb,
+        mut ub,
+        mut lo,
+        run0,
+    ) = match resume {
+        None => {
+            // Initial solution: warm-started from a previous placement
+            // when given, otherwise each video at its biggest client.
+            let blocks: Vec<BlockSolution> = inst
+                .blocks()
+                .iter()
+                .map(|b| match warm {
+                    Some(prev) => warm_block(inst, b, prev.stores(b.video), inst.n_vhos()),
+                    None => initial_block(b, inst.n_vhos()),
+                })
+                .collect();
 
-            // Drift washout.
-            if local_pass % 25 == 0 {
-                let (usage, obj) = compute_state(inst, &layout, blocks);
-                coupling.set_state(usage, obj);
-            }
-            coupling.update_scale(cfg.epsilon);
+            // Trivial lower bound LR(0): per-block dual ascent with
+            // zero multipliers (pure objective UFL). The fresh arena is
+            // already the zero-dual penalty, so the update only
+            // retargets its snapshot.
+            let zero_duals = Duals::new(vec![0.0; layout.n_rows()], 1.0);
+            pool.update_penalty(&zero_duals);
+            let lb0: f64 = pool.dual_bounds(&idx_all).iter().sum();
 
-            // Runtime invariant audit: every pass must preserve
-            // block-local feasibility (Σ_i x_ij = 1, x ≤ y). Coupling
-            // rows are *not* asserted here — violating them mid-run is
-            // exactly what the potential is busy minimizing.
-            #[cfg(feature = "audit")]
-            crate::audit::check_blocks(inst, blocks, crate::solution::INT_TOL)
-                .assert_ok("EPF pass block invariants");
+            let (usage, obj0) = compute_state(inst, &layout, &blocks);
+            let mut coupling = Coupling::new(layout, caps_of(inst, &layout), cfg.gamma, None);
+            coupling.set_state(usage, obj0);
+            coupling.init_scale(cfg.epsilon);
+            let smoothed = coupling.duals();
 
-            // Smooth the duals (Algorithm 1 step 14). The in-place
-            // mutation invalidates the snapshot identity, so stamp a
-            // fresh version for the arena's skip logic.
-            let cur = coupling.duals();
-            for (sm, c) in smoothed.rows.iter_mut().zip(&cur.rows) {
-                *sm = cfg.rho * *sm + (1.0 - cfg.rho) * c;
-            }
-            smoothed.obj = cfg.rho * smoothed.obj + (1.0 - cfg.rho) * cur.obj;
-            smoothed.bump_version();
-
-            // Sample the Lagrangian bound along the trajectory — the
-            // duals wander, and the best bound often shows up mid-run.
-            if track_lb && local_pass % cfg.lb_every.max(1) == 0 {
-                if let Some(lr) = lagrangian_bound(&layout, coupling, smoothed, pool, &idx_all) {
-                    if lr > *lb_seen {
-                        *lb_seen = lr;
-                    }
-                }
-            }
-
-            let dz = coupling.delta_z().max(coupling.delta_c());
-            if std::env::var_os("EPF_TRACE").is_some() {
-                eprintln!(
-                    "pass {}: viol={:.5} r0={:.5} obj={:.2} B={:?} steps={}",
-                    *global_pass,
-                    coupling.delta_c(),
-                    coupling.r0(),
-                    coupling.objective(),
-                    coupling.target(),
-                    *block_steps
-                );
-            }
-            if dz <= cfg.epsilon {
-                return RunOutcome::Reached;
-            }
-            if local_pass % STALL_WINDOW == 0 {
-                if snap_delta - dz < 1e-4 {
-                    return RunOutcome::Stalled;
-                }
-                snap_delta = dz;
-            }
+            // --- Phase 1: pure feasibility (no objective row). ---
+            let phase1_budget = if cfg.feasibility_only {
+                cfg.max_passes
+            } else {
+                (cfg.max_passes / 3).max(50)
+            };
+            (
+                blocks,
+                Vec::new(),
+                coupling,
+                smoothed,
+                (0..n).collect::<Vec<usize>>(),
+                0u64,
+                0usize,
+                0u64,
+                lb0,
+                f64::INFINITY,
+                0.0f64,
+                RunState {
+                    local_pass: 0,
+                    budget: phase1_budget,
+                    snap_delta: f64::INFINITY,
+                    track_lb: false,
+                    lb_run: lb0,
+                },
+            )
         }
-        RunOutcome::Budget
+        Some(ck) => {
+            debug_assert_eq!(ck.fingerprint, fingerprint, "unvalidated checkpoint");
+            // The coupling is reconstructed exactly as the cold path
+            // built it — `new` with `target: None` (so `γ·ln(m+1)`
+            // uses the same m), then the checkpointed target, usage,
+            // objective and scale are restored on top.
+            let mut coupling = Coupling::new(layout, caps_of(inst, &layout), cfg.gamma, None);
+            coupling.set_state(ck.usage.clone(), ck.obj);
+            if let Some(b) = ck.target {
+                coupling.set_target(b);
+            }
+            coupling.restore_scale(ck.delta);
+            (
+                ck.blocks.clone(),
+                ck.zstar.clone(),
+                coupling,
+                Duals::new(ck.smoothed_rows.clone(), ck.smoothed_obj),
+                ck.order.clone(),
+                ck.global_pass,
+                ck.passes_done,
+                ck.block_steps,
+                ck.lb,
+                ck.ub,
+                ck.lo,
+                ck.run,
+            )
+        }
     };
 
-    // --- Phase 1: pure feasibility (no objective row). ---
-    let phase1_budget = if cfg.feasibility_only {
-        cfg.max_passes
-    } else {
-        (cfg.max_passes / 3).max(50)
-    };
-    let mut lb_seen = lb0;
-    let phase1 = feas_run(
-        &mut coupling,
-        &mut blocks,
-        &mut smoothed,
-        &mut order,
-        &mut block_steps,
-        &mut global_pass,
-        &mut passes_done,
-        &mut lb_seen,
-        false, // phase 1 has no objective row; LR needs π_0 > 0
-        phase1_budget,
-    );
+    const STALL_WINDOW: usize = 25;
+    let run_budget = (cfg.max_passes / 6).clamp(25, 400);
+    // Opt-in budgets, both checked at pass boundaries only: the wall
+    // clock restarts on resume (operational latency cap), the step
+    // budget is the checkpointed pass counter (deterministic).
+    let over_wall = || cfg.wall_limit.is_some_and(|w| start.elapsed() >= w);
+    let over_steps = |gp: u64| cfg.step_limit.is_some_and(|s| gp >= s);
+    // Greedy-rerouting cost scratch, reused across all chunks.
+    let mut greedy_costs: Vec<(f64, vod_model::VhoId, f64)> = Vec::new();
 
     let finish = |blocks: Vec<BlockSolution>,
                   lb: f64,
@@ -819,102 +856,270 @@ fn solve_with_pool(
         )
     };
 
-    if cfg.feasibility_only {
-        return finish(
-            blocks,
-            0.0,
-            phase1 == RunOutcome::Reached,
-            passes_done,
-            block_steps,
-        );
-    }
+    let mut phase = Phase::Run(run0);
+    loop {
+        phase = match phase {
+            Phase::Run(mut run) => {
+                if run.local_pass >= run.budget || over_wall() || over_steps(global_pass) {
+                    Phase::RunDone {
+                        outcome: RunOutcome::Budget,
+                        lb_run: run.lb_run,
+                    }
+                } else {
+                    run.local_pass += 1;
+                    global_pass += 1;
+                    passes_done += 1;
+                    let mut rng = derive_rng(cfg.seed, 0xE9F ^ global_pass);
+                    order.shuffle(&mut rng);
 
-    let mut lb = lb_seen;
-    if let Some(lr) = lagrangian_bound(&layout, &coupling, &smoothed, pool, &idx_all) {
-        lb = lb.max(lr);
-    }
-    if phase1 != RunOutcome::Reached {
-        // Couldn't even reach ε-feasibility: certify what we have.
-        if cfg.polish_iters > 0 {
-            lb = lb.max(polish_bound(
-                &layout,
-                &coupling,
-                &smoothed,
-                cfg.polish_iters,
-                pool,
-                &idx_all,
-            ));
-        }
-        return finish(blocks, lb, false, passes_done, block_steps);
-    }
+                    for chunk in order.chunks(chunk_size) {
+                        // Retarget the shared arena at this chunk's
+                        // snapshot — incremental: only dual rows the
+                        // previous chunk's applied steps touched get
+                        // re-summed.
+                        pool.update_penalty(&coupling.duals());
+                        let candidates: Vec<UflSolution> = pool.solve(chunk);
+                        let arena = pool.penalty();
+                        for (&m, cand) in chunk.iter().zip(&candidates) {
+                            let hat = BlockSolution::from_ufl(cand);
+                            let (deltas, dobj) =
+                                block_delta(inst, &layout, &inst.blocks()[m], &blocks[m], &hat);
+                            let tau = coupling.line_search(&deltas, dobj);
+                            if tau > 0.0 {
+                                coupling.apply(&deltas, dobj, tau);
+                                blocks[m].step_toward(&hat, tau);
+                                block_steps += 1;
+                            }
+                            // Corrective step: optimal x within the
+                            // current y.
+                            let corrective = greedy_x_given_y(
+                                inst,
+                                &inst.blocks()[m],
+                                &blocks[m].y,
+                                &arena,
+                                &mut greedy_costs,
+                            );
+                            let (deltas, dobj) = block_delta(
+                                inst,
+                                &layout,
+                                &inst.blocks()[m],
+                                &blocks[m],
+                                &corrective,
+                            );
+                            let tau = coupling.line_search(&deltas, dobj);
+                            if tau > 0.0 {
+                                coupling.apply(&deltas, dobj, tau);
+                                blocks[m].step_toward(&corrective, tau);
+                                block_steps += 1;
+                            }
+                        }
+                        // Drop the read guard before the next update.
+                        drop(arena);
+                    }
 
-    // --- Phase 2: bisection on the objective target B. ---
-    let mut ub = coupling.objective();
-    let mut zstar = blocks.clone();
-    // `lo` steers the bisection: certified lb, raised (uncertified) on
-    // failed FEAS(B) runs.
-    let mut lo = lb.max(ub * 1e-3).max(1e-12);
-    let mut converged = ub <= (1.0 + cfg.epsilon) * lb + 1e-9;
-    let run_budget = (cfg.max_passes / 6).clamp(25, 400);
-    let over_wall = || cfg.wall_limit.is_some_and(|w| start.elapsed() >= w);
-    while !converged && passes_done < cfg.max_passes && !over_wall() {
-        if ub <= lo * (1.0 + cfg.epsilon) {
-            break; // pinched: B cannot move meaningfully anymore
-        }
-        let b = (lo * ub).sqrt().min(ub / (1.0 + 1.5 * cfg.epsilon)).max(lo);
-        coupling.set_target(b);
-        coupling.init_scale(cfg.epsilon); // re-scale δ for the new target
-        let budget = run_budget.min(cfg.max_passes.saturating_sub(passes_done).max(1));
-        let mut lb_run = lb;
-        let outcome = feas_run(
-            &mut coupling,
-            &mut blocks,
-            &mut smoothed,
-            &mut order,
-            &mut block_steps,
-            &mut global_pass,
-            &mut passes_done,
-            &mut lb_run,
-            true,
-            budget,
-        );
-        if lb_run > lb {
-            lb = lb_run;
-            lo = lo.max(lb);
-        }
-        match outcome {
-            RunOutcome::Reached => {
-                let obj = coupling.objective();
-                if obj < ub {
-                    ub = obj;
-                    zstar = blocks.clone();
+                    // Drift washout.
+                    if run.local_pass % 25 == 0 {
+                        let (usage, obj) = compute_state(inst, &layout, &blocks);
+                        coupling.set_state(usage, obj);
+                    }
+                    coupling.update_scale(cfg.epsilon);
+
+                    // Runtime invariant audit: every pass must preserve
+                    // block-local feasibility (Σ_i x_ij = 1, x ≤ y).
+                    // Coupling rows are *not* asserted here — violating
+                    // them mid-run is exactly what the potential is
+                    // busy minimizing.
+                    #[cfg(feature = "audit")]
+                    crate::audit::check_blocks(inst, &blocks, crate::solution::INT_TOL)
+                        .assert_ok("EPF pass block invariants");
+
+                    // Smooth the duals (Algorithm 1 step 14). The
+                    // in-place mutation invalidates the snapshot
+                    // identity, so stamp a fresh version for the
+                    // arena's skip logic.
+                    let cur = coupling.duals();
+                    for (sm, c) in smoothed.rows.iter_mut().zip(&cur.rows) {
+                        *sm = cfg.rho * *sm + (1.0 - cfg.rho) * c;
+                    }
+                    smoothed.obj = cfg.rho * smoothed.obj + (1.0 - cfg.rho) * cur.obj;
+                    smoothed.bump_version();
+
+                    // Sample the Lagrangian bound along the trajectory
+                    // — the duals wander, and the best bound often
+                    // shows up mid-run.
+                    if run.track_lb && run.local_pass % cfg.lb_every.max(1) == 0 {
+                        if let Some(lr) =
+                            lagrangian_bound(&layout, &coupling, &smoothed, pool, &idx_all)
+                        {
+                            if lr > run.lb_run {
+                                run.lb_run = lr;
+                            }
+                        }
+                    }
+
+                    let dz = coupling.delta_z().max(coupling.delta_c());
+                    if std::env::var_os("EPF_TRACE").is_some() {
+                        eprintln!(
+                            "pass {}: viol={:.5} r0={:.5} obj={:.2} B={:?} steps={}",
+                            global_pass,
+                            coupling.delta_c(),
+                            coupling.r0(),
+                            coupling.objective(),
+                            coupling.target(),
+                            block_steps
+                        );
+                    }
+                    if dz <= cfg.epsilon {
+                        Phase::RunDone {
+                            outcome: RunOutcome::Reached,
+                            lb_run: run.lb_run,
+                        }
+                    } else if run.local_pass % STALL_WINDOW == 0 && run.snap_delta - dz < 1e-4 {
+                        Phase::RunDone {
+                            outcome: RunOutcome::Stalled,
+                            lb_run: run.lb_run,
+                        }
+                    } else {
+                        if run.local_pass % STALL_WINDOW == 0 {
+                            run.snap_delta = dz;
+                        }
+                        // The run survives this pass boundary: emit a
+                        // checkpoint if the cadence says so. Runs that
+                        // just ended are not checkpointed — the
+                        // transition logic below is a pure function of
+                        // the last in-run checkpoint and replays.
+                        if let Some(spec) = ckpt.as_mut() {
+                            if spec.every > 0 && global_pass % spec.every == 0 {
+                                (spec.sink)(SolverCheckpoint {
+                                    fingerprint,
+                                    global_pass,
+                                    passes_done,
+                                    block_steps,
+                                    lb,
+                                    ub,
+                                    lo,
+                                    target: coupling.target(),
+                                    delta: coupling.delta(),
+                                    usage: coupling.usage_all().to_vec(),
+                                    obj: coupling.objective(),
+                                    smoothed_rows: smoothed.rows.clone(),
+                                    smoothed_obj: smoothed.obj,
+                                    order: order.clone(),
+                                    run,
+                                    blocks: blocks.clone(),
+                                    zstar: zstar.clone(),
+                                });
+                            }
+                        }
+                        Phase::Run(run)
+                    }
                 }
             }
-            RunOutcome::Stalled | RunOutcome::Budget => {
-                // FEAS(B) looks infeasible at this target: steer the
-                // bisection up (not a certified bound).
-                lo = lo.max(b);
+
+            Phase::RunDone { outcome, lb_run } => {
+                if coupling.target().is_none() {
+                    // Phase 1 ended (`lb_run` tracked nothing: no
+                    // objective row means LR is unavailable).
+                    if cfg.feasibility_only {
+                        return finish(
+                            blocks,
+                            0.0,
+                            outcome == RunOutcome::Reached,
+                            passes_done,
+                            block_steps,
+                        );
+                    }
+                    if let Some(lr) =
+                        lagrangian_bound(&layout, &coupling, &smoothed, pool, &idx_all)
+                    {
+                        lb = lb.max(lr);
+                    }
+                    if outcome != RunOutcome::Reached {
+                        // Couldn't even reach ε-feasibility: certify
+                        // what we have.
+                        if cfg.polish_iters > 0 {
+                            lb = lb.max(polish_bound(
+                                &layout,
+                                &coupling,
+                                &smoothed,
+                                cfg.polish_iters,
+                                pool,
+                                &idx_all,
+                            ));
+                        }
+                        return finish(blocks, lb, false, passes_done, block_steps);
+                    }
+                    // --- Enter phase 2: bisection on the target B. ---
+                    ub = coupling.objective();
+                    zstar = blocks.clone();
+                    // `lo` steers the bisection: certified lb, raised
+                    // (uncertified) on failed FEAS(B) runs.
+                    lo = lb.max(ub * 1e-3).max(1e-12);
+                    Phase::PickTarget
+                } else {
+                    if lb_run > lb {
+                        lb = lb_run;
+                        lo = lo.max(lb);
+                    }
+                    match outcome {
+                        RunOutcome::Reached => {
+                            let obj = coupling.objective();
+                            if obj < ub {
+                                ub = obj;
+                                zstar = blocks.clone();
+                            }
+                        }
+                        RunOutcome::Stalled | RunOutcome::Budget => {
+                            // FEAS(B) looks infeasible at this target:
+                            // steer the bisection up (not a certified
+                            // bound).
+                            if let Some(b) = coupling.target() {
+                                lo = lo.max(b);
+                            }
+                        }
+                    }
+                    Phase::PickTarget
+                }
             }
-        }
-        converged = ub <= (1.0 + cfg.epsilon) * lb + 1e-9;
-    }
 
-    // Certification polish: tighten the Lagrangian bound by Polyak
-    // subgradient ascent from the (now well-tuned) EPF duals.
-    if !converged && cfg.polish_iters > 0 {
-        let polished = polish_bound(
-            &layout,
-            &coupling,
-            &smoothed,
-            cfg.polish_iters,
-            pool,
-            &idx_all,
-        );
-        lb = lb.max(polished);
-        converged = ub <= (1.0 + cfg.epsilon) * lb + 1e-9;
+            Phase::PickTarget => {
+                let mut converged = ub <= (1.0 + cfg.epsilon) * lb + 1e-9;
+                let out_of_budget =
+                    passes_done >= cfg.max_passes || over_wall() || over_steps(global_pass);
+                // Pinched: B cannot move meaningfully anymore.
+                let pinched = ub <= lo * (1.0 + cfg.epsilon);
+                if converged || out_of_budget || pinched {
+                    // Certification polish: tighten the Lagrangian
+                    // bound by Polyak subgradient ascent from the (now
+                    // well-tuned) EPF duals.
+                    if !converged && cfg.polish_iters > 0 {
+                        let polished = polish_bound(
+                            &layout,
+                            &coupling,
+                            &smoothed,
+                            cfg.polish_iters,
+                            pool,
+                            &idx_all,
+                        );
+                        lb = lb.max(polished);
+                        converged = ub <= (1.0 + cfg.epsilon) * lb + 1e-9;
+                    }
+                    return finish(zstar, lb, converged, passes_done, block_steps);
+                }
+                let b = (lo * ub).sqrt().min(ub / (1.0 + 1.5 * cfg.epsilon)).max(lo);
+                coupling.set_target(b);
+                coupling.init_scale(cfg.epsilon); // re-scale δ for the new target
+                let budget = run_budget.min(cfg.max_passes.saturating_sub(passes_done).max(1));
+                Phase::Run(RunState {
+                    local_pass: 0,
+                    budget,
+                    snap_delta: f64::INFINITY,
+                    track_lb: true,
+                    lb_run: lb,
+                })
+            }
+        };
     }
-
-    finish(zstar, lb, converged, passes_done, block_steps)
 }
 
 #[cfg(test)]

@@ -32,6 +32,10 @@ pub enum SolveError {
         prev_videos: usize,
         instance_videos: usize,
     },
+    /// A solver checkpoint cannot resume this (instance, config) pair:
+    /// fingerprint mismatch, wrong shapes, or internally inconsistent
+    /// state (see [`crate::checkpoint::SolverCheckpoint::validate_for`]).
+    MismatchedCheckpoint { what: String },
 }
 
 impl fmt::Display for SolveError {
@@ -48,6 +52,9 @@ impl fmt::Display for SolveError {
                 f,
                 "warm-start placement covers {prev_videos} videos but the instance has {instance_videos}"
             ),
+            Self::MismatchedCheckpoint { what } => {
+                write!(f, "checkpoint does not match this solve: {what}")
+            }
         }
     }
 }
@@ -86,6 +93,12 @@ mod tests {
                     instance_videos: 20,
                 },
                 "10",
+            ),
+            (
+                SolveError::MismatchedCheckpoint {
+                    what: "config fingerprint mismatch".into(),
+                },
+                "fingerprint",
             ),
         ];
         for (err, needle) in cases {

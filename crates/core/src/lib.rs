@@ -32,6 +32,7 @@
 
 pub mod audit;
 pub mod block;
+pub mod checkpoint;
 pub mod direct;
 pub mod epf;
 pub mod error;
@@ -45,7 +46,8 @@ pub mod solution;
 pub mod solver;
 
 pub use audit::{AuditReport, Violation};
-pub use epf::{solve_fractional, EpfConfig, EpfStats};
+pub use checkpoint::{CheckpointError, SolverCheckpoint};
+pub use epf::{solve_fractional, CheckpointSpec, EpfConfig, EpfStats};
 pub use error::SolveError;
 pub use feasibility::{CapacityOverrides, Scenario};
 pub use instance::{DiskConfig, MipInstance, PlacementCost};
@@ -53,4 +55,7 @@ pub use penalty::{PenaltyArena, PenaltyUpdate};
 pub use pool::map_ordered;
 pub use rounding::RoundingStats;
 pub use solution::{BlockSolution, FractionalSolution, Placement};
-pub use solver::{resolve_from, solve_placement, PlacementOutput};
+pub use solver::{
+    resolve_from, solve_fractional_checkpointed, solve_fractional_resumable, solve_placement,
+    solve_placement_checkpointed, solve_resumable, PlacementOutput,
+};

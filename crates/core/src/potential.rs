@@ -183,6 +183,22 @@ impl Coupling {
         self.delta
     }
 
+    /// All usage totals, in row order (for checkpointing).
+    #[inline]
+    pub fn usage_all(&self) -> &[f64] {
+        &self.usage
+    }
+
+    /// Restore a checkpointed scale `δ` exactly, recomputing `α(δ)` the
+    /// same way [`Coupling::update_scale`] does. This bypasses the
+    /// monotone never-grow update — `δ`'s history dependence is the
+    /// reason it is checkpointed rather than recomputed.
+    pub fn restore_scale(&mut self, delta: f64) {
+        assert!(delta > 0.0, "scale must be positive");
+        self.delta = delta;
+        self.alpha = self.gamma_log / self.delta;
+    }
+
     /// Overwrite usage totals (used when (re)computing aggregates from
     /// scratch to wash out incremental drift).
     pub fn set_state(&mut self, usage: Vec<f64>, obj: f64) {

@@ -295,6 +295,53 @@ impl Placement {
         self.stores.clone()
     }
 
+    /// The serving-distribution routing, per video (for persistence —
+    /// see [`crate::checkpoint::placement_to_value`]).
+    pub fn routing_lists(&self) -> &[Vec<(VhoId, ServingDist)>] {
+        &self.routing
+    }
+
+    /// Rebuild a placement from persisted parts, validating every
+    /// index against the declared shape so a corrupt snapshot cannot
+    /// produce a placement that panics downstream.
+    pub fn from_parts(
+        n_vhos: usize,
+        stores: Vec<Vec<VhoId>>,
+        routing: Vec<Vec<(VhoId, ServingDist)>>,
+    ) -> Result<Self, String> {
+        if routing.len() != stores.len() {
+            return Err(format!(
+                "routing covers {} videos, stores cover {}",
+                routing.len(),
+                stores.len()
+            ));
+        }
+        let in_range = |i: VhoId| i.index() < n_vhos;
+        for (m, holders) in stores.iter().enumerate() {
+            if holders.is_empty() {
+                return Err(format!("video {m} has no stored copy"));
+            }
+            if !holders.windows(2).all(|w| w[0] < w[1]) || !holders.iter().all(|&i| in_range(i)) {
+                return Err(format!("video {m}: holder list unsorted or out of range"));
+            }
+        }
+        for (m, clients) in routing.iter().enumerate() {
+            if !clients.windows(2).all(|w| w[0].0 < w[1].0) {
+                return Err(format!("video {m}: routing clients unsorted"));
+            }
+            for (j, dist) in clients {
+                if !in_range(*j) || !dist.iter().all(|&(i, x)| in_range(i) && x.is_finite()) {
+                    return Err(format!("video {m}: routing entry out of range"));
+                }
+            }
+        }
+        Ok(Self {
+            n_vhos,
+            stores,
+            routing,
+        })
+    }
+
     /// Objective (2) (+ the eq. (11) term if the instance has one) of
     /// this placement under `inst`'s demand, using the stored routing
     /// where available and nearest-copy service otherwise.

@@ -8,7 +8,10 @@
 //! previous placement, modeling the paper's incremental placement
 //! updates (Section VII-H / eq. (11)) after a fault or demand shift.
 
-use crate::epf::{solve_fractional_seeded, EpfConfig, EpfStats};
+use crate::checkpoint::SolverCheckpoint;
+use crate::epf::{
+    solve_fractional_driven, solve_fractional_seeded, CheckpointSpec, EpfConfig, EpfStats,
+};
 use crate::error::SolveError;
 use crate::instance::MipInstance;
 use crate::rounding::{round_solution, RoundingStats};
@@ -114,6 +117,86 @@ pub fn resolve_from(
         epf,
         rounding,
     })
+}
+
+/// [`solve_placement`] with periodic [`SolverCheckpoint`] emission:
+/// every `spec.every` global passes that survive a pass boundary, the
+/// complete resumable solver state is handed to `spec.sink`. Feed the
+/// last such checkpoint to [`solve_resumable`] after a crash and the
+/// final placement is bitwise-identical to the uninterrupted run.
+pub fn solve_placement_checkpointed(
+    inst: &MipInstance,
+    cfg: &EpfConfig,
+    spec: CheckpointSpec<'_>,
+) -> Result<PlacementOutput, SolveError> {
+    validate(inst, cfg)?;
+    let (fractional, epf) = solve_fractional_driven(inst, cfg, None, None, Some(spec));
+    let (placement, rounding) = round_solution(inst, &fractional, cfg.gamma);
+    Ok(PlacementOutput {
+        placement,
+        fractional,
+        epf,
+        rounding,
+    })
+}
+
+/// Continue an interrupted solve from a checkpoint. The checkpoint is
+/// validated against this (instance, config) pair first — a stale or
+/// mismatched one is a typed [`SolveError::MismatchedCheckpoint`],
+/// never a corrupt resume. Optionally keeps emitting new checkpoints.
+pub fn solve_resumable(
+    inst: &MipInstance,
+    cfg: &EpfConfig,
+    ckpt: &SolverCheckpoint,
+    spec: Option<CheckpointSpec<'_>>,
+) -> Result<PlacementOutput, SolveError> {
+    validate(inst, cfg)?;
+    ckpt.validate_for(inst, cfg)
+        .map_err(|what| SolveError::MismatchedCheckpoint { what })?;
+    let (fractional, epf) = solve_fractional_driven(inst, cfg, None, Some(ckpt), spec);
+    let (placement, rounding) = round_solution(inst, &fractional, cfg.gamma);
+    Ok(PlacementOutput {
+        placement,
+        fractional,
+        epf,
+        rounding,
+    })
+}
+
+/// Fractional-only variant of [`solve_placement_checkpointed`] for
+/// pipelines that round in a separate (separately checkpointed) stage.
+/// `warm` optionally seeds the blocks from a previous placement, as in
+/// [`resolve_from`].
+pub fn solve_fractional_checkpointed(
+    inst: &MipInstance,
+    cfg: &EpfConfig,
+    warm: Option<&Placement>,
+    spec: CheckpointSpec<'_>,
+) -> Result<(FractionalSolution, EpfStats), SolveError> {
+    validate(inst, cfg)?;
+    if let Some(prev) = warm {
+        if prev.n_videos() != inst.n_videos() {
+            return Err(SolveError::MismatchedWarmStart {
+                prev_videos: prev.n_videos(),
+                instance_videos: inst.n_videos(),
+            });
+        }
+    }
+    Ok(solve_fractional_driven(inst, cfg, warm, None, Some(spec)))
+}
+
+/// Fractional-only variant of [`solve_resumable`]. The checkpoint
+/// already carries the warm-started blocks, so no `warm` is taken.
+pub fn solve_fractional_resumable(
+    inst: &MipInstance,
+    cfg: &EpfConfig,
+    ckpt: &SolverCheckpoint,
+    spec: Option<CheckpointSpec<'_>>,
+) -> Result<(FractionalSolution, EpfStats), SolveError> {
+    validate(inst, cfg)?;
+    ckpt.validate_for(inst, cfg)
+        .map_err(|what| SolveError::MismatchedCheckpoint { what })?;
+    Ok(solve_fractional_driven(inst, cfg, None, Some(ckpt), spec))
 }
 
 #[cfg(test)]

@@ -1,0 +1,215 @@
+//! Kill-and-resume identity for the EPF solver.
+//!
+//! A solve interrupted at *any* checkpointed pass boundary and resumed
+//! from the serialized checkpoint must produce a final placement
+//! bitwise-identical to the uninterrupted run: same holder lists, same
+//! objective bits, same pass/step counters. Checkpoint cadence is
+//! step-based (global passes), never wall-clock, which is what makes
+//! this identity machine-independent.
+
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
+
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use vod_core::{
+    solve_placement_checkpointed, solve_resumable, CheckpointSpec, EpfConfig, MipInstance,
+    SolveError, SolverCheckpoint,
+};
+use vod_core::{DiskConfig, PlacementOutput};
+use vod_model::Mbps;
+use vod_net::topologies;
+use vod_trace::{
+    analysis, generate_trace, synthesize_library, DemandInput, LibraryConfig, TraceConfig,
+};
+
+const SEEDS: [u64; 2] = [11, 23];
+const CKPT_EVERY: u64 = 3;
+
+/// Small instance on one of two topologies (mesh vs line), per seed.
+fn instance(topology: usize, seed: u64) -> MipInstance {
+    let mut net = match topology {
+        0 => topologies::mesh_backbone(6, 9, seed),
+        _ => topologies::line(5),
+    };
+    net.set_uniform_capacity(Mbps::from_gbps(1.0));
+    let catalog = synthesize_library(&LibraryConfig::default_for(50, 7, seed));
+    let trace = generate_trace(&catalog, &net, &TraceConfig::default_for(500.0, 7, seed));
+    let windows = analysis::select_peak_windows(&trace, &catalog, 3600, 2);
+    let demand = DemandInput::from_trace(&trace, &catalog, net.num_nodes(), windows);
+    MipInstance::new(
+        net,
+        catalog,
+        demand,
+        &DiskConfig::UniformRatio { ratio: 2.0 },
+        1.0,
+        0.0,
+        None,
+    )
+}
+
+fn config(seed: u64) -> EpfConfig {
+    EpfConfig {
+        max_passes: 90,
+        seed,
+        ..Default::default()
+    }
+}
+
+/// Uninterrupted baseline + every checkpoint it emitted, serialized —
+/// the resume tests re-hydrate via `from_bytes` so the container round
+/// trip is always on the path under test.
+type Baseline = (MipInstance, PlacementOutput, Vec<Vec<u8>>);
+
+fn baselines() -> &'static Vec<Baseline> {
+    static CELL: OnceLock<Vec<Baseline>> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let mut out = Vec::new();
+        for topology in 0..2 {
+            for &seed in &SEEDS {
+                let inst = instance(topology, seed);
+                let cfg = config(seed);
+                let mut snaps: Vec<Vec<u8>> = Vec::new();
+                let mut sink = |ck: SolverCheckpoint| snaps.push(ck.to_bytes());
+                let full = solve_placement_checkpointed(
+                    &inst,
+                    &cfg,
+                    CheckpointSpec {
+                        every: CKPT_EVERY,
+                        sink: &mut sink,
+                    },
+                )
+                .expect("baseline solve");
+                assert!(
+                    !snaps.is_empty(),
+                    "baseline (topology {topology}, seed {seed}) emitted no checkpoints"
+                );
+                out.push((inst, full, snaps));
+            }
+        }
+        out
+    })
+}
+
+fn assert_identical(a: &PlacementOutput, b: &PlacementOutput) {
+    assert_eq!(
+        a.placement.holder_lists(),
+        b.placement.holder_lists(),
+        "holder lists diverged"
+    );
+    assert_eq!(
+        a.fractional.objective.to_bits(),
+        b.fractional.objective.to_bits()
+    );
+    assert_eq!(
+        a.fractional.lower_bound.to_bits(),
+        b.fractional.lower_bound.to_bits()
+    );
+    assert_eq!(
+        a.fractional.max_violation.to_bits(),
+        b.fractional.max_violation.to_bits()
+    );
+    assert_eq!(a.epf.passes, b.epf.passes, "pass counters diverged");
+    assert_eq!(
+        a.epf.block_steps, b.epf.block_steps,
+        "step counters diverged"
+    );
+    assert_eq!(
+        a.rounding.objective.to_bits(),
+        b.rounding.objective.to_bits()
+    );
+}
+
+/// Serialize → deserialize → continue equals the continuous run, at
+/// 2 seeds × 2 topologies, resuming from a mid-run checkpoint.
+#[test]
+fn resume_from_mid_checkpoint_matches_continuous_run() {
+    for (i, (inst, full, snaps)) in baselines().iter().enumerate() {
+        let seed = SEEDS[i % 2];
+        let ck = SolverCheckpoint::from_bytes(&snaps[snaps.len() / 2]).expect("decode checkpoint");
+        let resumed = solve_resumable(inst, &config(seed), &ck, None).expect("resume solve");
+        assert_identical(full, &resumed);
+    }
+}
+
+/// A checkpoint from one (config, instance) pair must not resume a
+/// different one: typed error, not a silently-wrong solve.
+#[test]
+fn mismatched_checkpoint_is_a_typed_error() {
+    let (inst, _, snaps) = &baselines()[0];
+    let ck = SolverCheckpoint::from_bytes(&snaps[0]).expect("decode checkpoint");
+    let mut other = config(SEEDS[0]);
+    other.seed ^= 0x5A5A;
+    let err = solve_resumable(inst, &other, &ck, None).expect_err("must reject");
+    assert!(
+        matches!(err, SolveError::MismatchedCheckpoint { .. }),
+        "{err}"
+    );
+}
+
+/// Truncating a serialized checkpoint yields a typed snapshot error.
+#[test]
+fn truncated_checkpoint_is_a_typed_error() {
+    let (_, _, snaps) = &baselines()[0];
+    let bytes = &snaps[0];
+    for cut in [0, 4, bytes.len() / 2, bytes.len() - 1] {
+        assert!(
+            SolverCheckpoint::from_bytes(&bytes[..cut]).is_err(),
+            "truncation at {cut} must fail"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Kill at an arbitrary checkpointed step k, resume, and the final
+    /// placement is bitwise-identical — for any k and any of the four
+    /// (topology, seed) baselines.
+    #[test]
+    fn resume_at_any_checkpointed_step_is_identical(
+        combo in 0usize..4,
+        pick in 0usize..1usize << 16,
+    ) {
+        let (inst, full, snaps) = &baselines()[combo];
+        let seed = SEEDS[combo % 2];
+        let ck = SolverCheckpoint::from_bytes(&snaps[pick % snaps.len()]).unwrap();
+        let resumed = solve_resumable(inst, &config(seed), &ck, None).unwrap();
+        assert_identical(full, &resumed);
+    }
+}
+
+/// `step_limit` is a deterministic budget: two identical runs stop at
+/// the same pass with bit-identical results, and the pass counter never
+/// exceeds the limit — unlike `wall_limit`, which is machine-local.
+#[test]
+fn step_limit_budget_is_deterministic() {
+    let inst = instance(0, SEEDS[0]);
+    let cfg = EpfConfig {
+        step_limit: Some(17),
+        ..config(SEEDS[0])
+    };
+    let a = vod_core::solve_placement(&inst, &cfg).expect("budgeted solve");
+    let b = vod_core::solve_placement(&inst, &cfg).expect("budgeted solve");
+    assert!(a.epf.passes <= 17, "step budget overrun: {}", a.epf.passes);
+    assert_identical(&a, &b);
+}
+
+/// A resumed run keeps emitting checkpoints, and those continue the
+/// global pass numbering of the interrupted run.
+#[test]
+fn resumed_runs_keep_checkpointing() {
+    let (inst, _, snaps) = &baselines()[1];
+    let ck = SolverCheckpoint::from_bytes(&snaps[0]).expect("decode checkpoint");
+    let first_pass = ck.pass();
+    let mut later: Vec<u64> = Vec::new();
+    let mut sink = |c: SolverCheckpoint| later.push(c.pass());
+    let spec = CheckpointSpec {
+        every: CKPT_EVERY,
+        sink: &mut sink,
+    };
+    solve_resumable(inst, &config(SEEDS[1]), &ck, Some(spec)).expect("resume solve");
+    assert!(
+        later.iter().all(|&p| p > first_pass),
+        "resumed checkpoints must continue the pass numbering"
+    );
+}

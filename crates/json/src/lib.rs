@@ -26,6 +26,8 @@
 
 use std::fmt::Write as _;
 
+pub mod snapshot;
+
 /// A JSON document.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {

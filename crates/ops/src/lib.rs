@@ -1,0 +1,39 @@
+//! `vod-ops` — the supervised re-optimization pipeline.
+//!
+//! The paper's placement is not solved once: operationally it is
+//! re-solved on a schedule as demand shifts (Section VII-H, Table VI).
+//! This crate turns that schedule into a crash-safe service loop:
+//!
+//! - each cycle runs **estimate → solve → round → validate →
+//!   simulate**, with the durable [`PipelineState`] written atomically
+//!   (checksummed `vod-json` snapshots) after every stage transition,
+//! - the solve stage emits resumable solver checkpoints, so a process
+//!   killed mid-solve continues from the last surviving checkpoint and
+//!   produces the bitwise-identical placement,
+//! - every stage has a bounded retry budget with *recorded* (never
+//!   slept) deterministic backoff, and a cycle that exhausts it falls
+//!   back to the **last-good** validated placement with a typed
+//!   [`DegradeReason`] — the service always has a serviceable
+//!   placement from the first validated cycle onwards.
+//!
+//! The supervisor never reads a clock: interrupted and uninterrupted
+//! runs are bit-for-bit comparable, which is exactly what the
+//! `ops_pipeline` bench harness asserts.
+
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::float_cmp,
+        clippy::cast_possible_truncation
+    )
+)]
+
+pub mod pipeline;
+pub mod state;
+
+pub use pipeline::{FaultPlan, OpsConfig, OpsWorld, Pipeline, StepOutcome};
+pub use state::{
+    CycleRecord, DegradeReason, OpsError, PipelineState, SimSummary, StageId, FRACTIONAL_KIND,
+    STATE_KIND, STATE_VERSION,
+};

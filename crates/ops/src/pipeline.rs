@@ -1,0 +1,769 @@
+//! The supervised re-optimization pipeline.
+//!
+//! Operationally the paper's system re-solves the placement MIP on a
+//! schedule (daily/weekly, Table VI). This module wraps one such
+//! schedule in a crash-safe supervisor: each cycle runs the staged
+//! pipeline **estimate → solve → round → validate → simulate**, every
+//! stage transition is persisted atomically, the solve stage emits
+//! resumable [`SolverCheckpoint`]s, and a stage that exhausts its
+//! retry budget degrades the cycle to the *last-good* validated
+//! placement instead of taking the service down.
+//!
+//! Determinism contract: the supervisor never reads a clock and never
+//! sleeps. Retry backoff is computed from seeded jitter and *recorded*
+//! in the cycle ledger (a deployment would sleep those amounts; tests
+//! and benches must not). Together with the solver's checkpoint/resume
+//! identity this makes an interrupted multi-cycle run reproduce the
+//! uninterrupted run's placements bit for bit.
+
+use std::path::PathBuf;
+use vod_core::checkpoint::{
+    fractional_from_value, fractional_to_value, CHECKPOINT_KIND, CHECKPOINT_VERSION,
+};
+use vod_core::rounding::round_solution;
+use vod_core::{
+    solve_fractional_checkpointed, solve_fractional_resumable, CheckpointSpec, DiskConfig,
+    EpfConfig, MipInstance, Placement, PlacementCost, SolveError, SolverCheckpoint,
+};
+use vod_estimate::{estimate_demand, EstimateConfig, EstimatorKind};
+use vod_json::snapshot::{
+    fnv1a64, read_json_snapshot, read_snapshot, u64_bits_value, u64_from_bits_value,
+    write_json_snapshot, write_snapshot_atomic, SnapshotError,
+};
+use vod_json::Value;
+use vod_model::rng::derive_seed;
+use vod_model::time::DAY;
+use vod_model::{Catalog, Gigabytes, SimTime, TimeWindow, VhoId};
+use vod_net::{Network, PathSet};
+use vod_sim::{mip_vho_configs, simulate, CacheKind, PolicyKind, SimConfig};
+use vod_trace::Trace;
+
+use crate::state::{
+    CycleRecord, DegradeReason, OpsError, PipelineState, SimSummary, StageId, FRACTIONAL_KIND,
+    FRACTIONAL_VERSION, STATE_KIND, STATE_VERSION,
+};
+
+/// The fixed world the pipeline re-optimizes against: topology (with
+/// link capacities already set), routing, library, the full request
+/// trace, and the physical disk inventory.
+#[derive(Debug)]
+pub struct OpsWorld {
+    pub net: Network,
+    pub paths: PathSet,
+    pub catalog: Catalog,
+    pub trace: Trace,
+    /// Physical per-VHO disks handed to the simulator.
+    pub disks: Vec<Gigabytes>,
+    /// Disk budget the MIP solves against (typically the physical disk
+    /// minus the complementary-cache share).
+    pub mip_disk: DiskConfig,
+    pub est: EstimateConfig,
+}
+
+/// Supervisor parameters.
+#[derive(Debug, Clone)]
+pub struct OpsConfig {
+    /// Re-optimization cycles to run (clamped to the trace horizon).
+    pub cycles: usize,
+    /// Days covered by each cycle's placement (Table VI's schedule).
+    pub period_days: u64,
+    /// First day a placement takes effect; must be ≥ 7 so a full week
+    /// of history exists for the estimator.
+    pub start_day: u64,
+    pub estimator: EstimatorKind,
+    /// Solver configuration. `epf.seed` doubles as the pipeline master
+    /// seed; prefer `step_limit` over `wall_limit` here — a wall clock
+    /// budget breaks the bitwise resume-identity guarantee.
+    pub epf: EpfConfig,
+    /// Attempts per stage before the cycle degrades to last-good.
+    pub max_attempts: u32,
+    /// Solver checkpoint cadence in global passes (0 = no mid-solve
+    /// checkpoints; crash recovery then restarts the solve stage).
+    pub checkpoint_every: u64,
+    /// Base of the recorded exponential retry backoff.
+    pub backoff_base_ms: u64,
+    /// Relative disk overrun tolerated by the validate stage.
+    pub validate_tol: f64,
+    /// Replay each cycle's period through the simulator.
+    pub simulate: bool,
+    /// Directory holding `pipeline.state`, `solver.ckpt` and
+    /// `fractional.snap`.
+    pub state_dir: PathBuf,
+}
+
+/// Deterministic fault injection for drills and tests: forced stage
+/// failures and simulated mid-solve crashes.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// `(cycle, stage, attempt)` triples that fail with an injected
+    /// error instead of running.
+    pub fail: Vec<(usize, StageId, u32)>,
+    /// `(cycle, keep_checkpoints)`: during that cycle's solve, stop
+    /// persisting after `keep_checkpoints` checkpoint emissions and
+    /// report a [`StepOutcome::SimulatedCrash`] — the durable state is
+    /// then exactly what a process killed at that instant leaves
+    /// behind. Fires at most once per cycle per [`Pipeline`] value.
+    pub kill_mid_solve: Vec<(usize, u64)>,
+}
+
+/// What one [`Pipeline::step`] call did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The current stage completed and the pipeline advanced.
+    StageDone { cycle: usize, stage: StageId },
+    /// The stage failed; the retry was scheduled with this much
+    /// recorded backoff.
+    AttemptFailed {
+        cycle: usize,
+        stage: StageId,
+        attempt: u32,
+        backoff_ms: u64,
+    },
+    /// A persisted inter-stage artifact was missing, corrupt or stale;
+    /// the pipeline stepped back to the stage that regenerates it.
+    Retreated { cycle: usize, stage: StageId },
+    /// The cycle exhausted a stage's retries (or failed validation)
+    /// and fell back to the last-good placement.
+    CycleDegraded { cycle: usize },
+    /// A [`FaultPlan`] kill fired mid-solve. The durable state is that
+    /// of a killed process; stepping again (or constructing a fresh
+    /// pipeline over the same state dir) resumes from the last
+    /// surviving checkpoint.
+    SimulatedCrash { cycle: usize },
+    /// All cycles are closed.
+    Finished,
+}
+
+/// The crash-safe supervisor. Construct with [`Pipeline::resume_or_start`],
+/// drive with [`Pipeline::step`] or [`Pipeline::run`].
+pub struct Pipeline<'a> {
+    world: &'a OpsWorld,
+    cfg: OpsConfig,
+    faults: FaultPlan,
+    state: PipelineState,
+    /// Kill faults already fired by *this* value (in-memory on
+    /// purpose: a resumed process gets a fresh plan from its driver).
+    fired_kills: Vec<usize>,
+}
+
+impl std::fmt::Debug for Pipeline<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pipeline")
+            .field("cfg", &self.cfg)
+            .field("state", &self.state)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> Pipeline<'a> {
+    /// Load the durable state from `cfg.state_dir` and continue from
+    /// it, or start fresh. A corrupt or truncated state file is a
+    /// *cold restart* (counted in [`PipelineState::cold_restarts`]),
+    /// never a panic; stale solver checkpoints and fractional
+    /// snapshots are detected downstream and regenerate their stage.
+    pub fn resume_or_start(
+        world: &'a OpsWorld,
+        cfg: OpsConfig,
+        faults: FaultPlan,
+    ) -> Result<Self, OpsError> {
+        let invalid = |what: String| Err(OpsError::Invalid { what });
+        if cfg.start_day < 7 {
+            return invalid(format!(
+                "start_day must be >= 7 (one week of history); got {}",
+                cfg.start_day
+            ));
+        }
+        if cfg.period_days == 0 || cfg.cycles == 0 {
+            return invalid("period_days and cycles must be >= 1".into());
+        }
+        if cfg.max_attempts == 0 {
+            return invalid("max_attempts must be >= 1".into());
+        }
+        if world.disks.len() != world.net.num_nodes() {
+            return invalid(format!(
+                "disk inventory has {} entries for {} VHOs",
+                world.disks.len(),
+                world.net.num_nodes()
+            ));
+        }
+        if effective_cycles(world, &cfg) == 0 {
+            return invalid(format!(
+                "trace horizon ends before start_day {}: no cycle fits",
+                cfg.start_day
+            ));
+        }
+        std::fs::create_dir_all(&cfg.state_dir).map_err(|e| OpsError::Io {
+            what: format!("create {}: {e}", cfg.state_dir.display()),
+        })?;
+        let path = cfg.state_dir.join("pipeline.state");
+        let seed = cfg.epf.seed;
+        let cold = || {
+            let mut st = PipelineState::fresh(seed);
+            st.cold_restarts = 1;
+            st
+        };
+        let state = match read_json_snapshot(&path, STATE_KIND, STATE_VERSION) {
+            Ok(v) => match PipelineState::from_value(&v) {
+                Ok(mut st) if st.seed == seed => {
+                    st.resumes += 1;
+                    st
+                }
+                // A state written under a different seed is a
+                // different experiment — refuse to clobber it.
+                Ok(st) => {
+                    return invalid(format!(
+                        "state file {} belongs to seed {:#x}, config has {:#x}",
+                        path.display(),
+                        st.seed,
+                        seed
+                    ))
+                }
+                Err(_) => cold(),
+            },
+            Err(SnapshotError::Io { ref source, .. })
+                if source.kind() == std::io::ErrorKind::NotFound =>
+            {
+                PipelineState::fresh(seed)
+            }
+            Err(_) => cold(),
+        };
+        let pipe = Self {
+            world,
+            cfg,
+            faults,
+            state,
+            fired_kills: Vec::new(),
+        };
+        pipe.persist()?;
+        Ok(pipe)
+    }
+
+    #[must_use]
+    pub fn state(&self) -> &PipelineState {
+        &self.state
+    }
+
+    /// Cycles that actually fit in the trace horizon.
+    #[must_use]
+    pub fn effective_cycles(&self) -> usize {
+        effective_cycles(self.world, &self.cfg)
+    }
+
+    /// Drive the pipeline to completion. Simulated crashes resume
+    /// in-process (the solve continues from its last surviving
+    /// checkpoint); the only error exits are [`OpsError::NoFallback`]
+    /// (a cycle degraded before any placement was ever validated) and
+    /// a state directory that stops being writable.
+    pub fn run(&mut self) -> Result<&PipelineState, OpsError> {
+        while self.step()? != StepOutcome::Finished {}
+        Ok(&self.state)
+    }
+
+    /// Execute one attempt of the current stage and persist the
+    /// resulting state. Exactly one durable transition per call.
+    pub fn step(&mut self) -> Result<StepOutcome, OpsError> {
+        if self.state.cycle >= self.effective_cycles() {
+            return Ok(StepOutcome::Finished);
+        }
+        let cycle = self.state.cycle;
+        let stage = self.state.stage;
+        self.state.cycle_attempts += 1;
+        if self
+            .faults
+            .fail
+            .contains(&(cycle, stage, self.state.attempts_done))
+        {
+            return self.fail_attempt(stage, "injected failure".into());
+        }
+        match stage {
+            StageId::Estimate => self.step_estimate(cycle),
+            StageId::Solve => self.step_solve(cycle),
+            StageId::Round => self.step_round(cycle),
+            StageId::Validate => self.step_validate(cycle),
+            StageId::Simulate => self.step_simulate(cycle),
+        }
+    }
+
+    // ---- stages -----------------------------------------------------
+
+    fn step_estimate(&mut self, cycle: usize) -> Result<StepOutcome, OpsError> {
+        // The demand estimate is a deterministic pure function of the
+        // world and cycle, so nothing needs to be persisted here: the
+        // solve stage re-derives it identically. This stage exists as
+        // a supervision point (budget, injection) and as the cheap
+        // up-front feasibility gate.
+        let inst = self.instance_for(cycle);
+        if inst.n_videos() == 0 {
+            return self.fail_attempt(
+                StageId::Estimate,
+                "estimate produced an empty instance".into(),
+            );
+        }
+        self.advance(StageId::Solve)?;
+        Ok(StepOutcome::StageDone {
+            cycle,
+            stage: StageId::Estimate,
+        })
+    }
+
+    fn step_solve(&mut self, cycle: usize) -> Result<StepOutcome, OpsError> {
+        let inst = self.instance_for(cycle);
+        let epf = self.epf_for_cycle(cycle);
+        let ckpt_path = self.solver_ckpt_path();
+        let kill_at = self
+            .faults
+            .kill_mid_solve
+            .iter()
+            .find(|(c, _)| *c == cycle && !self.fired_kills.contains(c))
+            .map(|&(_, keep)| keep);
+        let prior = match read_snapshot(&ckpt_path, CHECKPOINT_KIND, CHECKPOINT_VERSION) {
+            Ok(bytes) => SolverCheckpoint::from_bytes(&bytes).ok(),
+            // Missing, truncated or checksum-corrupt checkpoint: the
+            // solve simply restarts cold. Durability lost, not
+            // correctness.
+            Err(_) => None,
+        };
+        let mut emitted: u64 = 0;
+        let mut killed = false;
+        let every = self.cfg.checkpoint_every;
+        let mut sink = |ck: SolverCheckpoint| {
+            if killed {
+                return;
+            }
+            if kill_at.is_some_and(|keep| emitted >= keep) {
+                // From here on the "process" is dead: no further
+                // durable writes survive.
+                killed = true;
+                return;
+            }
+            emitted += 1;
+            // A failed checkpoint write degrades crash recovery (the
+            // resume point stays older) but never correctness, so it
+            // is deliberately not a solve failure.
+            let _ = write_snapshot_atomic(
+                &ckpt_path,
+                CHECKPOINT_KIND,
+                CHECKPOINT_VERSION,
+                &ck.to_bytes(),
+            );
+        };
+        let warm_owned = self.state.last_good.as_ref().map(|(_, p)| p.clone());
+        let mut used_resume = false;
+        let result = match &prior {
+            Some(ck) => match solve_fractional_resumable(
+                &inst,
+                &epf,
+                ck,
+                Some(CheckpointSpec {
+                    every,
+                    sink: &mut sink,
+                }),
+            ) {
+                // A checkpoint from another cycle/config: discard and
+                // solve cold. Typed, expected, no retry burned.
+                Err(SolveError::MismatchedCheckpoint { .. }) => {
+                    let _ = std::fs::remove_file(&ckpt_path);
+                    solve_fractional_checkpointed(
+                        &inst,
+                        &epf,
+                        warm_owned.as_ref(),
+                        CheckpointSpec {
+                            every,
+                            sink: &mut sink,
+                        },
+                    )
+                }
+                other => {
+                    used_resume = true;
+                    other
+                }
+            },
+            None => solve_fractional_checkpointed(
+                &inst,
+                &epf,
+                warm_owned.as_ref(),
+                CheckpointSpec {
+                    every,
+                    sink: &mut sink,
+                },
+            ),
+        };
+        if used_resume {
+            self.state.cycle_solver_resumes += 1;
+        }
+        match result {
+            Ok((frac, _stats)) => {
+                if killed {
+                    // Nothing after the last surviving checkpoint is
+                    // persisted — including this (discarded) result.
+                    self.fired_kills.push(cycle);
+                    return Ok(StepOutcome::SimulatedCrash { cycle });
+                }
+                let payload = Value::Obj(vec![
+                    ("cycle".into(), Value::Num(cycle as f64)),
+                    ("config".into(), u64_bits_value(self.epf_token(cycle))),
+                    ("fractional".into(), fractional_to_value(&frac)),
+                ]);
+                write_json_snapshot(
+                    &self.fractional_path(),
+                    FRACTIONAL_KIND,
+                    FRACTIONAL_VERSION,
+                    &payload,
+                )
+                .map_err(|e| OpsError::Io {
+                    what: format!("persist fractional: {e}"),
+                })?;
+                let _ = std::fs::remove_file(&ckpt_path);
+                self.advance(StageId::Round)?;
+                Ok(StepOutcome::StageDone {
+                    cycle,
+                    stage: StageId::Solve,
+                })
+            }
+            Err(e) => self.fail_attempt(StageId::Solve, e.to_string()),
+        }
+    }
+
+    fn step_round(&mut self, cycle: usize) -> Result<StepOutcome, OpsError> {
+        let inst = self.instance_for(cycle);
+        let token = self.epf_token(cycle);
+        let frac = read_json_snapshot(&self.fractional_path(), FRACTIONAL_KIND, FRACTIONAL_VERSION)
+            .ok()
+            .and_then(|v| {
+                let same_cycle = v.get("cycle")?.as_usize()? == cycle;
+                let same_cfg = u64_from_bits_value(v.get("config")?, "config").ok()? == token;
+                if !(same_cycle && same_cfg) {
+                    return None;
+                }
+                fractional_from_value(v.get("fractional")?, &inst).ok()
+            });
+        let Some(frac) = frac else {
+            // The solve→round artifact is missing, corrupt, or from a
+            // different cycle/config: step back and regenerate it.
+            let _ = std::fs::remove_file(self.fractional_path());
+            return self.retreat(StageId::Solve, StageId::Round, cycle);
+        };
+        let (placement, stats) = round_solution(&inst, &frac, self.cfg.epf.gamma);
+        self.state.pending = Some(placement);
+        self.state.pending_objective = Some(stats.objective);
+        self.advance(StageId::Validate)?;
+        Ok(StepOutcome::StageDone {
+            cycle,
+            stage: StageId::Round,
+        })
+    }
+
+    fn step_validate(&mut self, cycle: usize) -> Result<StepOutcome, OpsError> {
+        let Some(p) = self.state.pending.clone() else {
+            return self.retreat(StageId::Round, StageId::Validate, cycle);
+        };
+        let inst = self.instance_for(cycle);
+        if let Err(what) = serviceable(&p, &inst, self.cfg.validate_tol) {
+            return self.degrade(DegradeReason::ValidationFailed { what });
+        }
+        self.state.pending_migrated = self
+            .state
+            .last_good
+            .as_ref()
+            .map_or(0, |(_, prev)| p.migration_copies_from(prev));
+        self.state.last_good = Some((cycle, p));
+        self.advance(StageId::Simulate)?;
+        Ok(StepOutcome::StageDone {
+            cycle,
+            stage: StageId::Validate,
+        })
+    }
+
+    fn step_simulate(&mut self, cycle: usize) -> Result<StepOutcome, OpsError> {
+        if self.cfg.simulate {
+            let Some(p) = self.state.pending.clone() else {
+                return self.retreat(StageId::Round, StageId::Simulate, cycle);
+            };
+            let (day, end) = self.window_of(cycle);
+            let future = self.world.trace.restricted(TimeWindow::new(
+                SimTime::new(day * DAY),
+                SimTime::new(end * DAY),
+            ));
+            let vhos = mip_vho_configs(&p, &self.world.disks, 0.0, CacheKind::Lru);
+            let policy = PolicyKind::MipRouting(p);
+            let rep = simulate(
+                &self.world.net,
+                &self.world.paths,
+                &self.world.catalog,
+                &future,
+                &vhos,
+                &policy,
+                &SimConfig {
+                    seed: derive_seed(self.state.seed, 0x51A1 ^ cycle as u64),
+                    insert_on_miss: false,
+                    ..SimConfig::default()
+                },
+            );
+            let local = rep.served_local_pinned + rep.served_local_cached;
+            self.state.pending_sim = Some(SimSummary {
+                max_gbps: rep.max_link_mbps / 1000.0,
+                local_frac: local as f64 / rep.total_requests.max(1) as f64,
+                total_requests: rep.total_requests,
+            });
+        }
+        let fnv = self
+            .state
+            .last_good
+            .as_ref()
+            .map_or(0, |(_, p)| PipelineState::placement_fingerprint(p));
+        self.state.records.push(CycleRecord {
+            cycle,
+            degraded: None,
+            attempts: self.state.cycle_attempts,
+            backoff_ms: self.state.cycle_backoff_ms,
+            solver_resumes: self.state.cycle_solver_resumes,
+            placement_fnv: fnv,
+            objective: self.state.pending_objective,
+            migrated: self.state.pending_migrated,
+            sim: self.state.pending_sim.clone(),
+        });
+        self.close_cycle()?;
+        Ok(StepOutcome::StageDone {
+            cycle,
+            stage: StageId::Simulate,
+        })
+    }
+
+    // ---- supervision ------------------------------------------------
+
+    fn fail_attempt(&mut self, stage: StageId, err: String) -> Result<StepOutcome, OpsError> {
+        let cycle = self.state.cycle;
+        let attempt = self.state.attempts_done;
+        self.state.attempts_done += 1;
+        let backoff = self.backoff_increment(cycle, stage, attempt);
+        self.state.cycle_backoff_ms += backoff;
+        if self.state.attempts_done >= self.cfg.max_attempts {
+            return self.degrade(DegradeReason::StageFailed {
+                stage,
+                attempts: self.state.attempts_done,
+                last_error: err,
+            });
+        }
+        self.persist()?;
+        Ok(StepOutcome::AttemptFailed {
+            cycle,
+            stage,
+            attempt,
+            backoff_ms: backoff,
+        })
+    }
+
+    /// Close the cycle on the last-good placement. With no last-good
+    /// yet there is nothing serviceable to offer — the pipeline stops
+    /// with a typed error and its durable state intact for diagnosis.
+    fn degrade(&mut self, reason: DegradeReason) -> Result<StepOutcome, OpsError> {
+        let cycle = self.state.cycle;
+        let Some((_, good)) = &self.state.last_good else {
+            return Err(OpsError::NoFallback { cycle, reason });
+        };
+        let fnv = PipelineState::placement_fingerprint(good);
+        self.state.records.push(CycleRecord {
+            cycle,
+            degraded: Some(reason),
+            attempts: self.state.cycle_attempts,
+            backoff_ms: self.state.cycle_backoff_ms,
+            solver_resumes: self.state.cycle_solver_resumes,
+            placement_fnv: fnv,
+            objective: None,
+            migrated: 0,
+            sim: None,
+        });
+        self.close_cycle()?;
+        Ok(StepOutcome::CycleDegraded { cycle })
+    }
+
+    fn retreat(
+        &mut self,
+        to: StageId,
+        from: StageId,
+        cycle: usize,
+    ) -> Result<StepOutcome, OpsError> {
+        self.state.stage = to;
+        self.state.attempts_done = 0;
+        self.persist()?;
+        Ok(StepOutcome::Retreated { cycle, stage: from })
+    }
+
+    fn advance(&mut self, next: StageId) -> Result<(), OpsError> {
+        self.state.stage = next;
+        self.state.attempts_done = 0;
+        self.persist()
+    }
+
+    fn close_cycle(&mut self) -> Result<(), OpsError> {
+        self.state.pending = None;
+        self.state.pending_objective = None;
+        self.state.pending_migrated = 0;
+        self.state.pending_sim = None;
+        self.state.attempts_done = 0;
+        self.state.cycle_attempts = 0;
+        self.state.cycle_backoff_ms = 0;
+        self.state.cycle_solver_resumes = 0;
+        self.state.cycle += 1;
+        self.state.stage = StageId::Estimate;
+        let _ = std::fs::remove_file(self.solver_ckpt_path());
+        let _ = std::fs::remove_file(self.fractional_path());
+        self.persist()
+    }
+
+    fn persist(&self) -> Result<(), OpsError> {
+        write_json_snapshot(
+            &self.cfg.state_dir.join("pipeline.state"),
+            STATE_KIND,
+            STATE_VERSION,
+            &self.state.to_value(),
+        )
+        .map_err(|e| OpsError::Io {
+            what: format!("persist pipeline state: {e}"),
+        })
+    }
+
+    /// Recorded exponential backoff with deterministic seeded jitter.
+    /// Never slept — see the module docs.
+    fn backoff_increment(&self, cycle: usize, stage: StageId, attempt: u32) -> u64 {
+        let base = self.cfg.backoff_base_ms.max(1);
+        let exp = base.saturating_mul(1u64 << attempt.min(16));
+        let mix = ((cycle as u64) << 16) ^ ((stage as u64) << 8) ^ u64::from(attempt) ^ 0xBAC0_FF00;
+        exp + derive_seed(self.state.seed, mix) % base
+    }
+
+    // ---- deterministic inputs --------------------------------------
+
+    fn window_of(&self, cycle: usize) -> (u64, u64) {
+        let horizon = self.world.trace.horizon().secs() / DAY;
+        let day = self.cfg.start_day + cycle as u64 * self.cfg.period_days;
+        (day, (day + self.cfg.period_days).min(horizon))
+    }
+
+    /// Rebuild the cycle's MIP instance. Pure function of the world,
+    /// the cycle index and the last-good placement (the migration
+    /// anchor), so every attempt and every resumed process sees the
+    /// identical instance.
+    fn instance_for(&self, cycle: usize) -> MipInstance {
+        let (day, end) = self.window_of(cycle);
+        let history = self.world.trace.restricted(TimeWindow::new(
+            SimTime::new((day - 7) * DAY),
+            SimTime::new(day * DAY),
+        ));
+        let future = self.world.trace.restricted(TimeWindow::new(
+            SimTime::new(day * DAY),
+            SimTime::new(end * DAY),
+        ));
+        let demand = estimate_demand(
+            self.cfg.estimator,
+            &self.world.catalog,
+            self.world.net.num_nodes(),
+            &history,
+            &future,
+            day,
+            end - day,
+            &self.world.est,
+        );
+        let pc = self.state.last_good.as_ref().map(|(_, p)| PlacementCost {
+            weight: 1.0,
+            previous: Some(p.holder_lists()),
+            // lint:allow(raw-index): update transfers are anchored at VHO 0 by convention
+            origin: VhoId::new(0),
+        });
+        MipInstance::new(
+            self.world.net.clone(),
+            self.world.catalog.clone(),
+            demand,
+            &self.world.mip_disk,
+            1.0,
+            0.0,
+            pc.as_ref(),
+        )
+    }
+
+    /// Per-cycle solver config: the seed is derived per cycle so
+    /// checkpoints from different cycles can never cross-validate.
+    fn epf_for_cycle(&self, cycle: usize) -> EpfConfig {
+        EpfConfig {
+            seed: derive_seed(self.cfg.epf.seed, 0x0E5F ^ cycle as u64),
+            ..self.cfg.epf.clone()
+        }
+    }
+
+    /// Config token stored with the fractional snapshot so a solve
+    /// artifact from a different solver configuration is rejected at
+    /// the round stage instead of silently reused.
+    fn epf_token(&self, cycle: usize) -> u64 {
+        let e = self.epf_for_cycle(cycle);
+        let mut buf = Vec::with_capacity(96);
+        for bits in [
+            e.epsilon.to_bits(),
+            e.gamma.to_bits(),
+            e.rho.to_bits(),
+            e.chunk_size as u64,
+            e.max_passes as u64,
+            e.lb_every as u64,
+            e.polish_iters as u64,
+            e.seed,
+            u64::from(e.feasibility_only),
+            e.step_limit.unwrap_or(u64::MAX),
+        ] {
+            buf.extend_from_slice(&bits.to_le_bytes());
+        }
+        fnv1a64(&buf)
+    }
+
+    fn solver_ckpt_path(&self) -> PathBuf {
+        self.cfg.state_dir.join("solver.ckpt")
+    }
+
+    fn fractional_path(&self) -> PathBuf {
+        self.cfg.state_dir.join("fractional.snap")
+    }
+}
+
+/// Structural serviceability of a rounded placement: right shape,
+/// every video has a holder, disks within tolerance. Deliberately
+/// *not* the audit layer's link checks — an over-tight link budget
+/// yields a degraded-but-serviceable placement, which the supervisor
+/// must keep, not reject.
+fn serviceable(p: &Placement, inst: &MipInstance, tol: f64) -> Result<(), String> {
+    if p.n_vhos() != inst.n_vhos() {
+        return Err(format!(
+            "placement has {} VHOs, instance has {}",
+            p.n_vhos(),
+            inst.n_vhos()
+        ));
+    }
+    let holders = p.holder_lists();
+    if holders.len() != inst.n_videos() {
+        return Err(format!(
+            "placement covers {} videos, instance has {}",
+            holders.len(),
+            inst.n_videos()
+        ));
+    }
+    if let Some(m) = holders.iter().position(Vec::is_empty) {
+        return Err(format!("video {m} has no holder"));
+    }
+    let usage = p.disk_usage(&inst.catalog);
+    for (i, (&have, used)) in inst.disks.iter().zip(usage).enumerate() {
+        if used.value() > have.value() * (1.0 + tol) {
+            return Err(format!(
+                "VHO {i} stores {:.1} GB on a {:.1} GB budget (tol {tol})",
+                used.value(),
+                have.value()
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn effective_cycles(world: &OpsWorld, cfg: &OpsConfig) -> usize {
+    let horizon = world.trace.horizon().secs() / DAY;
+    let mut n = 0usize;
+    while n < cfg.cycles && cfg.start_day + n as u64 * cfg.period_days < horizon {
+        n += 1;
+    }
+    n
+}

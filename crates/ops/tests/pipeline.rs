@@ -1,0 +1,290 @@
+//! End-to-end supervision properties: every cycle yields a
+//! serviceable placement, failed cycles degrade to last-good with a
+//! typed reason, and a killed/corrupted/resumed run reproduces the
+//! uninterrupted run's placements bit for bit.
+#![allow(
+    clippy::unwrap_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
+
+use std::path::PathBuf;
+use vod_core::{DiskConfig, EpfConfig};
+use vod_estimate::{EstimateConfig, EstimatorKind};
+use vod_model::Mbps;
+use vod_net::{topologies, PathSet};
+use vod_ops::{
+    DegradeReason, FaultPlan, OpsConfig, OpsError, OpsWorld, Pipeline, StageId, StepOutcome,
+};
+use vod_trace::{generate_trace, synthesize_library, LibraryConfig, TraceConfig};
+
+fn world(seed: u64) -> OpsWorld {
+    let mut net = topologies::mesh_backbone(6, 9, seed);
+    net.set_uniform_capacity(Mbps::from_gbps(1.0));
+    let paths = PathSet::shortest_paths(&net);
+    let catalog = synthesize_library(&LibraryConfig::default_for(50, 14, seed));
+    let trace = generate_trace(&catalog, &net, &TraceConfig::default_for(600.0, 14, seed));
+    let disks = DiskConfig::UniformRatio { ratio: 2.5 }.capacities(&net, catalog.total_size());
+    OpsWorld {
+        net,
+        paths,
+        catalog,
+        trace,
+        disks,
+        mip_disk: DiskConfig::UniformRatio { ratio: 2.0 },
+        est: EstimateConfig::default(),
+    }
+}
+
+fn config(seed: u64, dir: PathBuf) -> OpsConfig {
+    OpsConfig {
+        cycles: 3,
+        period_days: 2,
+        start_day: 7,
+        estimator: EstimatorKind::History,
+        epf: EpfConfig {
+            max_passes: 60,
+            seed,
+            ..EpfConfig::default()
+        },
+        max_attempts: 3,
+        checkpoint_every: 3,
+        backoff_base_ms: 250,
+        validate_tol: 1e-6,
+        simulate: true,
+        state_dir: dir,
+    }
+}
+
+/// A clean per-test state directory (stale state from a previous test
+/// process would otherwise be resumed).
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vod_ops_{}_{}", name, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn cycle_fingerprints(st: &vod_ops::PipelineState) -> Vec<u64> {
+    st.records.iter().map(|r| r.placement_fnv).collect()
+}
+
+#[test]
+fn every_cycle_of_a_clean_run_is_serviceable() {
+    let w = world(42);
+    let mut p = Pipeline::resume_or_start(&w, config(42, fresh_dir("clean")), FaultPlan::default())
+        .unwrap();
+    let n = p.effective_cycles();
+    assert!(n >= 2, "world too small for a meaningful schedule");
+    let st = p.run().unwrap();
+    assert_eq!(st.records.len(), n);
+    for r in &st.records {
+        assert!(
+            r.degraded.is_none(),
+            "cycle {} degraded: {:?}",
+            r.cycle,
+            r.degraded
+        );
+        assert_ne!(r.placement_fnv, 0, "cycle {} has no placement", r.cycle);
+        assert!(r.objective.is_some());
+        let sim = r.sim.as_ref().unwrap();
+        assert!(sim.total_requests > 0);
+        assert!((0.0..=1.0).contains(&sim.local_frac));
+    }
+    // Consecutive cycles re-anchor on the previous placement, so the
+    // ledger's migration counts are meaningful from cycle 1 onwards.
+    assert!(st.records[0].migrated == 0);
+}
+
+#[test]
+fn exhausted_solve_retries_degrade_to_last_good() {
+    let w = world(43);
+    let dir = fresh_dir("degrade");
+    // Fail every allowed attempt of cycle 1's solve stage.
+    let faults = FaultPlan {
+        fail: vec![
+            (1, StageId::Solve, 0),
+            (1, StageId::Solve, 1),
+            (1, StageId::Solve, 2),
+        ],
+        kill_mid_solve: Vec::new(),
+    };
+    let mut p = Pipeline::resume_or_start(&w, config(43, dir), faults).unwrap();
+    let st = p.run().unwrap().clone();
+    assert!(st.records.len() >= 2);
+    let good = &st.records[0];
+    let bad = &st.records[1];
+    assert!(good.degraded.is_none());
+    match bad.degraded.as_ref().unwrap() {
+        DegradeReason::StageFailed {
+            stage,
+            attempts,
+            last_error,
+        } => {
+            assert_eq!(*stage, StageId::Solve);
+            assert_eq!(*attempts, 3);
+            assert!(last_error.contains("injected"), "{last_error}");
+        }
+        other => panic!("wrong degrade reason: {other:?}"),
+    }
+    // The degraded cycle serves the previous cycle's placement …
+    assert_eq!(bad.placement_fnv, good.placement_fnv);
+    assert!(bad.objective.is_none());
+    // … and its recorded backoff grew across the retries.
+    assert!(bad.backoff_ms > 0);
+    // Cycle 2 recovers with a fresh solve anchored on the same
+    // placement.
+    if let Some(r2) = st.records.get(2) {
+        assert!(r2.degraded.is_none());
+    }
+}
+
+#[test]
+fn first_cycle_failure_has_no_fallback() {
+    let w = world(44);
+    let faults = FaultPlan {
+        fail: (0..3).map(|a| (0, StageId::Solve, a)).collect(),
+        kill_mid_solve: Vec::new(),
+    };
+    let mut p = Pipeline::resume_or_start(&w, config(44, fresh_dir("nofallback")), faults).unwrap();
+    match p.run() {
+        Err(OpsError::NoFallback { cycle: 0, reason }) => match reason {
+            DegradeReason::StageFailed { stage, .. } => assert_eq!(stage, StageId::Solve),
+            other => panic!("wrong reason: {other:?}"),
+        },
+        other => panic!("expected NoFallback, got {other:?}"),
+    }
+}
+
+#[test]
+fn kill_mid_solve_and_resume_is_bitwise_identical() {
+    let w = world(45);
+
+    // Baseline: uninterrupted run.
+    let mut base =
+        Pipeline::resume_or_start(&w, config(45, fresh_dir("kill_base")), FaultPlan::default())
+            .unwrap();
+    let base_fps = cycle_fingerprints(base.run().unwrap());
+
+    // Killed run: die mid-solve in cycle 0 (after 1 checkpoint) and in
+    // cycle 1 (after 2), dropping the pipeline value at each crash and
+    // resuming from the durable state alone — a true process death.
+    let dir = fresh_dir("kill_resume");
+    let mut kills = vec![(0usize, 1u64), (1usize, 2u64)];
+    loop {
+        let mut p = Pipeline::resume_or_start(
+            &w,
+            config(45, dir.clone()),
+            FaultPlan {
+                fail: Vec::new(),
+                kill_mid_solve: kills.clone(),
+            },
+        )
+        .unwrap();
+        let mut crashed = false;
+        loop {
+            match p.step().unwrap() {
+                StepOutcome::SimulatedCrash { cycle } => {
+                    kills.retain(|(c, _)| *c != cycle);
+                    crashed = true;
+                    break;
+                }
+                StepOutcome::Finished => break,
+                _ => {}
+            }
+        }
+        if !crashed {
+            let st = p.state().clone();
+            assert!(
+                st.resumes >= 2,
+                "expected two process resumes, saw {}",
+                st.resumes
+            );
+            assert!(
+                st.records.iter().any(|r| r.solver_resumes > 0),
+                "no cycle actually resumed a solver checkpoint"
+            );
+            assert_eq!(cycle_fingerprints(&st), base_fps);
+            for r in &st.records {
+                assert!(r.degraded.is_none());
+            }
+            break;
+        }
+    }
+}
+
+#[test]
+fn corrupt_state_and_checkpoint_files_recover_typed() {
+    let w = world(46);
+
+    let mut base = Pipeline::resume_or_start(
+        &w,
+        config(46, fresh_dir("corrupt_base")),
+        FaultPlan::default(),
+    )
+    .unwrap();
+    let base_fps = cycle_fingerprints(base.run().unwrap());
+
+    // Corrupted run: kill mid-solve, then truncate the solver
+    // checkpoint AND garble the pipeline state before resuming. The
+    // supervisor must cold-restart (typed, counted) and still land on
+    // the identical placements.
+    let dir = fresh_dir("corrupt_resume");
+    {
+        let mut p = Pipeline::resume_or_start(
+            &w,
+            config(46, dir.clone()),
+            FaultPlan {
+                fail: Vec::new(),
+                kill_mid_solve: vec![(0, 1)],
+            },
+        )
+        .unwrap();
+        loop {
+            match p.step().unwrap() {
+                StepOutcome::SimulatedCrash { .. } => break,
+                StepOutcome::Finished => panic!("kill never fired"),
+                _ => {}
+            }
+        }
+    }
+    // Truncate the checkpoint to half its length and scribble over the
+    // state file.
+    let ckpt = dir.join("solver.ckpt");
+    let bytes = std::fs::read(&ckpt).unwrap();
+    std::fs::write(&ckpt, &bytes[..bytes.len() / 2]).unwrap();
+    std::fs::write(dir.join("pipeline.state"), b"not a snapshot").unwrap();
+
+    let mut p = Pipeline::resume_or_start(&w, config(46, dir), FaultPlan::default()).unwrap();
+    assert_eq!(
+        p.state().cold_restarts,
+        1,
+        "corrupt state must count a cold restart"
+    );
+    let st = p.run().unwrap();
+    assert_eq!(cycle_fingerprints(st), base_fps);
+    for r in &st.records {
+        assert!(r.degraded.is_none());
+    }
+}
+
+#[test]
+fn validation_failure_degrades_with_typed_reason() {
+    let w = world(47);
+    let dir = fresh_dir("valfail");
+    let mut cfg = config(47, dir);
+    // Exhaust the validate stage's attempts in cycle 1: the cycle must
+    // close on cycle 0's placement with the failing stage recorded.
+    let faults = FaultPlan {
+        fail: (0..3).map(|a| (1, StageId::Validate, a)).collect(),
+        kill_mid_solve: Vec::new(),
+    };
+    cfg.simulate = false;
+    let mut p = Pipeline::resume_or_start(&w, cfg, faults).unwrap();
+    let st = p.run().unwrap();
+    let bad = &st.records[1];
+    match bad.degraded.as_ref().unwrap() {
+        DegradeReason::StageFailed { stage, .. } => assert_eq!(*stage, StageId::Validate),
+        other => panic!("wrong reason: {other:?}"),
+    }
+    assert_eq!(bad.placement_fnv, st.records[0].placement_fnv);
+}

@@ -1,11 +1,13 @@
 //! The rule engine behind `cargo xtask lint`.
 //!
-//! Seven repo-specific source lints — four aimed at the property the
+//! Eight repo-specific source lints — four aimed at the property the
 //! paper's evaluation depends on (**byte-identical placements from
 //! identical seeds**), two guarding the solver's and simulator's
-//! allocation-free hot paths, and one keeping those hot paths free of
+//! allocation-free hot paths, one keeping those hot paths free of
 //! process-killing panics (graceful degradation is a deliverable of
-//! the fault-injection layer).
+//! the fault-injection layer), and one routing every durable
+//! snapshot/results write through the atomic temp-file-plus-rename
+//! helper so a crash can never leave a torn artifact behind.
 //! The rules are textual (line-oriented with comment stripping and
 //! `#[cfg(test)]`-module tracking) rather than AST-based —
 //! deliberately so: they run in milliseconds with zero dependencies,
@@ -20,6 +22,7 @@
 //! | `vec-vec-f64` | `Vec<Vec<f64>>` | `vod-core` solver + `vod-sim` simulator hot-path modules |
 //! | `dyn-dispatch` | `Box<dyn` | `vod-sim` simulator hot-path modules |
 //! | `no-panic-hot-path` | `panic!` / `unreachable!` / `todo!` / `.unwrap()` / `.expect(` | modules reachable from `simulate` / `solve_placement` |
+//! | `snapshot-io` | `fs::write(` / `File::create(` | `vod-json`, `vod-ops`, `vod-bench` library + bin code (durable artifact writers) |
 //!
 //! Escape hatch: a comment line
 //! `// lint:allow(<rule>): <justification>` suppresses the rule on the
@@ -47,7 +50,7 @@ impl fmt::Display for Finding {
     }
 }
 
-pub const RULES: [&str; 7] = [
+pub const RULES: [&str; 8] = [
     "nondeterministic-map",
     "nan-unwrap-cmp",
     "wall-clock",
@@ -55,6 +58,7 @@ pub const RULES: [&str; 7] = [
     "vec-vec-f64",
     "dyn-dispatch",
     "no-panic-hot-path",
+    "snapshot-io",
 ];
 
 /// Paths (workspace-relative, `/`-separated) the linter never scans:
@@ -82,6 +86,18 @@ fn wall_clock_exempt(path: &str) -> bool {
 /// newtypes live in `vod-model`, and `vod-net` builds topologies.
 fn raw_index_exempt(path: &str) -> bool {
     path.starts_with("crates/model/") || path.starts_with("crates/net/")
+}
+
+/// Crates that write durable artifacts (state snapshots, solver
+/// checkpoints, `results/*.json`): every write must go through
+/// `vod_json::snapshot::write_atomic` (or the snapshot helpers built
+/// on it) so an interrupted process leaves either the old complete
+/// file or the new one, never a torn half-write the recovery path then
+/// has to treat as corruption.
+fn snapshot_io_scope(path: &str) -> bool {
+    path.starts_with("crates/json/src/")
+        || path.starts_with("crates/ops/src/")
+        || path.starts_with("crates/bench/src/")
 }
 
 /// Whether a path is test-only code (integration tests, benches).
@@ -337,6 +353,16 @@ pub fn lint_file(path: &str, content: &str) -> Vec<Finding> {
                     .to_string(),
             );
         }
+        if snapshot_io_scope(path) && !in_test_code {
+            check(
+                "snapshot-io",
+                code.contains("fs::write(") || code.contains("File::create("),
+                "direct file writes in snapshot/results paths can be torn by a crash; \
+                 route through vod_json::snapshot::write_atomic (or the snapshot \
+                 helpers) so readers only ever see complete files"
+                    .to_string(),
+            );
+        }
         if sim_hot_path_scope(path) && !in_test_code {
             check(
                 "dyn-dispatch",
@@ -580,5 +606,39 @@ mod tests {
     fn block_comments_are_stripped_across_lines() {
         let src = "/*\n let t = Instant::now();\n*/\nfn f() {}\n";
         assert!(lint_file("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn flags_direct_writes_in_snapshot_crates() {
+        let src = "fn f() {\n    std::fs::write(&path, bytes)?;\n    \
+                   let f = std::fs::File::create(&path)?;\n}\n";
+        for path in [
+            "crates/json/src/snapshot.rs",
+            "crates/ops/src/pipeline.rs",
+            "crates/bench/src/lib.rs",
+            "crates/bench/src/bin/ops_pipeline.rs",
+        ] {
+            let f = lint_file(path, src);
+            assert_eq!(rules_of(&f), ["snapshot-io", "snapshot-io"], "{path}");
+        }
+    }
+
+    #[test]
+    fn direct_writes_fine_outside_snapshot_scope_and_in_tests() {
+        let src = "fn f() { std::fs::write(&path, bytes).ok(); }\n";
+        // Crates that never write durable artifacts are out of scope.
+        assert!(lint_file("crates/core/src/x.rs", src).is_empty());
+        assert!(lint_file("crates/trace/src/x.rs", src).is_empty());
+        // Tests corrupt files on purpose.
+        assert!(lint_file("crates/ops/tests/pipeline.rs", src).is_empty());
+        let in_tests = format!("#[cfg(test)]\nmod tests {{\n    {src}\n}}\n");
+        assert!(lint_file("crates/json/src/snapshot.rs", &in_tests).is_empty());
+    }
+
+    #[test]
+    fn annotated_atomic_helper_is_allowed() {
+        let src = "// lint:allow(snapshot-io): this IS the atomic write helper\n\
+                   std::fs::write(&tmp, bytes)?;\n";
+        assert!(lint_file("crates/json/src/snapshot.rs", src).is_empty());
     }
 }
