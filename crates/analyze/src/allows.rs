@@ -1,0 +1,172 @@
+//! `// lint:allow(<rule>): <justification>` annotation scanning.
+//!
+//! Annotations are parsed from the **comment view** (an "annotation"
+//! inside a string literal is inert) and bless exactly one code line:
+//! the same line when code precedes the comment, otherwise the next
+//! line that carries any code. The justification is mandatory; its
+//! absence, an unclosed annotation, or an unknown rule name are
+//! malformed-annotation errors the caller reports as findings.
+
+use crate::lexer::{code_view, comment_view, lex};
+use crate::rules::is_known_rule;
+
+/// One well-formed annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowSite {
+    /// 1-based line of the annotation comment itself.
+    pub line: usize,
+    /// 1-based line of the code line it blesses (0 when it dangles at
+    /// end of file with no code after it).
+    pub target_line: usize,
+    pub rule: String,
+    pub justification: String,
+}
+
+/// One malformed annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowError {
+    pub line: usize,
+    pub message: String,
+}
+
+/// Scan result for one file.
+#[derive(Debug, Default)]
+pub struct Allows {
+    pub sites: Vec<AllowSite>,
+    pub errors: Vec<AllowError>,
+}
+
+impl Allows {
+    /// Rules blessed for a given 1-based code line.
+    pub fn blessed_for_line(&self, line: usize) -> impl Iterator<Item = &AllowSite> {
+        self.sites.iter().filter(move |s| s.target_line == line)
+    }
+
+    /// Whether `rule` is blessed on `line`.
+    pub fn is_blessed(&self, line: usize, rule: &str) -> bool {
+        self.blessed_for_line(line).any(|s| s.rule == rule)
+    }
+}
+
+/// Parse every annotation in `content` and resolve its target line.
+pub fn scan_allows(content: &str) -> Allows {
+    let tokens = lex(content);
+    let comments = comment_view(content, &tokens);
+    let code = code_view(content, &tokens);
+    let mut out = Allows::default();
+
+    // Pending annotations waiting for the next code line.
+    let mut pending: Vec<AllowSite> = Vec::new();
+    for (idx, (comment_line, code_line)) in comments.lines().zip(code.lines()).enumerate() {
+        let lineno = idx + 1;
+        let mut rest = comment_line;
+        while let Some(start) = rest.find("lint:allow(") {
+            let tail = &rest[start + "lint:allow(".len()..];
+            match parse_one(tail) {
+                Ok((rule, justification, consumed)) => {
+                    pending.push(AllowSite {
+                        line: lineno,
+                        target_line: 0,
+                        rule,
+                        justification,
+                    });
+                    rest = &tail[consumed.min(tail.len())..];
+                }
+                Err(message) => {
+                    out.errors.push(AllowError {
+                        line: lineno,
+                        message,
+                    });
+                    rest = &tail[tail.len()..];
+                }
+            }
+        }
+        if !code_line.trim().is_empty() {
+            for mut site in pending.drain(..) {
+                site.target_line = lineno;
+                out.sites.push(site);
+            }
+        }
+    }
+    // Dangling annotations at end of file keep target_line == 0.
+    out.sites.extend(pending);
+    out
+}
+
+/// Parse one annotation body starting right after `lint:allow(`.
+/// Returns (rule, justification, bytes consumed on success).
+fn parse_one(tail: &str) -> Result<(String, String, usize), String> {
+    let Some(close) = tail.find(')') else {
+        return Err("unclosed lint:allow(...)".to_string());
+    };
+    let rule = tail[..close].trim();
+    if !is_known_rule(rule) {
+        return Err(format!(
+            "unknown lint rule {rule:?} (known: {})",
+            crate::rules::known_rules_joined()
+        ));
+    }
+    let after = tail[close + 1..].trim_start();
+    let justification = after.strip_prefix(':').map(str::trim).unwrap_or("");
+    if justification.is_empty() {
+        return Err(format!(
+            "lint:allow({rule}) requires a justification: `// lint:allow({rule}): <why>`"
+        ));
+    }
+    Ok((rule.to_string(), justification.to_string(), close + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_line_annotation_targets_its_own_line() {
+        let a = scan_allows("let t = now(); // lint:allow(wall-clock): display only\n");
+        assert_eq!(a.sites.len(), 1);
+        assert_eq!((a.sites[0].line, a.sites[0].target_line), (1, 1));
+        assert_eq!(a.sites[0].rule, "wall-clock");
+    }
+
+    #[test]
+    fn comment_line_annotation_targets_next_code_line() {
+        let src = "// lint:allow(no-panic-hot-path): proven in bounds\n\
+                   // continuation of the explanation.\n\
+                   let x = v.unwrap();\n";
+        let a = scan_allows(src);
+        assert_eq!(a.sites.len(), 1);
+        assert_eq!((a.sites[0].line, a.sites[0].target_line), (1, 3));
+        assert!(a.is_blessed(3, "no-panic-hot-path"));
+        assert!(!a.is_blessed(3, "wall-clock"));
+    }
+
+    #[test]
+    fn analyzer_rules_parse_too() {
+        let src =
+            "// lint:allow(alloc-in-hot-loop): buffer reserved ahead of the loop\nx.push(1);\n";
+        let a = scan_allows(src);
+        assert_eq!(a.sites.len(), 1);
+        assert!(a.errors.is_empty());
+        assert!(a.is_blessed(2, "alloc-in-hot-loop"));
+    }
+
+    #[test]
+    fn malformed_annotations_error() {
+        let a = scan_allows("// lint:allow(wall-clock)\nlet t = now();\n");
+        assert_eq!(a.errors.len(), 1);
+        assert!(a.errors[0].message.contains("requires a justification"));
+        let b = scan_allows("// lint:allow(no-such-rule): whatever\n");
+        assert_eq!(b.errors.len(), 1);
+        assert!(b.errors[0].message.contains("unknown lint rule"));
+        let c = scan_allows("// lint:allow(wall-clock\n");
+        assert_eq!(c.errors.len(), 1);
+        assert!(c.errors[0].message.contains("unclosed"));
+    }
+
+    #[test]
+    fn annotation_in_string_literal_is_inert() {
+        let a = scan_allows("let s = \"lint:allow(wall-clock): nope\";\n");
+        assert!(a.sites.is_empty());
+        assert!(a.errors.is_empty());
+    }
+}

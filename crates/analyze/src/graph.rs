@@ -1,0 +1,250 @@
+//! Name-resolution-approximate call graph + reachability.
+//!
+//! Edges are resolved by callee name, refined by the qualifier when it
+//! names a known owner type: `PenaltyArena::new(...)` resolves only to
+//! `fn new` items owned by `impl PenaltyArena`, while a bare `new(...)`
+//! or `.next(...)` resolves to every function of that name. This
+//! over-approximates the true call relation (extra edges → extra
+//! reachability → at worst an extra finding the baseline absorbs) and
+//! never under-approximates it for workspace-local callees, which is
+//! the property the determinism-taint pass needs.
+//!
+//! Test-only functions are excluded as nodes: library code cannot call
+//! them, and test helpers are allowed to panic, allocate, and read the
+//! clock at will.
+
+use crate::items::FnItem;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Call graph over an indexed function inventory.
+#[derive(Debug)]
+pub struct CallGraph {
+    /// name → indices of non-test fns with that name.
+    by_name: BTreeMap<String, Vec<usize>>,
+    /// adjacency: fn index → callee fn indices (sorted, deduped).
+    edges: Vec<Vec<usize>>,
+}
+
+/// Reachability result: which functions are transitively called from
+/// the roots, and via which (shortest) chain.
+#[derive(Debug)]
+pub struct Reachability {
+    /// fn index → index of the BFS parent (None for roots).
+    parent: BTreeMap<usize, Option<usize>>,
+}
+
+impl CallGraph {
+    pub fn build(fns: &[FnItem]) -> Self {
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            if !f.is_test {
+                by_name.entry(f.name.clone()).or_default().push(i);
+            }
+        }
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); fns.len()];
+        for (i, f) in fns.iter().enumerate() {
+            if f.is_test {
+                continue;
+            }
+            let mut out: BTreeSet<usize> = BTreeSet::new();
+            for call in &f.calls {
+                let Some(candidates) = by_name.get(&call.name) else {
+                    continue;
+                };
+                // Qualifier refinement: `Owner::name(...)` binds to
+                // fns owned by `Owner` when any exist; `Self::name`
+                // binds within the caller's own impl.
+                let narrowed: Vec<usize> = match call.qualifier.as_deref() {
+                    Some("Self") => candidates
+                        .iter()
+                        .copied()
+                        .filter(|&j| fns[j].owner == f.owner && f.owner.is_some())
+                        .collect(),
+                    Some(q) => candidates
+                        .iter()
+                        .copied()
+                        .filter(|&j| fns[j].owner.as_deref() == Some(q))
+                        .collect(),
+                    // `.name(...)` can only land on an impl method,
+                    // never a free function.
+                    None if call.method => candidates
+                        .iter()
+                        .copied()
+                        .filter(|&j| fns[j].owner.is_some())
+                        .collect(),
+                    None => Vec::new(),
+                };
+                let chosen: &[usize] = if narrowed.is_empty() {
+                    candidates
+                } else {
+                    &narrowed
+                };
+                out.extend(chosen.iter().copied());
+            }
+            out.remove(&i); // self-recursion adds nothing
+            edges[i] = out.into_iter().collect();
+        }
+        Self { by_name, edges }
+    }
+
+    /// All non-test fns with the given simple name.
+    pub fn fns_named(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// BFS from every function whose *name* is in `roots`. Deterministic:
+    /// roots and adjacency are visited in sorted order.
+    pub fn reachable_from(&self, roots: &[&str]) -> Reachability {
+        let mut parent: BTreeMap<usize, Option<usize>> = BTreeMap::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        let mut root_idxs: Vec<usize> = roots
+            .iter()
+            .flat_map(|r| self.fns_named(r).iter().copied())
+            .collect();
+        root_idxs.sort_unstable();
+        root_idxs.dedup();
+        for r in root_idxs {
+            parent.insert(r, None);
+            queue.push_back(r);
+        }
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.edges[u] {
+                if let std::collections::btree_map::Entry::Vacant(e) = parent.entry(v) {
+                    e.insert(Some(u));
+                    queue.push_back(v);
+                }
+            }
+        }
+        Reachability { parent }
+    }
+}
+
+impl Reachability {
+    pub fn contains(&self, fn_idx: usize) -> bool {
+        self.parent.contains_key(&fn_idx)
+    }
+
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Shortest call chain root → … → `fn_idx`, as qualified names.
+    pub fn chain(&self, fns: &[FnItem], fn_idx: usize) -> Vec<String> {
+        let mut rev = Vec::new();
+        let mut cur = Some(fn_idx);
+        while let Some(i) = cur {
+            rev.push(fns[i].qual());
+            match self.parent.get(&i) {
+                Some(Some(p)) => cur = Some(*p),
+                _ => cur = None,
+            }
+        }
+        rev.reverse();
+        rev
+    }
+
+    /// Iterate reachable fn indices in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.parent.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::{extract_fns, ParsedFile};
+
+    fn graph_of(src: &str) -> (Vec<FnItem>, CallGraph) {
+        let pf = ParsedFile::new("crates/x/src/lib.rs".to_string(), src.to_string());
+        let fns = extract_fns(&pf);
+        let g = CallGraph::build(&fns);
+        (fns, g)
+    }
+
+    #[test]
+    fn reaches_transitive_callees() {
+        let (fns, g) = graph_of(
+            "fn root() { a(); }
+             fn a() { b(); }
+             fn b() {}
+             fn unrelated() {}",
+        );
+        let r = g.reachable_from(&["root"]);
+        let names: Vec<&str> = r.iter().map(|i| fns[i].name.as_str()).collect();
+        assert_eq!(names, ["root", "a", "b"]);
+        let b = fns.iter().position(|f| f.name == "b").unwrap_or(0);
+        assert_eq!(r.chain(&fns, b), ["root", "a", "b"]);
+    }
+
+    #[test]
+    fn qualifier_narrows_resolution() {
+        let (fns, g) = graph_of(
+            "struct A; struct B;
+             impl A { fn make() { only_a(); } }
+             impl B { fn make() { only_b(); } }
+             fn only_a() {}
+             fn only_b() {}
+             fn root() { A::make(); }",
+        );
+        let r = g.reachable_from(&["root"]);
+        let names: Vec<&str> = r
+            .iter()
+            .map(|i| fns[i].qual())
+            .map(|q| {
+                // leak a &str for assert simplicity
+                Box::leak(q.into_boxed_str()) as &str
+            })
+            .collect();
+        assert!(names.contains(&"A::make"), "{names:?}");
+        assert!(names.contains(&"only_a"), "{names:?}");
+        assert!(!names.contains(&"B::make"), "{names:?}");
+        assert!(!names.contains(&"only_b"), "{names:?}");
+    }
+
+    #[test]
+    fn method_calls_over_approximate() {
+        let (fns, g) = graph_of(
+            "impl C { fn step(&self) { dangerous(); } }
+             fn dangerous() {}
+             fn root(c: &C) { c.step(); }",
+        );
+        let r = g.reachable_from(&["root"]);
+        let names: Vec<String> = r.iter().map(|i| fns[i].qual()).collect();
+        assert!(names.iter().any(|n| n == "dangerous"), "{names:?}");
+    }
+
+    #[test]
+    fn method_calls_do_not_resolve_to_free_fns() {
+        let (fns, g) = graph_of(
+            "impl Pool { fn run(&self) { fine(); } }
+             fn fine() {}
+             fn run() { free_danger(); }
+             fn free_danger() {}
+             fn root(p: &Pool) { p.run(); }",
+        );
+        let r = g.reachable_from(&["root"]);
+        let names: Vec<String> = r.iter().map(|i| fns[i].qual()).collect();
+        assert!(names.iter().any(|n| n == "Pool::run"), "{names:?}");
+        assert!(names.iter().all(|n| n != "free_danger"), "{names:?}");
+    }
+
+    #[test]
+    fn test_fns_are_not_nodes() {
+        let (fns, g) = graph_of(
+            "fn root() { helper(); }
+             fn helper() {}
+             #[cfg(test)]
+             mod tests {
+                 fn helper() { super::forbidden(); }
+             }
+             fn forbidden() {}",
+        );
+        let r = g.reachable_from(&["root"]);
+        let names: Vec<&str> = r.iter().map(|i| fns[i].name.as_str()).collect();
+        assert!(!names.contains(&"forbidden"), "{names:?}");
+    }
+}

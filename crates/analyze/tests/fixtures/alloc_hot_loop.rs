@@ -1,0 +1,29 @@
+//! Fixture: allocations inside loop bodies of a hot-path module (the
+//! golden test maps this file to a `flat_buffer_scope` path).
+//! Never compiled — parsed by `tests/golden_taint.rs`.
+
+pub fn round_solution(fractional: &[f64]) -> Vec<u32> {
+    let mut placed = Vec::with_capacity(fractional.len()); // fine: outside any loop
+    for &x in fractional {
+        let mut scratch = Vec::new(); // seeded: vec-new in loop
+        scratch.push(x); // seeded: push in loop
+        placed.push(quantize(&scratch)); // seeded: second push, its own line
+    }
+    let mut total = 0u32;
+    while total < 10 {
+        let copy = placed.clone(); // seeded: clone in loop
+        total += advance(&copy);
+    }
+    placed
+}
+
+fn quantize(xs: &[f64]) -> u32 {
+    xs.len() as u32
+}
+
+/// Allocating outside a loop is fine even in hot-path modules.
+pub fn setup(n: usize) -> Vec<f64> {
+    let mut buf = Vec::new();
+    buf.resize(n, 0.0);
+    buf
+}

@@ -1,0 +1,25 @@
+//! Regression fixture for the pre-PR-1 bug class: accumulating
+//! placement state by iterating a `HashMap`, which made two runs with
+//! identical seeds disagree in the last ulps (iteration order changes
+//! float summation order). The workspace itself is clean — this
+//! fixture proves the analyzer would catch the bug's reintroduction.
+//! Never compiled — parsed by `tests/golden_taint.rs`.
+
+use std::collections::HashMap;
+
+pub fn solve_placement(demands: &[(u32, f64)]) -> f64 {
+    let mut per_vho: HashMap<u32, f64> = HashMap::new();
+    for &(vho, demand) in demands {
+        *per_vho.entry(vho).or_insert(0.0) += demand;
+    }
+    // The bug: summation order follows hash-iteration order.
+    let mut objective = 0.0;
+    for (_vho, demand) in &per_vho {
+        objective += transfer_cost(*demand);
+    }
+    objective
+}
+
+fn transfer_cost(demand: f64) -> f64 {
+    demand * 1.25
+}

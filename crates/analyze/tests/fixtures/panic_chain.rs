@@ -1,0 +1,32 @@
+//! Fixture: a panic site three calls deep from the sink root — only
+//! interprocedural reachability (not the textual module list) can see
+//! it. Never compiled — parsed by `tests/golden_taint.rs`.
+
+pub fn simulate(events: &[u64]) -> u64 {
+    events.iter().map(|&e| admit(e)).sum()
+}
+
+fn admit(event: u64) -> u64 {
+    skip_marker(event);
+    route(event)
+}
+
+fn route(event: u64) -> u64 {
+    // The seeded violation: an unwrap deep in the call chain.
+    lookup(event).unwrap()
+}
+
+fn lookup(event: u64) -> Option<u64> {
+    event.checked_mul(3)
+}
+
+/// Not reachable from `simulate`: must NOT be reported.
+pub fn offline_tool(event: u64) -> u64 {
+    lookup(event).unwrap()
+}
+
+/// A byte-literal `expect` is the JSON cursor's fallible *method*, not
+/// `Option::expect` — reachable, but must NOT be reported.
+fn skip_marker(event: u64) {
+    cursor_for(event).expect(b'[');
+}

@@ -350,6 +350,8 @@ pub fn check_placement(inst: &MipInstance, placement: &Placement, rel_tol: f64) 
                             .total_cmp(&inst.cost(b, c.j))
                             .then(a.cmp(&b))
                     })
+                    // lint:allow(no-panic-hot-path): this branch is
+                    // only taken when `holders` was checked non-empty.
                     .expect("holders is non-empty");
                 for (t, &rate) in c.rate.iter().enumerate() {
                     if rate != 0.0 {

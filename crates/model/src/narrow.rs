@@ -15,6 +15,8 @@ pub fn usize_from<T: TryInto<usize>>(x: T) -> usize
 where
     T::Error: core::fmt::Debug,
 {
+    // lint:allow(no-panic-hot-path): loud-failure narrowing is this
+    // helper's contract — wrapping silently would corrupt indices.
     x.try_into().expect("value exceeds usize::MAX")
 }
 
@@ -24,6 +26,8 @@ pub fn u32_from<T: TryInto<u32>>(x: T) -> u32
 where
     T::Error: core::fmt::Debug,
 {
+    // lint:allow(no-panic-hot-path): loud-failure narrowing is this
+    // helper's contract — wrapping silently would corrupt indices.
     x.try_into().expect("value exceeds u32::MAX")
 }
 

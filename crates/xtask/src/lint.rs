@@ -1,383 +1,21 @@
-//! The rule engine behind `cargo xtask lint`.
+//! Textual lint rules for `cargo xtask lint` — thin façade.
 //!
-//! Eight repo-specific source lints — four aimed at the property the
-//! paper's evaluation depends on (**byte-identical placements from
-//! identical seeds**), two guarding the solver's and simulator's
-//! allocation-free hot paths, one keeping those hot paths free of
-//! process-killing panics (graceful degradation is a deliverable of
-//! the fault-injection layer), and one routing every durable
-//! snapshot/results write through the atomic temp-file-plus-rename
-//! helper so a crash can never leave a torn artifact behind.
-//! The rules are textual (line-oriented with comment stripping and
-//! `#[cfg(test)]`-module tracking) rather than AST-based —
-//! deliberately so: they run in milliseconds with zero dependencies,
-//! and every construct they police is easy to name syntactically.
+//! The rule engine itself lives in [`vod_analyze::textual`], re-hosted
+//! on the shared span-preserving lexer (`vod_analyze::lexer`): rules
+//! match against a *code view* with string/char literals and comments
+//! blanked out, so a forbidden pattern inside a string literal or a
+//! nested block comment can no longer produce a false positive, and
+//! per-line comment stripping is gone. The rule table, path scopes,
+//! and `lint:allow` grammar are documented there and in DESIGN.md §8.
 //!
-//! | rule | forbids | where |
-//! |------|---------|-------|
-//! | `nondeterministic-map` | `std::collections::HashMap`/`HashSet` | `vod-core`, `vod-sim`, `vod-trace` library code |
-//! | `nan-unwrap-cmp` | `partial_cmp` (incl. `.unwrap()` comparators) | whole workspace |
-//! | `wall-clock` | `Instant::now` / `SystemTime` | outside `crates/bench` |
-//! | `raw-index` | `VhoId::new` / `VhoId::from_index` | outside `crates/model`, `crates/net` library code |
-//! | `vec-vec-f64` | `Vec<Vec<f64>>` | `vod-core` solver + `vod-sim` simulator hot-path modules |
-//! | `dyn-dispatch` | `Box<dyn` | `vod-sim` simulator hot-path modules |
-//! | `no-panic-hot-path` | `panic!` / `unreachable!` / `todo!` / `.unwrap()` / `.expect(` | modules reachable from `simulate` / `solve_placement` |
-//! | `snapshot-io` | `fs::write(` / `File::create(` | `vod-json`, `vod-ops`, `vod-bench` library + bin code (durable artifact writers) |
-//!
-//! Escape hatch: a comment line
-//! `// lint:allow(<rule>): <justification>` suppresses the rule on the
-//! next code line (or the same line). The justification is mandatory —
-//! an empty one is itself a finding.
+//! This module only re-exports the API and pins the engine's observable
+//! behavior with the test suite below — the same suite that guarded the
+//! original line-oriented implementation, plus cases that only a
+//! token-level engine can pass.
 
-use std::fmt;
-
-/// One lint violation.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Finding {
-    pub file: String,
-    pub line: usize,
-    pub rule: &'static str,
-    pub message: String,
-}
-
-impl fmt::Display for Finding {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}: [{}] {}",
-            self.file, self.line, self.rule, self.message
-        )
-    }
-}
-
-pub const RULES: [&str; 8] = [
-    "nondeterministic-map",
-    "nan-unwrap-cmp",
-    "wall-clock",
-    "raw-index",
-    "vec-vec-f64",
-    "dyn-dispatch",
-    "no-panic-hot-path",
-    "snapshot-io",
-];
-
-/// Paths (workspace-relative, `/`-separated) the linter never scans:
-/// vendored shims emulate third-party crates, and the linter itself
-/// spells the forbidden patterns in its rule table.
-fn exempt_path(path: &str) -> bool {
-    path.starts_with("crates/shims/")
-        || path.starts_with("crates/xtask/")
-        || path.starts_with("target/")
-}
-
-/// Crates whose *library* code must use deterministic containers.
-fn deterministic_container_scope(path: &str) -> bool {
-    path.starts_with("crates/core/src/")
-        || path.starts_with("crates/sim/src/")
-        || path.starts_with("crates/trace/src/")
-}
-
-/// Crates allowed to read wall-clock time freely (experiment timing).
-fn wall_clock_exempt(path: &str) -> bool {
-    path.starts_with("crates/bench/")
-}
-
-/// Crates allowed to construct `VhoId`s from raw integers: the id
-/// newtypes live in `vod-model`, and `vod-net` builds topologies.
-fn raw_index_exempt(path: &str) -> bool {
-    path.starts_with("crates/model/") || path.starts_with("crates/net/")
-}
-
-/// Crates that write durable artifacts (state snapshots, solver
-/// checkpoints, `results/*.json`): every write must go through
-/// `vod_json::snapshot::write_atomic` (or the snapshot helpers built
-/// on it) so an interrupted process leaves either the old complete
-/// file or the new one, never a torn half-write the recovery path then
-/// has to treat as corruption.
-fn snapshot_io_scope(path: &str) -> bool {
-    path.starts_with("crates/json/src/")
-        || path.starts_with("crates/ops/src/")
-        || path.starts_with("crates/bench/src/")
-}
-
-/// Whether a path is test-only code (integration tests, benches).
-fn test_only_file(path: &str) -> bool {
-    path.contains("/tests/") || path.starts_with("tests/") || path.contains("/benches/")
-}
-
-/// Solver hot-path modules where nested `Vec<Vec<f64>>` matrices are
-/// forbidden (flat row-major buffers only — see `crates/core/src/penalty.rs`
-/// and DESIGN.md "Solver performance architecture"). `direct.rs` is
-/// excluded: the simplex baseline is deliberately not a hot path.
-fn flat_buffer_scope(path: &str) -> bool {
-    const HOT: [&str; 7] = [
-        "block.rs",
-        "epf.rs",
-        "penalty.rs",
-        "pool.rs",
-        "potential.rs",
-        "rounding.rs",
-        "solution.rs",
-    ];
-    path.strip_prefix("crates/core/src/")
-        .is_some_and(|f| HOT.contains(&f))
-        || sim_hot_path_scope(path)
-}
-
-/// Simulator hot-path modules where heap-boxed trait objects (and
-/// nested matrices) are forbidden: the per-event loop must stay
-/// monomorphized and allocation-free (see the `CacheImpl` enum in
-/// `crates/sim/src/cache.rs` and DESIGN.md "Simulator performance
-/// architecture").
-fn sim_hot_path_scope(path: &str) -> bool {
-    const HOT: [&str; 4] = ["batch.rs", "cache.rs", "engine.rs", "faults.rs"];
-    path.strip_prefix("crates/sim/src/")
-        .is_some_and(|f| HOT.contains(&f))
-}
-
-/// Modules reachable from `vod_sim::simulate` or
-/// `vod_core::solve_placement` at run time: the fault-injection layer
-/// promises graceful degradation (typed errors, denial accounting,
-/// best-incumbent returns), so nothing on those paths may tear the
-/// process down. Entry-guard `assert!`s on caller-supplied shapes are
-/// deliberately NOT policed — they fire before any work starts.
-fn no_panic_scope(path: &str) -> bool {
-    flat_buffer_scope(path)
-        || path == "crates/core/src/solver.rs"
-        || path == "crates/net/src/routing.rs"
-        || path.starts_with("crates/trace/src/")
-}
-
-/// Strip `//` line comments and (statefully) `/* ... */` block
-/// comments. Returns the code portion of the line and whether the line
-/// is entirely comment/blank. The string-literal-aware case (`"//"`
-/// inside a string) is intentionally not handled: a stripped suffix
-/// can only hide a finding on the same line as a string URL, never
-/// invent one.
-struct CommentStripper {
-    in_block: bool,
-}
-
-impl CommentStripper {
-    fn new() -> Self {
-        Self { in_block: false }
-    }
-
-    fn strip(&mut self, line: &str) -> String {
-        let mut out = String::with_capacity(line.len());
-        let mut rest = line;
-        loop {
-            if self.in_block {
-                match rest.find("*/") {
-                    Some(i) => {
-                        self.in_block = false;
-                        rest = &rest[i + 2..];
-                    }
-                    None => return out,
-                }
-            } else {
-                let line_c = rest.find("//");
-                let block_c = rest.find("/*");
-                if let Some(l) = line_c.filter(|&l| block_c.is_none_or(|b| l < b)) {
-                    out.push_str(&rest[..l]);
-                    return out;
-                } else if let Some(b) = block_c {
-                    out.push_str(&rest[..b]);
-                    self.in_block = true;
-                    rest = &rest[b + 2..];
-                } else {
-                    out.push_str(rest);
-                    return out;
-                }
-            }
-        }
-    }
-}
-
-/// Parse `lint:allow(<rule>): <justification>` out of a line, if
-/// present. Returns `Err` (as a finding message) when the annotation is
-/// malformed or lacks a justification.
-fn parse_allow(line: &str) -> Option<Result<&'static str, String>> {
-    let start = line.find("lint:allow(")?;
-    let rest = &line[start + "lint:allow(".len()..];
-    let Some(close) = rest.find(')') else {
-        return Some(Err("unclosed lint:allow(...)".to_string()));
-    };
-    let rule_name = &rest[..close];
-    let Some(rule) = RULES.iter().find(|r| **r == rule_name) else {
-        return Some(Err(format!(
-            "unknown lint rule {rule_name:?} (known: {})",
-            RULES.join(", ")
-        )));
-    };
-    let after = rest[close + 1..].trim_start();
-    let justification = after.strip_prefix(':').map(str::trim).unwrap_or("");
-    if justification.is_empty() {
-        return Some(Err(format!(
-            "lint:allow({rule_name}) requires a justification: `// lint:allow({rule_name}): <why>`"
-        )));
-    }
-    Some(Ok(rule))
-}
-
-/// Lint one file's contents. `path` must be workspace-relative with
-/// `/` separators.
-pub fn lint_file(path: &str, content: &str) -> Vec<Finding> {
-    let mut findings = Vec::new();
-    if exempt_path(path) || !path.ends_with(".rs") {
-        return findings;
-    }
-    let test_file = test_only_file(path);
-
-    let mut stripper = CommentStripper::new();
-    // Brace depth inside `#[cfg(test)] mod` blocks; 0 = library code.
-    let mut cfg_test_pending = false;
-    let mut test_mod_depth: i64 = 0;
-    let mut in_test_mod = false;
-    // Rules suppressed for the next code line.
-    let mut pending_allows: Vec<&'static str> = Vec::new();
-
-    for (idx, raw) in content.lines().enumerate() {
-        let lineno = idx + 1;
-        let code = stripper.strip(raw);
-        let code = code.trim();
-
-        // The annotation lives in a comment, so parse the raw line.
-        if let Some(allow) = parse_allow(raw) {
-            match allow {
-                Ok(rule) => pending_allows.push(rule),
-                Err(msg) => findings.push(Finding {
-                    file: path.to_string(),
-                    line: lineno,
-                    rule: "lint-allow",
-                    message: msg,
-                }),
-            }
-        }
-        if code.is_empty() {
-            continue; // comment or blank line: allows stay pending
-        }
-
-        // Track `#[cfg(test)] mod … { … }` regions.
-        if code.contains("#[cfg(test)]") {
-            cfg_test_pending = true;
-        } else if cfg_test_pending && !in_test_mod {
-            if code.starts_with("mod ") || code.starts_with("pub mod ") {
-                in_test_mod = true;
-                test_mod_depth = 0;
-            } else if !code.starts_with("#[") {
-                // Attribute applied to something other than a module
-                // (a test fn outside a tests mod): treat conservatively
-                // as library code, but stop waiting for a module.
-                cfg_test_pending = false;
-            }
-        }
-        if in_test_mod {
-            test_mod_depth += code.matches('{').count() as i64;
-            test_mod_depth -= code.matches('}').count() as i64;
-            if test_mod_depth <= 0 {
-                in_test_mod = false;
-                cfg_test_pending = false;
-            }
-        }
-        let in_test_code = test_file || in_test_mod;
-
-        let mut check = |rule: &'static str, hit: bool, message: String| {
-            if hit && !pending_allows.contains(&rule) {
-                findings.push(Finding {
-                    file: path.to_string(),
-                    line: lineno,
-                    rule,
-                    message,
-                });
-            }
-        };
-
-        if deterministic_container_scope(path) && !in_test_code {
-            check(
-                "nondeterministic-map",
-                code.contains("HashMap") || code.contains("HashSet"),
-                "std hash containers iterate in randomized order; use BTreeMap/BTreeSet \
-                 or a sorted Vec so placements are byte-identical across runs"
-                    .to_string(),
-            );
-        }
-        check(
-            "nan-unwrap-cmp",
-            code.contains("partial_cmp"),
-            "partial_cmp panics (or silently mis-sorts) on NaN; use f64::total_cmp or \
-             vod_model::fcmp"
-                .to_string(),
-        );
-        if !wall_clock_exempt(path) {
-            check(
-                "wall-clock",
-                code.contains("Instant::now") || code.contains("SystemTime"),
-                "wall-clock reads outside crates/bench break reproducibility; annotate \
-                 solver timing with lint:allow(wall-clock)"
-                    .to_string(),
-            );
-        }
-        if !raw_index_exempt(path) && !in_test_code {
-            check(
-                "raw-index",
-                code.contains("VhoId::new(") || code.contains("VhoId::from_index"),
-                "raw VhoId construction outside crates/model and crates/net bypasses the \
-                 id-newtype boundary; take ids from the Network or annotate the dense-\
-                 vector indexing"
-                    .to_string(),
-            );
-        }
-        if flat_buffer_scope(path) && !in_test_code {
-            check(
-                "vec-vec-f64",
-                code.contains("Vec<Vec<f64>>"),
-                "nested f64 matrices in solver hot paths re-allocate per chunk; use a \
-                 flat row-major buffer (crate::penalty::PenaltyArena, UflProblem) or \
-                 annotate a boundary constructor"
-                    .to_string(),
-            );
-        }
-        if no_panic_scope(path) && !in_test_code {
-            check(
-                "no-panic-hot-path",
-                code.contains("panic!(")
-                    || code.contains("unreachable!(")
-                    || code.contains("todo!(")
-                    || code.contains(".unwrap()")
-                    || code.contains(".expect("),
-                "panics and unwraps reachable from simulate/solve kill the whole run; \
-                 degrade instead (typed SolveError, denial accounting, let-else \
-                 fallbacks) or justify an unreachable invariant with \
-                 lint:allow(no-panic-hot-path)"
-                    .to_string(),
-            );
-        }
-        if snapshot_io_scope(path) && !in_test_code {
-            check(
-                "snapshot-io",
-                code.contains("fs::write(") || code.contains("File::create("),
-                "direct file writes in snapshot/results paths can be torn by a crash; \
-                 route through vod_json::snapshot::write_atomic (or the snapshot \
-                 helpers) so readers only ever see complete files"
-                    .to_string(),
-            );
-        }
-        if sim_hot_path_scope(path) && !in_test_code {
-            check(
-                "dyn-dispatch",
-                code.contains("Box<dyn"),
-                "boxed trait objects in the simulator hot path cost a heap indirection \
-                 and an uninlinable virtual call per event; dispatch through the \
-                 CacheImpl enum (crates/sim/src/cache.rs) instead"
-                    .to_string(),
-            );
-        }
-
-        pending_allows.clear();
-    }
-    findings
-}
+pub use vod_analyze::textual::lint_file;
+#[cfg(test)]
+use vod_analyze::textual::Finding;
 
 #[cfg(test)]
 mod tests {
@@ -640,5 +278,26 @@ mod tests {
         let src = "// lint:allow(snapshot-io): this IS the atomic write helper\n\
                    std::fs::write(&tmp, bytes)?;\n";
         assert!(lint_file("crates/json/src/snapshot.rs", src).is_empty());
+    }
+
+    #[test]
+    fn pattern_inside_string_literal_is_not_a_finding() {
+        let src = "fn f() { let s = \"use std::collections::HashMap;\"; }\n";
+        assert!(lint_file("crates/core/src/x.rs", src).is_empty());
+        let raw = "fn f() { let s = r#\"let t = Instant::now();\"#; }\n";
+        assert!(lint_file("crates/core/src/x.rs", raw).is_empty());
+    }
+
+    #[test]
+    fn pattern_inside_nested_block_comment_is_not_a_finding() {
+        let src = "/* outer /* let t = Instant::now(); */ still comment */\nfn f() {}\n";
+        assert!(lint_file("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn decoy_in_string_does_not_mask_real_finding_on_same_line() {
+        let src = "fn f() { log(\"Instant::now\"); let t = Instant::now(); }\n";
+        let f = lint_file("crates/core/src/x.rs", src);
+        assert_eq!(rules_of(&f), ["wall-clock"]);
     }
 }

@@ -1,14 +1,24 @@
 //! `cargo xtask` — repo-local developer tooling.
 //!
-//! Currently one subcommand, `lint`, which runs the custom
-//! determinism/NaN/wall-clock/id-boundary lint pass over the workspace
-//! sources (see [`lint`] and DESIGN.md §5). Exits non-zero when any
-//! finding survives.
+//! Two subcommands:
+//!
+//! - `lint` — the fast textual rule pass (see [`lint`] and DESIGN.md
+//!   §5). Exits non-zero when any finding survives.
+//! - `analyze` — the interprocedural determinism/hot-path analyzer
+//!   hosted in the `vod-analyze` crate (see DESIGN.md §8). Findings
+//!   are diffed against the checked-in baseline
+//!   `results/ANALYZE_baseline.json`; only *new* findings fail the
+//!   run. `--json` additionally writes the machine-readable report to
+//!   `results/ANALYZE_findings.json`; `--write-baseline` regenerates
+//!   the baseline from the current findings.
 
 mod lint;
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+const BASELINE_PATH: &str = "results/ANALYZE_baseline.json";
+const FINDINGS_PATH: &str = "results/ANALYZE_findings.json";
 
 fn workspace_root() -> PathBuf {
     // crates/xtask/ → workspace root.
@@ -40,12 +50,14 @@ fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
-fn run_lint(root: &Path) -> Result<(), usize> {
+/// Load every workspace `.rs` file as (workspace-relative path,
+/// contents) pairs for the analyzer.
+fn load_sources(root: &Path) -> Vec<vod_analyze::SourceFile> {
     let mut files = Vec::new();
     for top in ["crates", "src", "tests", "benches"] {
         rust_files(&root.join(top), &mut files);
     }
-    let mut n_findings = 0usize;
+    let mut out = Vec::with_capacity(files.len());
     for path in &files {
         let rel = path
             .strip_prefix(root)
@@ -55,16 +67,108 @@ fn run_lint(root: &Path) -> Result<(), usize> {
         let Ok(content) = std::fs::read_to_string(path) else {
             continue;
         };
-        for finding in lint::lint_file(&rel, &content) {
+        out.push(vod_analyze::SourceFile { path: rel, content });
+    }
+    out
+}
+
+fn run_lint(root: &Path) -> Result<(), usize> {
+    let sources = load_sources(root);
+    let mut n_findings = 0usize;
+    for s in &sources {
+        for finding in lint::lint_file(&s.path, &s.content) {
             eprintln!("{finding}");
             n_findings += 1;
         }
     }
     if n_findings == 0 {
-        eprintln!("xtask lint: {} files clean", files.len());
+        eprintln!("xtask lint: {} files clean", sources.len());
         Ok(())
     } else {
         Err(n_findings)
+    }
+}
+
+/// Run the interprocedural analyzer and diff against the baseline.
+/// Returns the number of NEW (non-baseline) findings.
+fn run_analyze(root: &Path, write_json: bool, write_baseline: bool) -> Result<(), usize> {
+    let sources = load_sources(root);
+    let result = vod_analyze::analyze_sources(&sources, &vod_analyze::DEFAULT_ROOTS);
+
+    if write_json {
+        let report = vod_analyze::report::render_json(&result.findings);
+        let path = root.join(FINDINGS_PATH);
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(e) = std::fs::write(&path, report) {
+            eprintln!("xtask analyze: cannot write {}: {e}", path.display());
+        } else {
+            eprintln!("xtask analyze: wrote {}", path.display());
+        }
+    }
+    if write_baseline {
+        let baseline = vod_analyze::report::render_baseline(&result.findings);
+        let path = root.join(BASELINE_PATH);
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        return match std::fs::write(&path, baseline) {
+            Ok(()) => {
+                eprintln!(
+                    "xtask analyze: baseline regenerated with {} finding(s) at {}",
+                    result.findings.len(),
+                    path.display()
+                );
+                Ok(())
+            }
+            Err(e) => {
+                eprintln!("xtask analyze: cannot write {}: {e}", path.display());
+                Err(1)
+            }
+        };
+    }
+
+    let baseline = std::fs::read_to_string(root.join(BASELINE_PATH))
+        .map(|s| vod_analyze::report::parse_baseline(&s))
+        .unwrap_or_default();
+    let mut new_findings = 0usize;
+    let mut seen_keys = std::collections::BTreeSet::new();
+    for f in &result.findings {
+        let key = f.key();
+        seen_keys.insert(key.clone());
+        if baseline.contains(&key) {
+            continue;
+        }
+        new_findings += 1;
+        eprintln!("{f}");
+        if !f.chain.is_empty() {
+            eprintln!("    reachable: {}", f.chain.join(" -> "));
+        }
+    }
+    let stale_baseline = baseline.difference(&seen_keys).count();
+    eprintln!(
+        "xtask analyze: {} files, {} fns ({} reachable from {} sink roots), \
+         {} finding(s) ({} baselined, {} new); {} stale baseline key(s)",
+        result.file_count,
+        result.fn_count,
+        result.reachable_count,
+        vod_analyze::DEFAULT_ROOTS.len(),
+        result.findings.len(),
+        result.findings.len() - new_findings,
+        new_findings,
+        stale_baseline,
+    );
+    if stale_baseline > 0 {
+        eprintln!(
+            "xtask analyze: note: fixed debt is still listed in {BASELINE_PATH}; \
+             refresh it with `cargo xtask analyze --write-baseline`"
+        );
+    }
+    if new_findings == 0 {
+        Ok(())
+    } else {
+        Err(new_findings)
     }
 }
 
@@ -79,8 +183,19 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        "analyze" => {
+            let json = args.iter().any(|a| a == "--json");
+            let write_baseline = args.iter().any(|a| a == "--write-baseline");
+            match run_analyze(&workspace_root(), json, write_baseline) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(n) => {
+                    eprintln!("xtask analyze: {n} new finding(s) not in {BASELINE_PATH}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         other => {
-            eprintln!("unknown xtask command {other:?}; available: lint");
+            eprintln!("unknown xtask command {other:?}; available: lint, analyze");
             ExitCode::FAILURE
         }
     }
@@ -98,5 +213,16 @@ mod main_tests {
         let root = workspace_root();
         assert!(root.join("Cargo.toml").exists(), "bad workspace root");
         assert_eq!(run_lint(&root), Ok(()));
+    }
+
+    /// Acceptance gate: the interprocedural analyzer reports nothing
+    /// beyond the checked-in baseline. New nondeterminism sources,
+    /// reachable panics, hot-loop allocations, or stale allows fail
+    /// this test (and `cargo xtask analyze` in CI).
+    #[test]
+    fn analyze_workspace_has_no_new_findings() {
+        let root = workspace_root();
+        assert!(root.join("Cargo.toml").exists(), "bad workspace root");
+        assert_eq!(run_analyze(&root, false, false), Ok(()));
     }
 }
