@@ -92,9 +92,10 @@ pub fn test_only_file(path: &str) -> bool {
 /// architecture"). `direct.rs` is excluded: the simplex baseline is
 /// deliberately not a hot path.
 pub fn flat_buffer_scope(path: &str) -> bool {
-    const HOT: [&str; 7] = [
+    const HOT: [&str; 8] = [
         "block.rs",
         "epf.rs",
+        "kernel.rs",
         "penalty.rs",
         "pool.rs",
         "potential.rs",

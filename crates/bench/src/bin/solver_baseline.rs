@@ -1,18 +1,29 @@
 //! Tracked solver performance baseline — emits `BENCH_solver.json`.
 //!
 //! Runs the Table III EPF instance ladder (same generator as
-//! `table03_scalability`, decomposition solver only) and records
-//! per-instance wall time, pass/step counts and approximate
-//! working-set bytes. The point is the *trajectory*: run this binary
-//! before and after any solver change and diff
-//! `results/BENCH_solver.json` — a hot-path regression shows up as a
-//! slower row, an allocation regression as a fatter `approx_mb`.
+//! `table03_scalability`, decomposition solver only) once **per kernel
+//! backend** and records per-row wall time, pass/step counts,
+//! approximate working-set bytes and the speedup over the `scalar`
+//! reference backend. The point is twofold:
+//!
+//! - **trajectory** — run this binary before and after any solver
+//!   change and diff `results/BENCH_solver.json`; a hot-path
+//!   regression shows up as a slower row, an allocation regression as
+//!   a fatter `approx_mb`;
+//! - **identity** — the kernel backends promise bitwise-identical
+//!   results ([`vod_core::kernel`]), and this binary *asserts* it:
+//!   any objective / lower-bound / pass / step divergence between
+//!   backends on the same instance aborts the run.
 //!
 //! Scales: `--quick` (CI smoke, smallest rows), default (the PR
 //! comparison ladder), `--full` (paper-scale library sizes).
+//! Backends: `--kernel scalar|chunked|simd|all` — default runs
+//! `scalar` + `chunked` so every run reports a speedup and exercises
+//! the identity assertion (`simd` requires `--features simd` on
+//! nightly).
 use std::time::Instant;
 use vod_bench::{fmt, save_results, Scale, Table};
-use vod_core::{solve_fractional, DiskConfig, EpfConfig, MipInstance};
+use vod_core::{solve_fractional, DiskConfig, EpfConfig, Kernel, MipInstance};
 use vod_json::{obj, ToJson, Value};
 use vod_trace::{synthesize_library, synthetic_demand, LibraryConfig, TraceConfig};
 
@@ -32,11 +43,48 @@ fn instance(n_videos: usize, net: &vod_net::Network, seed: u64) -> MipInstance {
     )
 }
 
+/// Backends requested by `--kernel NAME` (repeatable; `all` = every
+/// backend compiled into this binary). Default: scalar + chunked.
+fn kernels_from_args() -> Vec<Kernel> {
+    let mut out: Vec<Kernel> = Vec::new();
+    let mut expect_name = false;
+    for arg in std::env::args() {
+        if expect_name {
+            expect_name = false;
+            if arg == "all" {
+                for &k in Kernel::all() {
+                    if !out.contains(&k) {
+                        out.push(k);
+                    }
+                }
+                continue;
+            }
+            let Some(k) = Kernel::from_name(&arg) else {
+                eprintln!("unknown --kernel {arg:?} (scalar|chunked|simd|all)");
+                std::process::exit(2);
+            };
+            if !out.contains(&k) {
+                out.push(k);
+            }
+            continue;
+        }
+        if arg == "--kernel" {
+            expect_name = true;
+        }
+    }
+    if out.is_empty() {
+        out = vec![Kernel::Scalar, Kernel::Chunked];
+    }
+    out
+}
+
 struct Row {
     label: String,
+    kernel: &'static str,
     n_videos: usize,
     n_vhos: usize,
     wall_s: f64,
+    speedup_vs_scalar: Option<f64>,
     passes: usize,
     block_steps: u64,
     approx_mb: f64,
@@ -49,9 +97,14 @@ impl ToJson for Row {
     fn to_value(&self) -> Value {
         obj(vec![
             ("label", self.label.to_value()),
+            ("kernel", self.kernel.to_value()),
             ("n_videos", self.n_videos.to_value()),
             ("n_vhos", self.n_vhos.to_value()),
             ("wall_s", self.wall_s.to_value()),
+            (
+                "speedup_vs_scalar",
+                self.speedup_vs_scalar.map_or(Value::Null, |s| s.to_value()),
+            ),
             ("passes", self.passes.to_value()),
             ("block_steps", self.block_steps.to_value()),
             ("approx_mb", self.approx_mb.to_value()),
@@ -64,6 +117,7 @@ impl ToJson for Row {
 
 fn main() {
     let scale = Scale::from_args();
+    let kernels = kernels_from_args();
     // The EPF rows of Table III: library size × Rocketfuel-like net.
     // The smallest row of each scale doubles as the CI smoke instance.
     let ladder: Vec<(usize, vod_net::Network, &str)> = match scale {
@@ -86,46 +140,98 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(1);
     let mut table = Table::new(
-        "Solver baseline — EPF Table III ladder",
-        &["instance", "wall (s)", "passes", "block steps", "approx MB"],
+        "Solver baseline — EPF Table III ladder, per kernel backend",
+        &[
+            "instance",
+            "kernel",
+            "wall (s)",
+            "vs scalar",
+            "passes",
+            "block steps",
+            "approx MB",
+        ],
     );
     let mut rows: Vec<Row> = Vec::new();
     for (n, net, net_name) in ladder {
         let inst = instance(n, &net, 3);
-        let cfg = EpfConfig {
-            max_passes: 60,
-            seed: 3,
-            ..Default::default()
-        };
-        let t0 = Instant::now();
-        let (frac, stats) = solve_fractional(&inst, &cfg);
-        let wall_s = t0.elapsed().as_secs_f64();
         let label = format!("{n}/{net_name}");
-        table.row(vec![
-            label.clone(),
-            fmt(wall_s),
-            stats.passes.to_string(),
-            stats.block_steps.to_string(),
-            fmt(stats.approx_bytes as f64 / 1e6),
-        ]);
-        rows.push(Row {
-            label,
-            n_videos: n,
-            n_vhos: inst.n_vhos(),
-            wall_s,
-            passes: stats.passes,
-            block_steps: stats.block_steps,
-            approx_mb: stats.approx_bytes as f64 / 1e6,
-            objective: frac.objective,
-            lower_bound: frac.lower_bound,
-            converged: stats.converged,
-        });
+        // (wall, objective bits, lb bits, passes, steps) of the scalar
+        // run on this instance, if scalar is in the requested set.
+        let mut scalar_ref: Option<(f64, u64, u64, usize, u64)> = None;
+        for &kernel in &kernels {
+            let cfg = EpfConfig {
+                max_passes: 60,
+                seed: 3,
+                kernel,
+                ..Default::default()
+            };
+            let t0 = Instant::now();
+            let (frac, stats) = solve_fractional(&inst, &cfg);
+            let wall_s = t0.elapsed().as_secs_f64();
+            let key = (
+                wall_s,
+                frac.objective.to_bits(),
+                frac.lower_bound.to_bits(),
+                stats.passes,
+                stats.block_steps,
+            );
+            let speedup = match (kernel, &scalar_ref) {
+                (Kernel::Scalar, _) => {
+                    scalar_ref = Some(key);
+                    None
+                }
+                (_, Some(s)) => {
+                    // The backends' bitwise-identity contract, asserted
+                    // on every ladder row (this is what CI smoke runs).
+                    assert_eq!(
+                        (s.1, s.2, s.3, s.4),
+                        (key.1, key.2, key.3, key.4),
+                        "kernel {} diverged from scalar on {label}: \
+                         objective/lower_bound/passes/block_steps must be bitwise equal",
+                        kernel.name(),
+                    );
+                    Some(s.0 / wall_s)
+                }
+                (_, None) => None,
+            };
+            table.row(vec![
+                label.clone(),
+                kernel.name().to_string(),
+                fmt(wall_s),
+                speedup.map_or_else(|| "-".to_string(), |s| format!("{s:.2}x")),
+                stats.passes.to_string(),
+                stats.block_steps.to_string(),
+                fmt(stats.approx_bytes as f64 / 1e6),
+            ]);
+            rows.push(Row {
+                label: label.clone(),
+                kernel: kernel.name(),
+                n_videos: n,
+                n_vhos: inst.n_vhos(),
+                wall_s,
+                speedup_vs_scalar: speedup,
+                passes: stats.passes,
+                block_steps: stats.block_steps,
+                approx_mb: stats.approx_bytes as f64 / 1e6,
+                objective: frac.objective,
+                lower_bound: frac.lower_bound,
+                converged: stats.converged,
+            });
+        }
     }
     table.print();
     let payload = obj(vec![
-        ("schema", "BENCH_solver/v1".to_value()),
+        ("schema", "BENCH_solver/v2".to_value()),
         ("scale", format!("{scale:?}").to_value()),
         ("threads", threads.to_value()),
+        (
+            "kernels",
+            kernels
+                .iter()
+                .map(|k| k.name().to_value())
+                .collect::<Vec<_>>()
+                .to_value(),
+        ),
         ("rows", rows.to_value()),
     ]);
     save_results("BENCH_solver", &payload);

@@ -25,6 +25,16 @@
 //! [`UflScratch`] so a long-lived worker re-solves blocks with zero
 //! steady-state allocations (see DESIGN.md "Solver performance
 //! architecture").
+//!
+//! Both solvers are backed by the lane kernels of [`crate::kernel`]:
+//! the `_with_kernel` entry points accept a [`Kernel`] and, for the
+//! lane backends, replace the facility-major strided scans with
+//! client-row streaming passes (per-element addition order unchanged,
+//! so the trajectory is bitwise-identical to the scalar reference —
+//! pinned by `tests/kernel_props.rs`). The kernel-less entry points
+//! run [`Kernel::Scalar`], i.e. the original loops verbatim.
+
+use crate::kernel::{self, Kernel};
 
 /// A (small) UFL instance: `n` candidate facilities (the VHOs), a
 /// nonnegative opening cost per facility, and for every client a dense
@@ -39,6 +49,13 @@ pub struct UflProblem {
     /// or rebuild in place through [`UflProblem::reset`]/[`UflProblem::push_service`].
     service: Vec<f64>,
     n_clients: usize,
+    /// Lane-only fused precompute ([`UflProblem::precompute_lane_aux`]):
+    /// per-facility service column sums and per-client row minima,
+    /// shared by the dual-ascent and local-search seeds when both run
+    /// on the same build. Empty (= absent) unless the owning worker
+    /// opted in; cleared by [`UflProblem::reset`].
+    col_sums: Vec<f64>,
+    row_mins: Vec<f64>,
 }
 
 /// An integral UFL solution.
@@ -63,6 +80,18 @@ pub struct UflScratch {
     v: Vec<f64>,
     budget: Vec<f64>,
     order: Vec<usize>,
+    // Lane-kernel accumulators: per-facility (facc) and per-client
+    // (cacc) — gain screens, column sums, current-assignment costs.
+    facc: Vec<f64>,
+    cacc: Vec<f64>,
+    // DROP-screen state: per-client best / second-best open service
+    // (values + indices), maintained incrementally across the whole
+    // local-search call — O(C) insert per ADD, rescan-affected per
+    // DROP (`cidx`/`cb2i` say who is affected).
+    cidx: Vec<usize>,
+    calt: Vec<f64>,
+    cbest: Vec<f64>,
+    cb2i: Vec<usize>,
 }
 
 impl UflScratch {
@@ -70,8 +99,19 @@ impl UflScratch {
     pub fn approx_bytes(&self) -> usize {
         self.open.capacity()
             + self.used.capacity()
-            + (self.assign.capacity() + self.new_assign.capacity() + self.order.capacity()) * 8
-            + (self.v.capacity() + self.budget.capacity()) * 8
+            + (self.assign.capacity()
+                + self.new_assign.capacity()
+                + self.order.capacity()
+                + self.cidx.capacity()
+                + self.cb2i.capacity())
+                * 8
+            + (self.v.capacity()
+                + self.budget.capacity()
+                + self.facc.capacity()
+                + self.cacc.capacity()
+                + self.calt.capacity()
+                + self.cbest.capacity())
+                * 8
     }
 }
 
@@ -95,6 +135,8 @@ impl UflProblem {
             facility_cost,
             service,
             n_clients,
+            col_sums: Vec::new(),
+            row_mins: Vec::new(),
         }
     }
 
@@ -108,6 +150,8 @@ impl UflProblem {
             facility_cost,
             service,
             n_clients,
+            col_sums: Vec::new(),
+            row_mins: Vec::new(),
         }
     }
 
@@ -116,6 +160,35 @@ impl UflProblem {
         self.facility_cost.clear();
         self.service.clear();
         self.n_clients = 0;
+        self.col_sums.clear();
+        self.row_mins.clear();
+    }
+
+    /// One fused sweep over the freshly built service matrix filling
+    /// `col_sums` (per-facility column sums, the best-single seed) and
+    /// `row_mins` (per-client row minima, the dual-ascent seed) — the
+    /// exact values, in the exact per-element addend order, that the
+    /// standalone lane passes inside the two solvers would produce.
+    /// Workers call this once per build when *both* solvers will run
+    /// on the same problem, halving the seeding traffic. No-op for the
+    /// scalar reference backend, which recomputes facility-major.
+    pub(crate) fn precompute_lane_aux(&mut self, kernel: Kernel) {
+        if matches!(kernel, Kernel::Scalar) {
+            return;
+        }
+        let n = self.n_facilities();
+        self.col_sums.clear();
+        self.col_sums.resize(n, 0.0);
+        self.row_mins.clear();
+        self.row_mins.resize(self.n_clients, 0.0);
+        for (slot, row) in self
+            .row_mins
+            .iter_mut()
+            .zip(self.service.chunks_exact(n.max(1)))
+        {
+            kernel::accum(kernel, &mut self.col_sums, row);
+            *slot = kernel::row_min(kernel, row);
+        }
     }
 
     /// Append one client's service row (row-major). The row length is
@@ -130,6 +203,19 @@ impl UflProblem {
             "service row width must match facilities"
         );
         self.n_clients += 1;
+    }
+
+    /// Append one zero-filled client row and return it for in-place
+    /// writing — the lane-kernel build path fills the base costs
+    /// elementwise, then streams penalty rows in with
+    /// [`crate::kernel::axpy`]. Allocation-free in steady state (the
+    /// buffer's capacity is retained across [`UflProblem::reset`]).
+    pub fn push_service_row_zeroed(&mut self) -> &mut [f64] {
+        let n = self.n_facilities();
+        let start = self.service.len();
+        self.service.resize(start + n, 0.0);
+        self.n_clients += 1;
+        &mut self.service[start..]
     }
 
     pub fn n_facilities(&self) -> usize {
@@ -181,7 +267,7 @@ impl UflProblem {
     /// clients — the MIP's constraints (3)+(4) imply `Σ_i y_i^m ≥ 1`
     /// (each video must be stored somewhere).
     pub fn solve_local_search(&self) -> UflSolution {
-        self.local_search(true, &mut UflScratch::default())
+        self.local_search(true, &mut UflScratch::default(), Kernel::Scalar)
     }
 
     /// Add/drop-only local search: O(|V|·|C|) per round instead of the
@@ -190,20 +276,45 @@ impl UflProblem {
     /// thousands of times per video, while the rounding pass (which
     /// commits integer decisions) uses the full search.
     pub fn solve_local_search_fast(&self) -> UflSolution {
-        self.local_search(false, &mut UflScratch::default())
+        self.local_search(false, &mut UflScratch::default(), Kernel::Scalar)
     }
 
     /// [`UflProblem::solve_local_search`] with caller-owned scratch.
     pub fn solve_local_search_with(&self, scratch: &mut UflScratch) -> UflSolution {
-        self.local_search(true, scratch)
+        self.local_search(true, scratch, Kernel::Scalar)
     }
 
     /// [`UflProblem::solve_local_search_fast`] with caller-owned scratch.
     pub fn solve_local_search_fast_with(&self, scratch: &mut UflScratch) -> UflSolution {
-        self.local_search(false, scratch)
+        self.local_search(false, scratch, Kernel::Scalar)
     }
 
-    fn local_search(&self, with_swaps: bool, scratch: &mut UflScratch) -> UflSolution {
+    /// [`UflProblem::solve_local_search_with`] on an explicit kernel
+    /// backend (bitwise-identical result whatever the backend).
+    pub fn solve_local_search_with_kernel(
+        &self,
+        scratch: &mut UflScratch,
+        kernel: Kernel,
+    ) -> UflSolution {
+        self.local_search(true, scratch, kernel)
+    }
+
+    /// [`UflProblem::solve_local_search_fast_with`] on an explicit
+    /// kernel backend (bitwise-identical result whatever the backend).
+    pub fn solve_local_search_fast_with_kernel(
+        &self,
+        scratch: &mut UflScratch,
+        kernel: Kernel,
+    ) -> UflSolution {
+        self.local_search(false, scratch, kernel)
+    }
+
+    fn local_search(
+        &self,
+        with_swaps: bool,
+        scratch: &mut UflScratch,
+        kernel: Kernel,
+    ) -> UflSolution {
         self.assert_valid();
         let n = self.n_facilities();
         let n_clients = self.n_clients();
@@ -212,17 +323,53 @@ impl UflProblem {
             assign,
             new_assign,
             used,
+            v,
+            order,
+            facc,
+            cacc,
+            cidx,
+            calt,
+            cbest,
+            cb2i,
             ..
         } = scratch;
 
         // Start: the single facility minimizing open + total service.
+        // Scalar: the reference facility-major scan. Lane backends:
+        // stream client rows into per-facility column sums — element
+        // `i` receives the same addends in the same client order, so
+        // the totals (and the strict-< argmin) are bitwise-identical.
         let mut best_single = 0;
         let mut best_single_cost = f64::MAX;
-        for i in 0..n {
-            let c: f64 = self.facility_cost[i] + self.service_rows().map(|row| row[i]).sum::<f64>();
-            if c < best_single_cost {
-                best_single_cost = c;
-                best_single = i;
+        match kernel {
+            Kernel::Scalar => {
+                for i in 0..n {
+                    let c: f64 =
+                        self.facility_cost[i] + self.service_rows().map(|row| row[i]).sum::<f64>();
+                    if c < best_single_cost {
+                        best_single_cost = c;
+                        best_single = i;
+                    }
+                }
+            }
+            _ => {
+                let cols: &[f64] = if self.col_sums.len() == n {
+                    &self.col_sums
+                } else {
+                    facc.clear();
+                    facc.resize(n, 0.0);
+                    for row in self.service_rows() {
+                        kernel::accum(kernel, facc, row);
+                    }
+                    facc
+                };
+                for (i, &col) in cols.iter().enumerate() {
+                    let c = self.facility_cost[i] + col;
+                    if c < best_single_cost {
+                        best_single_cost = c;
+                        best_single = i;
+                    }
+                }
             }
         }
         open.clear();
@@ -233,68 +380,405 @@ impl UflProblem {
 
         // Local search: first-improvement add / drop / swap moves.
         let max_rounds = 4 * n + 16;
+        let lane = !matches!(kernel, Kernel::Scalar);
+        // Lane backends keep a per-client (best, second-best) view of
+        // the open set alive across the whole call: seeded from the
+        // singleton start, extended in O(C) per applied ADD, and
+        // repaired per applied DROP by rescanning only the clients
+        // whose best or second-best was the dropped facility. Index
+        // ties may resolve differently than a fresh ascending scan,
+        // but the *values* — all the DROP screen consumes — are the
+        // exact set minima either way.
+        let mut drop_cache_valid = false;
+        if lane {
+            cbest.clear();
+            cbest.resize(n_clients, 0.0);
+            for (slot, row) in cbest.iter_mut().zip(self.service_rows()) {
+                *slot = row[best_single];
+            }
+            cidx.clear();
+            cidx.resize(n_clients, best_single);
+            calt.clear();
+            calt.resize(n_clients, f64::INFINITY);
+            cb2i.clear();
+            cb2i.resize(n_clients, usize::MAX);
+            drop_cache_valid = true;
+        }
+        let mut add_screen_valid = false;
+        // Fresh-screen exactness: right after the streaming precompute,
+        // `facc[k] − f_k` is *bitwise* the reference gain (same addends
+        // in the same client order), so survivors may apply without the
+        // exact re-evaluation — until the first state change staples
+        // the screen back to an upper bound.
+        let mut add_screen_exact = false;
+        // Clean-phase skips: a phase's move sequence is a pure function
+        // of (costs, open, assign), and the lane arms are pinned
+        // bitwise to the scalar reference. So if the last evaluation of
+        // a phase applied nothing and no other phase has changed state
+        // since, re-evaluating it must again apply nothing — the lane
+        // backends skip it outright.
+        let mut add_clean = false;
+        let mut drop_clean = false;
         for _round in 0..max_rounds {
             let mut improved = false;
 
-            // ADD moves: open k, reassign clients that benefit.
-            for k in 0..n {
-                if open[k] {
-                    continue;
+            // ADD moves: open k, reassign clients that benefit. Lane
+            // backends pre-screen with one streaming pass: `facc[k]`
+            // is the gain computed against the assignment *frozen at
+            // screen-build time*, which upper-bounds the live gain —
+            // applied ADDs only move clients to cheaper rows, every
+            // screen term dominates its live term, and f64 addition is
+            // monotone, so `facc[k] − f_k ≤ TOL` proves the scalar
+            // loop would skip `k` too. The screen therefore stays
+            // valid across rounds until a DROP or SWAP raises some
+            // client's cost (which invalidates it below); survivors
+            // are re-evaluated with the exact reference expression, so
+            // the move sequence is bitwise-identical to the scalar
+            // backend's.
+            let mut added = false;
+            if !(lane && add_clean) {
+                if lane && !add_screen_valid {
+                    cacc.clear();
+                    cacc.resize(n_clients, 0.0);
+                    for (slot, (row, &a)) in cacc.iter_mut().zip(self.service_rows().zip(&*assign))
+                    {
+                        *slot = row[a];
+                    }
+                    facc.clear();
+                    facc.resize(n, 0.0);
+                    for (row, &cur) in self.service_rows().zip(&*cacc) {
+                        kernel::accum_relu_sub(kernel, facc, cur, row);
+                    }
+                    add_screen_valid = true;
+                    add_screen_exact = true;
                 }
-                let gain: f64 = self
-                    .service_rows()
-                    .zip(assign.iter())
-                    .map(|(row, &cur)| (row[cur] - row[k]).max(0.0))
-                    .sum::<f64>()
-                    - self.facility_cost[k];
-                if gain > TOL {
+                for k in 0..n {
+                    if open[k] {
+                        continue;
+                    }
+                    if lane && facc[k] - self.facility_cost[k] <= TOL {
+                        continue;
+                    }
+                    if !(lane && add_screen_exact) {
+                        let fl: f64 = self
+                            .service_rows()
+                            .zip(assign.iter())
+                            .map(|(row, &cur)| (row[cur] - row[k]).max(0.0))
+                            .sum::<f64>();
+                        if lane {
+                            // Memoize the exact re-sum: client costs
+                            // only decrease as facilities open, so the
+                            // live value stays a sound upper bound for
+                            // every later screen of k, far tighter
+                            // than the phase-start snapshot.
+                            facc[k] = fl;
+                        }
+                        let gain = fl - self.facility_cost[k];
+                        if gain <= TOL {
+                            continue;
+                        }
+                    }
                     open[k] = true;
-                    for (row, a) in self.service_rows().zip(assign.iter_mut()) {
-                        if row[k] < row[*a] {
-                            *a = k;
+                    if lane && drop_cache_valid {
+                        // Same reassignments as the reference loop
+                        // below, fused with the O(C) top-2 insert so
+                        // `row[k]` is gathered once (all-zip iteration:
+                        // no per-client bounds checks). The insert is a
+                        // lexicographic (value, index) top-2 update:
+                        // the reference breaks value ties by keeping
+                        // the *earliest* facility in its ascending
+                        // first-minimum scan, so the cached indices
+                        // must do the same for the DROP direct-apply
+                        // below to reroute onto the exact facility the
+                        // reference would pick. (Service values are
+                        // finite, nonnegative sums — never NaN or
+                        // -0.0 — so `total_cmp` agrees with `<`.)
+                        let cache = cbest
+                            .iter_mut()
+                            .zip(calt.iter_mut())
+                            .zip(cidx.iter_mut().zip(cb2i.iter_mut()));
+                        for ((row, a), ((cb, ca), (ci, c2))) in
+                            self.service_rows().zip(assign.iter_mut()).zip(cache)
+                        {
+                            let s = row[k];
+                            if s < row[*a] {
+                                *a = k;
+                            }
+                            match s.total_cmp(cb) {
+                                std::cmp::Ordering::Less => {
+                                    *ca = *cb;
+                                    *c2 = *ci;
+                                    *cb = s;
+                                    *ci = k;
+                                }
+                                std::cmp::Ordering::Equal if k < *ci => {
+                                    *ca = *cb;
+                                    *c2 = *ci;
+                                    *cb = s;
+                                    *ci = k;
+                                }
+                                _ => match s.total_cmp(ca) {
+                                    std::cmp::Ordering::Less => {
+                                        *ca = s;
+                                        *c2 = k;
+                                    }
+                                    std::cmp::Ordering::Equal if k < *c2 => {
+                                        *ca = s;
+                                        *c2 = k;
+                                    }
+                                    _ => {}
+                                },
+                            }
+                        }
+                    } else {
+                        for (row, a) in self.service_rows().zip(assign.iter_mut()) {
+                            if row[k] < row[*a] {
+                                *a = k;
+                            }
                         }
                     }
                     improved = true;
+                    added = true;
+                    add_screen_exact = false;
+                }
+            }
+            if lane {
+                add_clean = !added;
+                if added {
+                    drop_clean = false;
                 }
             }
 
             // DROP moves: close k if rerouting its clients to their
             // best other open facility saves the opening cost.
+            let mut dropped = false;
             let open_count = open.iter().filter(|&&o| o).count();
             if open_count > 1 {
-                for k in 0..n {
-                    if !open[k] {
-                        continue;
-                    }
-                    if open.iter().filter(|&&o| o).count() == 1 {
-                        break;
-                    }
-                    let mut reroute_penalty = 0.0;
-                    let mut feasible = true;
-                    new_assign.clear();
-                    new_assign.extend_from_slice(assign);
-                    for (c, (row, &cur)) in self.service_rows().zip(assign.iter()).enumerate() {
-                        if cur == k {
-                            let alt = (0..n)
-                                .filter(|&i| i != k && open[i])
-                                .min_by(|&a, &b| row[a].total_cmp(&row[b]));
-                            match alt {
-                                Some(alt) => {
-                                    reroute_penalty += row[alt] - row[k];
-                                    new_assign[c] = alt;
+                match kernel {
+                    Kernel::Scalar => {
+                        for k in 0..n {
+                            if !open[k] {
+                                continue;
+                            }
+                            if open.iter().filter(|&&o| o).count() == 1 {
+                                break;
+                            }
+                            let mut reroute_penalty = 0.0;
+                            let mut feasible = true;
+                            new_assign.clear();
+                            new_assign.extend_from_slice(assign);
+                            for (c, (row, &cur)) in
+                                self.service_rows().zip(assign.iter()).enumerate()
+                            {
+                                if cur == k {
+                                    let alt = (0..n)
+                                        .filter(|&i| i != k && open[i])
+                                        .min_by(|&a, &b| row[a].total_cmp(&row[b]));
+                                    match alt {
+                                        Some(alt) => {
+                                            reroute_penalty += row[alt] - row[k];
+                                            new_assign[c] = alt;
+                                        }
+                                        None => {
+                                            feasible = false;
+                                            break;
+                                        }
+                                    }
                                 }
-                                None => {
-                                    feasible = false;
+                            }
+                            if feasible && self.facility_cost[k] - reroute_penalty > TOL {
+                                open[k] = false;
+                                std::mem::swap(assign, new_assign);
+                                improved = true;
+                            }
+                        }
+                    }
+                    _ => {
+                        // Lane backends: the per-facility reroute sums
+                        // in `v` are not a screen but the *exact*
+                        // reference penalties. For each k, the
+                        // reference accumulates (alt − row[k]) over
+                        // clients assigned to k in ascending client
+                        // order, where alt is the first-minimum of the
+                        // live open list excluding k. The `v` build
+                        // below streams clients in that same ascending
+                        // order, each contributing to exactly its own
+                        // v[assign[c]] — identical addends in an
+                        // identical order, starting from 0.0 — and the
+                        // top-2 cache supplies the identical alt value
+                        // (second-best when k holds the client's
+                        // minimum, best otherwise; on value ties the
+                        // cache stores the earliest index, matching
+                        // the reference scan, so the rerouted-onto
+                        // facility is also the exact one the reference
+                        // picks). Passing `f_k − v[k] > TOL` therefore
+                        // IS the reference apply decision: candidates
+                        // apply directly with no re-evaluation, and
+                        // after each apply the cache is repaired and
+                        // `v` rebuilt from the live state so the
+                        // remaining candidates stay exact. The move
+                        // sequence is bitwise-identical by
+                        // construction.
+                        if drop_clean {
+                            // Unchanged inputs since the last no-op
+                            // DROP evaluation: nothing can apply.
+                        } else {
+                            order.clear();
+                            // lint:allow(alloc-in-hot-loop): refills within capacity retained across calls (≤ n slots)
+                            order.extend((0..n).filter(|&i| open[i]));
+                            if !drop_cache_valid {
+                                // Full rebuild (only after a SWAP): fresh
+                                // ascending first-minimum scan per client.
+                                cbest.clear();
+                                cbest.resize(n_clients, 0.0);
+                                calt.clear();
+                                calt.resize(n_clients, 0.0);
+                                cidx.clear();
+                                cidx.resize(n_clients, usize::MAX);
+                                cb2i.clear();
+                                cb2i.resize(n_clients, usize::MAX);
+                                for (c, row) in self.service_rows().enumerate() {
+                                    let mut b1 = f64::INFINITY;
+                                    let mut b1i = usize::MAX;
+                                    let mut b2 = f64::INFINITY;
+                                    let mut b2i = usize::MAX;
+                                    for &i in order.iter() {
+                                        let s = row[i];
+                                        if s < b1 {
+                                            b2 = b1;
+                                            b2i = b1i;
+                                            b1 = s;
+                                            b1i = i;
+                                        } else if s < b2 {
+                                            b2 = s;
+                                            b2i = i;
+                                        }
+                                    }
+                                    cbest[c] = b1;
+                                    cidx[c] = b1i;
+                                    calt[c] = b2;
+                                    cb2i[c] = b2i;
+                                }
+                                drop_cache_valid = true;
+                            }
+                            // `v` (dual-ascent scratch, free here) hosts the
+                            // per-facility frozen reroute penalties —
+                            // `facc` must survive untouched: it still holds
+                            // the cached ADD screen.
+                            v.clear();
+                            v.resize(n, 0.0);
+                            for (((row, &cur), (&ci, &ca)), &cb) in self
+                                .service_rows()
+                                .zip(assign.iter())
+                                .zip(cidx.iter().zip(calt.iter()))
+                                .zip(cbest.iter())
+                            {
+                                let alt = if ci == cur { ca } else { cb };
+                                v[cur] += alt - row[cur];
+                            }
+                            // `order` now doubles as the live open list
+                            // (sorted ascending; drops remove in place), so
+                            // the survivors' alt-min scans O(|open|) instead
+                            // of O(n) and matches the reference iteration
+                            // order exactly.
+                            for k in 0..n {
+                                if !open[k] {
+                                    continue;
+                                }
+                                if order.len() == 1 {
                                     break;
+                                }
+                                if self.facility_cost[k] - v[k] <= TOL {
+                                    continue;
+                                }
+                                // Exact screen passed ⇒ the reference would
+                                // apply this drop with reroute penalty
+                                // bitwise-equal to v[k]. Apply directly:
+                                // clients on k move to their cached
+                                // alternative (second-best index when k was
+                                // their minimum, best index otherwise —
+                                // exactly the reference's first-minimum
+                                // over the live open list minus k).
+                                let reroute_penalty = v[k];
+                                open[k] = false;
+                                for (a, (&ci, &c2)) in
+                                    assign.iter_mut().zip(cidx.iter().zip(cb2i.iter()))
+                                {
+                                    if *a == k {
+                                        *a = if ci == k { c2 } else { ci };
+                                    }
+                                }
+                                improved = true;
+                                dropped = true;
+                                add_screen_exact = false;
+                                // Rerouted clients got more expensive,
+                                // but by at most `reroute_penalty` in
+                                // total — so adding it (with a relative
+                                // cushion that dominates the O(C·u)
+                                // accumulated rounding slop of the
+                                // re-summed gains) keeps every cached
+                                // ADD gain a sound upper bound. Loose
+                                // is safe: a false survivor is merely
+                                // re-evaluated exactly; only a false
+                                // skip could diverge from scalar.
+                                for g in facc.iter_mut() {
+                                    *g = (*g + reroute_penalty) * (1.0 + 1e-9);
+                                }
+                                if let Ok(pos) = order.binary_search(&k) {
+                                    order.remove(pos);
+                                }
+                                // Repair the top-2 cache: only clients
+                                // whose best or second-best was `k`
+                                // rescan the (live) open list.
+                                for (c, row) in self.service_rows().enumerate() {
+                                    if cidx[c] != k && cb2i[c] != k {
+                                        continue;
+                                    }
+                                    let mut b1 = f64::INFINITY;
+                                    let mut b1i = usize::MAX;
+                                    let mut b2 = f64::INFINITY;
+                                    let mut b2i = usize::MAX;
+                                    for &i in order.iter() {
+                                        let s = row[i];
+                                        if s < b1 {
+                                            b2 = b1;
+                                            b2i = b1i;
+                                            b1 = s;
+                                            b1i = i;
+                                        } else if s < b2 {
+                                            b2 = s;
+                                            b2i = i;
+                                        }
+                                    }
+                                    cbest[c] = b1;
+                                    cidx[c] = b1i;
+                                    calt[c] = b2;
+                                    cb2i[c] = b2i;
+                                }
+                                // Rebuild the exact reroute sums against
+                                // the new live state so the remaining
+                                // candidates keep the direct-apply
+                                // guarantee.
+                                v.clear();
+                                v.resize(n, 0.0);
+                                for (((row, &cur), (&ci, &ca)), &cb) in self
+                                    .service_rows()
+                                    .zip(assign.iter())
+                                    .zip(cidx.iter().zip(calt.iter()))
+                                    .zip(cbest.iter())
+                                {
+                                    let alt = if ci == cur { ca } else { cb };
+                                    v[cur] += alt - row[cur];
                                 }
                             }
                         }
                     }
-                    if feasible && self.facility_cost[k] - reroute_penalty > TOL {
-                        open[k] = false;
-                        std::mem::swap(assign, new_assign);
-                        improved = true;
-                    }
+                }
+            }
+            if lane {
+                drop_clean = !dropped;
+                if dropped {
+                    add_clean = false;
                 }
             }
 
@@ -331,6 +815,13 @@ impl UflProblem {
                         open[k2] = true;
                         std::mem::swap(assign, new_assign);
                         improved = true;
+                        // A swap may move clients to costlier rows and
+                        // replaces an open facility wholesale.
+                        add_screen_valid = false;
+                        add_screen_exact = false;
+                        add_clean = false;
+                        drop_clean = false;
+                        drop_cache_valid = false;
                         break;
                     }
                 }
@@ -374,63 +865,156 @@ impl UflProblem {
 
     /// [`UflProblem::dual_ascent_bound`] with caller-owned scratch.
     pub fn dual_ascent_bound_with(&self, scratch: &mut UflScratch) -> f64 {
+        self.dual_ascent_bound_with_kernel(scratch, Kernel::Scalar)
+    }
+
+    /// [`UflProblem::dual_ascent_bound_with`] on an explicit kernel
+    /// backend (bitwise-identical bound whatever the backend: the min
+    /// reductions are exactly reorderable — no NaN, no `-0.0` — and
+    /// every sum keeps its per-element scalar order).
+    pub fn dual_ascent_bound_with_kernel(&self, scratch: &mut UflScratch, kernel: Kernel) -> f64 {
         self.assert_valid();
         let n = self.n_facilities();
         if self.n_clients == 0 {
             return self.facility_cost.iter().cloned().fold(f64::MAX, f64::min);
         }
         let UflScratch {
-            v, budget, order, ..
+            v,
+            budget,
+            order,
+            facc,
+            cidx,
+            ..
         } = scratch;
         // v_c starts at the client's cheapest service cost (feasible:
         // every (v_c - s_ci)+ is 0 at the argmin and negative terms
         // don't count... they are zero for all i with s_ci >= v_c).
         v.clear();
-        v.extend(
-            self.service_rows()
-                .map(|row| row.iter().cloned().fold(f64::MAX, f64::min)),
-        );
-        // Remaining budget of each facility.
+        match kernel {
+            Kernel::Scalar => v.extend(
+                self.service_rows()
+                    .map(|row| row.iter().cloned().fold(f64::MAX, f64::min)),
+            ),
+            _ => {
+                if self.row_mins.len() == self.n_clients {
+                    v.extend_from_slice(&self.row_mins);
+                } else {
+                    v.extend(self.service_rows().map(|row| kernel::row_min(kernel, row)));
+                }
+            }
+        }
+        // Remaining budget of each facility. Scalar: the reference
+        // facility-major scan; lane backends: stream client rows into
+        // per-facility consumption (same per-element addend order).
         budget.clear();
-        budget.extend((0..n).map(|i| {
-            let used: f64 = v
-                .iter()
-                .zip(self.service_rows())
-                .map(|(&vc, row)| (vc - row[i]).max(0.0))
-                .sum();
-            self.facility_cost[i] - used
-        }));
+        match kernel {
+            Kernel::Scalar => budget.extend((0..n).map(|i| {
+                let used: f64 = v
+                    .iter()
+                    .zip(self.service_rows())
+                    .map(|(&vc, row)| (vc - row[i]).max(0.0))
+                    .sum();
+                self.facility_cost[i] - used
+            })),
+            _ => {
+                facc.clear();
+                facc.resize(n, 0.0);
+                for (row, &vc) in self.service_rows().zip(&*v) {
+                    kernel::accum_relu_sub(kernel, facc, vc, row);
+                }
+                budget.extend(
+                    self.facility_cost
+                        .iter()
+                        .zip(&*facc)
+                        .map(|(&f, &used)| f - used),
+                );
+            }
+        }
         debug_assert!(budget.iter().all(|&b| b >= -1e-9));
 
         // Ascend until no client can be raised (DUALOC-style); process
         // clients in ascending-v order each pass, which empirically
-        // tightens the bound substantially.
-        for _pass in 0..30 {
-            order.clear();
-            order.extend(0..v.len());
-            order.sort_by(|&a, &b| v[a].total_cmp(&v[b]).then(a.cmp(&b)));
-            let mut raised = 0.0;
-            for &c in order.iter() {
-                let row = self.service_row(c);
-                // Max uniform raise of v_c keeping all facilities
-                // within budget: for facility i the raise may consume
-                // budget only beyond max(s_ci, v_c).
-                let mut delta = f64::MAX;
-                for i in 0..n {
-                    let headroom = (row[i] - v[c]).max(0.0) + budget[i].max(0.0);
-                    delta = delta.min(headroom);
-                }
-                if delta > 1e-12 && delta < f64::MAX {
-                    for i in 0..n {
-                        let inc = (v[c] + delta - row[i].max(v[c])).max(0.0);
-                        budget[i] -= inc;
+        // tightens the bound substantially. `order` is (re)initialized
+        // once — the total-order comparator makes each pass's sort
+        // independent of the incoming permutation.
+        order.clear();
+        order.extend(0..v.len());
+        match kernel {
+            Kernel::Scalar => {
+                for _pass in 0..30 {
+                    order.sort_by(|&a, &b| v[a].total_cmp(&v[b]).then(a.cmp(&b)));
+                    let mut raised = 0.0;
+                    for &c in order.iter() {
+                        let row = self.service_row(c);
+                        // Max uniform raise of v_c keeping all facilities
+                        // within budget: for facility i the raise may
+                        // consume budget only beyond max(s_ci, v_c).
+                        let mut delta = f64::MAX;
+                        for i in 0..n {
+                            let headroom = (row[i] - v[c]).max(0.0) + budget[i].max(0.0);
+                            delta = delta.min(headroom);
+                        }
+                        if delta > 1e-12 && delta < f64::MAX {
+                            for i in 0..n {
+                                let inc = (v[c] + delta - row[i].max(v[c])).max(0.0);
+                                budget[i] -= inc;
+                            }
+                            v[c] += delta;
+                            raised += delta;
+                        }
                     }
-                    v[c] += delta;
-                    raised += delta;
+                    if raised < 1e-12 {
+                        break;
+                    }
                 }
             }
-            if raised < 1e-12 {
-                break;
+            _ => {
+                // Lane backends retire quiescent clients: once a client
+                // fails `delta > 1e-12`, its v_c is frozen while every
+                // budget only drains and its row is fixed, so its
+                // headroom (hence delta) is non-increasing — it can
+                // never raise again. Skipping it is bitwise-invisible
+                // (a no-raise iteration reads state without writing:
+                // raising would add `+0.0` to nothing), the surviving
+                // clients keep their exact relative sort order, and the
+                // pass count is unchanged (a pass of retirees yields
+                // `raised = 0.0` for scalar too). Each pass compacts
+                // `order` in place to the still-active clients.
+                // `cidx` (free local-search scratch) lists the dead
+                // facilities — drained budgets. A client whose row
+                // meets a dead facility at or below its v_c has
+                // headroom `(row_i − v_c)⁺ + budget_i⁺ ≤ 1e-12` there,
+                // so its delta cannot clear the raise threshold: it
+                // retires without the O(n) headroom scan. The skip is
+                // exactly the decision scalar reaches the long way.
+                let dead = cidx;
+                for _pass in 0..30 {
+                    order.sort_by(|&a, &b| v[a].total_cmp(&v[b]).then(a.cmp(&b)));
+                    dead.clear();
+                    // lint:allow(alloc-in-hot-loop): refills within capacity retained across calls (≤ n slots)
+                    dead.extend((0..n).filter(|&i| budget[i] <= 1e-12));
+                    let mut raised = 0.0;
+                    let mut kept = 0;
+                    for idx in 0..order.len() {
+                        let c = order[idx];
+                        let row = self.service_row(c);
+                        if dead.iter().any(|&i| row[i] <= v[c]) {
+                            continue;
+                        }
+                        let delta = kernel::headroom_min(kernel, row, v[c], budget);
+                        if delta > 1e-12 && delta < f64::MAX {
+                            kernel::drain_budget(kernel, budget, row, v[c], delta);
+                            v[c] += delta;
+                            raised += delta;
+                            order[kept] = c;
+                            kept += 1;
+                        }
+                    }
+                    order.truncate(kept);
+                    if raised < 1e-12 {
+                        break;
+                    }
+                }
             }
         }
         v.iter().sum()

@@ -560,6 +560,11 @@ pub(crate) fn config_fingerprint(cfg: &EpfConfig, inst: &MipInstance) -> u64 {
     push(cfg.seed);
     push(u64::from(cfg.feasibility_only));
     push(cfg.step_limit.map_or(u64::MAX, |s| s));
+    // The kernel backend is bitwise-neutral by the kernel module's
+    // contract, but a resume mixing backends would still be a run no
+    // single-backend execution can reproduce pass-for-pass in its
+    // BENCH provenance — refuse the mismatch.
+    push(cfg.kernel.tag());
     push(inst.n_videos() as u64);
     push(inst.n_vhos() as u64);
     push(layout.n_rows() as u64);

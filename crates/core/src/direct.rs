@@ -257,7 +257,7 @@ mod tests {
             ..Default::default()
         };
         let (frac, _) = solve_fractional(&inst, &cfg);
-        let (placement, rstats) = round_solution(&inst, &frac, cfg.gamma);
+        let (placement, rstats) = round_solution(&inst, &frac, cfg.gamma, cfg.kernel);
         // The heuristic pipeline must be close to the exact optimum
         // (paper: 1–4 % gaps; allow slack on this tiny instance).
         assert!(

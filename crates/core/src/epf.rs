@@ -18,12 +18,12 @@
 use crate::block::{UflProblem, UflSolution};
 use crate::checkpoint::SolverCheckpoint;
 use crate::instance::{MipInstance, VideoBlock};
+use crate::kernel::{self, Kernel};
 use crate::penalty::PenaltyArena;
 use crate::pool::WorkerPool;
 use crate::potential::{Coupling, Duals, RowLayout};
 use crate::solution::{initial_block, BlockSolution, FractionalSolution, Placement};
 use rand::seq::SliceRandom;
-use std::collections::BTreeMap;
 use std::sync::RwLock;
 use std::time::{Duration, Instant};
 use vod_model::rng::derive_rng;
@@ -75,6 +75,12 @@ pub struct EpfConfig {
     /// whichever trips first wins. Benchmarks use `step_limit`;
     /// `wall_limit` is for latency-capped operation.
     pub step_limit: Option<u64>,
+    /// Lane backend for the hot penalty/UFL kernels
+    /// ([`crate::kernel`]). Every backend is bitwise-identical per
+    /// element, so this is a pure speed knob — but it is still part of
+    /// the checkpoint fingerprint, so resumes refuse a mismatch rather
+    /// than silently mixing code paths.
+    pub kernel: Kernel,
 }
 
 impl Default for EpfConfig {
@@ -92,6 +98,7 @@ impl Default for EpfConfig {
             seed: 0,
             wall_limit: None,
             step_limit: None,
+            kernel: Kernel::default(),
         }
     }
 }
@@ -155,9 +162,10 @@ pub(crate) fn layout_of(inst: &MipInstance) -> RowLayout {
 pub(crate) fn caps_of(inst: &MipInstance, layout: &RowLayout) -> Vec<f64> {
     let mut caps = Vec::with_capacity(layout.n_rows());
     caps.extend(inst.disks.iter().map(|d| d.value()));
-    for _t in 0..layout.n_windows {
-        caps.extend(inst.network.links().iter().map(|l| l.capacity.value()));
-    }
+    caps.extend(
+        (0..layout.n_windows)
+            .flat_map(|_t| inst.network.links().iter().map(|l| l.capacity.value())),
+    );
     caps
 }
 
@@ -235,36 +243,55 @@ pub(crate) fn block_delta(
     cur: &BlockSolution,
     hat: &BlockSolution,
 ) -> (Vec<(usize, f64)>, f64) {
-    let mut acc: BTreeMap<usize, f64> = BTreeMap::new();
-    let mut dobj = 0.0;
-    for (i, old, new) in merge_sparse(&cur.y, &hat.y) {
-        let d = new - old;
-        if d != 0.0 {
-            *acc.entry(layout.disk_row(i)).or_insert(0.0) += data.size_gb * d;
-            if let Some(&fo) = data.facility_obj_cost.get(i.index()) {
-                dobj += fo * d;
+    // Row-sorted sparse accumulator, kept as reusable scratch: a block
+    // delta touches a handful of rows, so binary-search insertion into
+    // a flat vec beats a fresh BTreeMap (node allocation per row) while
+    // keeping the exact same per-row accumulation order (scan order)
+    // and the exact same row-ascending output order.
+    thread_local! {
+        static ACC: std::cell::RefCell<Vec<(usize, f64)>> =
+            const { std::cell::RefCell::new(Vec::new()) };
+    }
+    ACC.with(|cell| {
+        let acc = &mut *cell.borrow_mut();
+        acc.clear();
+        let bump = |acc: &mut Vec<(usize, f64)>, row: usize, val: f64| {
+            match acc.binary_search_by_key(&row, |e| e.0) {
+                Ok(pos) => acc[pos].1 += val,
+                // `0.0 + val`, not `val`: the BTreeMap this replaces
+                // seeded entries with `or_insert(0.0) += val`, and the
+                // two differ bitwise at `val == -0.0`.
+                Err(pos) => acc.insert(pos, (row, 0.0 + val)),
+            }
+        };
+        let mut dobj = 0.0;
+        for (i, old, new) in merge_sparse(&cur.y, &hat.y) {
+            let d = new - old;
+            if d != 0.0 {
+                bump(acc, layout.disk_row(i), data.size_gb * d);
+                if let Some(&fo) = data.facility_obj_cost.get(i.index()) {
+                    dobj += fo * d;
+                }
             }
         }
-    }
-    for (c_idx, client) in data.clients.iter().enumerate() {
-        for (i, old, new) in merge_sparse(&cur.x[c_idx], &hat.x[c_idx]) {
-            let d = new - old;
-            if d == 0.0 {
-                continue;
-            }
-            dobj += client.demand_gb * inst.cost(i, client.j) * d;
-            for (t, &rate) in client.rate.iter().enumerate() {
-                if rate != 0.0 {
-                    for &l in inst.paths.path(i, client.j) {
-                        *acc.entry(layout.link_row(l, t)).or_insert(0.0) += rate * d;
+        for (c_idx, client) in data.clients.iter().enumerate() {
+            for (i, old, new) in merge_sparse(&cur.x[c_idx], &hat.x[c_idx]) {
+                let d = new - old;
+                if d == 0.0 {
+                    continue;
+                }
+                dobj += client.demand_gb * inst.cost(i, client.j) * d;
+                for (t, &rate) in client.rate.iter().enumerate() {
+                    if rate != 0.0 {
+                        for &l in inst.paths.path(i, client.j) {
+                            bump(acc, layout.link_row(l, t), rate * d);
+                        }
                     }
                 }
             }
         }
-    }
-    // BTreeMap iterates in row order, so float summation order is
-    // reproducible across processes.
-    (acc.into_iter().collect(), dobj)
+        (acc.clone(), dobj)
+    })
 }
 
 /// Build the Lagrangized UFL for one block, in the *scaled* form
@@ -282,6 +309,7 @@ pub(crate) fn build_ufl_into(
     duals: &Duals,
     arena: &PenaltyArena,
     out: &mut UflProblem,
+    kernel: Kernel,
 ) {
     let v = inst.n_vhos();
     out.reset();
@@ -293,17 +321,34 @@ pub(crate) fn build_ufl_into(
     }));
     for client in &data.clients {
         let j = client.j.index();
-        out.push_service_row((0..v).map(|i| {
-            // lint:allow(raw-index): dual/penalty rows are dense over VHO indices
-            let iv = vod_model::VhoId::from_index(i);
-            let mut cost = duals.obj * client.demand_gb * inst.cost(iv, client.j);
-            for (t, &rate) in client.rate.iter().enumerate() {
-                if rate != 0.0 {
-                    cost += rate * arena.at(t, i, j);
+        match kernel {
+            Kernel::Scalar => out.push_service_row((0..v).map(|i| {
+                // lint:allow(raw-index): dual/penalty rows are dense over VHO indices
+                let iv = vod_model::VhoId::from_index(i);
+                let mut cost = duals.obj * client.demand_gb * inst.cost(iv, client.j);
+                for (t, &rate) in client.rate.iter().enumerate() {
+                    if rate != 0.0 {
+                        cost += rate * arena.at(t, i, j);
+                    }
+                }
+                cost
+            })),
+            // Lane backends stream the arena's contiguous client-major
+            // rows: base objective cost elementwise, then one axpy per
+            // active window (t-ascending per element — the exact addend
+            // order of the scalar closure above).
+            _ => {
+                let row = out.push_service_row_zeroed();
+                for (iv, slot) in inst.network.vho_ids().zip(row.iter_mut()) {
+                    *slot = duals.obj * client.demand_gb * inst.cost(iv, client.j);
+                }
+                for (t, &rate) in client.rate.iter().enumerate() {
+                    if rate != 0.0 {
+                        kernel::axpy(kernel, row, rate, arena.client_row(t, j));
+                    }
                 }
             }
-            cost
-        }));
+        }
     }
 }
 
@@ -341,7 +386,8 @@ pub(crate) fn greedy_x_given_y(
             }));
             costs.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
             let mut remaining = 1.0f64;
-            let mut dist: Vec<(vod_model::VhoId, f64)> = Vec::new();
+            // +1: the residue-dump below may add one extra entry.
+            let mut dist: Vec<(vod_model::VhoId, f64)> = Vec::with_capacity(costs.len() + 1);
             for &(_, i, yv) in costs.iter() {
                 if remaining <= 0.0 {
                     break;
@@ -427,14 +473,22 @@ fn polish_bound(
     let mut theta = 0.5f64;
     let mut fails = 0u32;
     let exact_blocks = std::env::var_os("EPF_EXACT_BLOCKS").is_some();
+    // Iteration-invariant buffers: the trial duals (rows mutated in
+    // place, version bumped so the arena never skips the retarget) and
+    // the ν-space gradient.
+    let mut duals = Duals::new(vec![0.0; n_rows], 1.0);
+    let mut rel = vec![-1.0f64; n_rows];
     for _ in 0..iters {
-        let duals = Duals::new((0..n_rows).map(|r| nu[r] / coupling.cap(r)).collect(), 1.0);
+        for (r, d) in duals.rows.iter_mut().enumerate() {
+            *d = nu[r] / coupling.cap(r);
+        }
+        duals.bump_version();
         pool.update_penalty(&duals);
         // One parallel sweep: per-block valid bound + the heuristic
         // minimizer's resource usage (the subgradient).
         let results = pool.polish_sweep(idx_all, exact_blocks);
         let mut g: f64 = results.iter().map(|(lb, _)| lb).sum();
-        let mut rel = vec![-1.0f64; n_rows]; // gradient in ν-space
+        rel.fill(-1.0); // gradient in ν-space
         for (_, usage) in &results {
             for &(row, u) in usage {
                 rel[row] += u / coupling.cap(row);
@@ -604,7 +658,7 @@ pub(crate) fn solve_fractional_driven(
     // by the arena's rebuild invariant (`tests/penalty_props.rs`).
     let arena = RwLock::new(PenaltyArena::new(inst, &layout));
     std::thread::scope(|scope| {
-        let pool = WorkerPool::new(scope, threads, inst, layout, &arena);
+        let pool = WorkerPool::new(scope, threads, inst, layout, &arena, cfg.kernel);
         solve_with_pool(inst, cfg, layout, &pool, start, warm, resume, ckpt)
     })
 }

@@ -21,6 +21,7 @@
 //! generic simplex baseline of `vod-lp`, standing in for CPLEX in the
 //! Table III comparison and for exact-optimum validation.
 
+#![cfg_attr(feature = "simd", feature(portable_simd))]
 #![cfg_attr(
     test,
     allow(
@@ -38,6 +39,7 @@ pub mod epf;
 pub mod error;
 pub mod feasibility;
 pub mod instance;
+pub mod kernel;
 pub mod penalty;
 pub mod pool;
 pub mod potential;
@@ -51,6 +53,7 @@ pub use epf::{solve_fractional, CheckpointSpec, EpfConfig, EpfStats};
 pub use error::SolveError;
 pub use feasibility::{CapacityOverrides, Scenario};
 pub use instance::{DiskConfig, MipInstance, PlacementCost};
+pub use kernel::Kernel;
 pub use penalty::{PenaltyArena, PenaltyUpdate};
 pub use pool::map_ordered;
 pub use rounding::RoundingStats;

@@ -1,24 +1,33 @@
 //! Flat, incrementally-maintained link-dual penalty matrices — the
 //! innermost data structure of the EPF hot path.
 //!
-//! Every UFL block build needs `D_t[i·V + j] = Σ_{l ∈ P_ij} π_{(l,t)}`:
+//! Every UFL block build needs `D_t(i, j) = Σ_{l ∈ P_ij} π_{(l,t)}`:
 //! the link-dual cost of serving client `j` from server `i` during
 //! window `t`. The solver used to rebuild these matrices from scratch
 //! (O(windows·V²·path-length), one nested `Vec<Vec<f64>>` per chunk)
 //! on every dual snapshot. [`PenaltyArena`] instead keeps all windows
 //! in one flat `Vec<f64>` arena and updates it *incrementally*: a
-//! link → list-of-`(i,j)` reverse index over `inst.paths` (built once
-//! per solve) maps each changed dual row to exactly the entries it
-//! feeds, and only those entries are recomputed.
+//! link → list-of-`(i,j)` reverse index over `inst.paths` (CSR, built
+//! once per solve) maps each changed dual row to exactly the entries
+//! it feeds, and only those entries are recomputed.
+//!
+//! The arena is stored **client-major** — `data[t·V² + j·V + i]` — so
+//! one client's penalties over all servers form a contiguous slice
+//! ([`PenaltyArena::client_row`]) that `build_ufl_into` streams
+//! through the lane kernels of [`crate::kernel`] (gather once, stream,
+//! scatter: the GPU-shaped call site of ROADMAP item 2).
 //!
 //! **Invariant:** a dirty entry is *re-summed from scratch in path
 //! order*, never patched with a `+=` delta — so the arena is always
 //! bitwise identical to a full rebuild under the same duals, whatever
-//! update sequence produced it. The `penalty_incremental_matches_rebuild`
+//! update sequence produced it, and whatever [`Kernel`] backend ran
+//! the batched re-sum (every backend sums each path sequentially; see
+//! `crate::kernel::gather_sum`). The `penalty_incremental_matches_rebuild`
 //! property test (and the determinism contract of [`crate::pool`])
 //! leans on exactly this.
 
 use crate::instance::MipInstance;
+use crate::kernel::{self, Kernel};
 use crate::potential::{Duals, RowLayout};
 use vod_model::LinkId;
 
@@ -42,59 +51,108 @@ pub struct PenaltyArena {
     n_vhos: usize,
     n_links: usize,
     n_windows: usize,
-    /// `data[t·V² + i·V + j] = Σ_{l ∈ P_ij} π_{(l,t)}`.
+    /// `data[t·V² + j·V + i] = Σ_{l ∈ P_ij} π_{(l,t)}` (client-major).
     data: Vec<f64>,
-    /// Reverse routing index: for every link `l`, the packed `i·V + j`
-    /// pairs whose path `P_ij` traverses `l`.
-    rev: Vec<Vec<u32>>,
+    /// Reverse routing index (CSR): for link `l`, the packed `j·V + i`
+    /// pairs whose path `P_ij` traverses `l` are
+    /// `rev_pairs[rev_off[l]..rev_off[l+1]]`.
+    rev_off: Vec<u32>,
+    rev_pairs: Vec<u32>,
+    /// Forward routing index (CSR): for packed pair `j·V + i`, the link
+    /// indices of `P_ij` *in path order* are
+    /// `plinks[plinks_off[pair]..plinks_off[pair+1]]` — the batched
+    /// re-sum streams these against the window's contiguous dual slice.
+    plinks_off: Vec<u32>,
+    plinks: Vec<u32>,
     /// The dual snapshot the arena currently reflects. Starts as the
     /// all-zero snapshot (version 0, `obj = 1`), matching the zeroed
     /// `data`.
     last: Duals,
-    /// Epoch stamps (one per packed `i·V + j` pair) deduplicating dirty
+    /// Epoch stamps (one per packed `j·V + i` pair) deduplicating dirty
     /// pairs fed by several changed links within one window.
     stamp: Vec<u32>,
     epoch: u32,
-    /// Reusable dirty-pair list for the current window.
+    /// Reusable dirty-pair buffer for the current window (capacity V²,
+    /// the live prefix length is local to each update — no push, no
+    /// steady-state allocation).
     dirty: Vec<u32>,
 }
 
 impl PenaltyArena {
-    /// Build the reverse index and a zeroed arena (which is exactly the
-    /// penalty of the all-zero dual snapshot).
+    /// Build the routing indexes and a zeroed arena (which is exactly
+    /// the penalty of the all-zero dual snapshot).
     pub fn new(inst: &MipInstance, layout: &RowLayout) -> Self {
         let v = inst.n_vhos();
         assert_eq!(v, layout.n_vhos, "layout does not match instance");
-        let mut rev: Vec<Vec<u32>> = vec![Vec::new(); layout.n_links];
+        let n_links = layout.n_links;
+        // Two-pass CSR build: count, prefix-sum, cursor-fill — no
+        // nested Vec, no push in the pair loop.
+        let mut rev_off = vec![0u32; n_links + 1];
+        let mut plinks_off = vec![0u32; v * v + 1];
         for i in inst.network.vho_ids() {
             for j in inst.network.vho_ids() {
                 if i != j {
-                    let pair = u32::try_from(i.index() * v + j.index())
+                    let pair = j.index() * v + i.index();
+                    let path = inst.paths.path(i, j);
+                    plinks_off[pair + 1] =
+                        u32::try_from(path.len()).expect("path length exceeds u32"); // lint:allow(no-panic-hot-path): constructor-only size guard, once per instance
+                    for &l in path {
+                        rev_off[l.index() + 1] += 1;
+                    }
+                }
+            }
+        }
+        for l in 0..n_links {
+            rev_off[l + 1] += rev_off[l];
+        }
+        for pair in 0..v * v {
+            plinks_off[pair + 1] += plinks_off[pair];
+        }
+        let mut rev_pairs = vec![0u32; rev_off[n_links] as usize];
+        let mut plinks = vec![0u32; plinks_off[v * v] as usize];
+        let mut cursor = rev_off.clone();
+        for i in inst.network.vho_ids() {
+            for j in inst.network.vho_ids() {
+                if i != j {
+                    let pair = u32::try_from(j.index() * v + i.index())
                         .expect("VHO pair index exceeds u32"); // lint:allow(no-panic-hot-path): constructor-only size guard, once per instance
-                    for &l in inst.paths.path(i, j) {
-                        rev[l.index()].push(pair);
+                    let base = plinks_off[pair as usize] as usize;
+                    for (k, &l) in inst.paths.path(i, j).iter().enumerate() {
+                        let slot = cursor[l.index()] as usize;
+                        rev_pairs[slot] = pair;
+                        cursor[l.index()] += 1;
+                        let link = u32::try_from(l.index()).expect("link index exceeds u32"); // lint:allow(no-panic-hot-path): constructor-only size guard, once per instance
+                        plinks[base + k] = link;
                     }
                 }
             }
         }
         Self {
             n_vhos: v,
-            n_links: layout.n_links,
+            n_links,
             n_windows: layout.n_windows,
             data: vec![0.0; layout.n_windows * v * v],
-            rev,
+            rev_off,
+            rev_pairs,
+            plinks_off,
+            plinks,
             last: Duals::new(vec![0.0; layout.n_rows()], 1.0),
             stamp: vec![0; v * v],
             epoch: 0,
-            dirty: Vec::new(),
+            dirty: vec![0; v * v],
         }
     }
 
     /// An arena already reflecting `duals` (from-scratch rebuild; the
     /// reference point the incremental path must match bitwise).
-    pub fn for_duals(inst: &MipInstance, layout: &RowLayout, duals: &Duals) -> Self {
+    pub fn for_duals(
+        inst: &MipInstance,
+        layout: &RowLayout,
+        duals: &Duals,
+        kernel: Kernel,
+    ) -> Self {
         let mut arena = Self::new(inst, layout);
-        arena.update(inst, layout, duals);
+        arena.update(inst, layout, duals, kernel);
         arena
     }
 
@@ -104,12 +162,17 @@ impl PenaltyArena {
     /// applied update → return immediately; (2) per-(link, window)
     /// bitwise row comparison → only rows whose dual actually changed
     /// mark entries dirty. Dirty entries are re-summed from scratch in
-    /// path order (see the module invariant).
+    /// path order (see the module invariant): the scalar backend walks
+    /// `inst.paths` with per-link row lookups (the reference shape),
+    /// the lane backends stream the CSR link lists against the
+    /// window's contiguous dual slice — same additions, same order,
+    /// batched memory access.
     pub fn update(
         &mut self,
         inst: &MipInstance,
         layout: &RowLayout,
         duals: &Duals,
+        kernel: Kernel,
     ) -> PenaltyUpdate {
         assert_eq!(duals.rows.len(), layout.n_rows(), "dual row count mismatch");
         if duals.version() != 0 && duals.version() == self.last.version() {
@@ -126,37 +189,61 @@ impl PenaltyArena {
                 self.stamp.fill(0);
                 self.epoch = 1;
             }
-            self.dirty.clear();
+            let mut dirty_len = 0usize;
             for l in 0..self.n_links {
                 let row = layout.link_row(LinkId::from_index(l), t);
                 if duals.rows[row].to_bits() == self.last.rows[row].to_bits() {
                     continue;
                 }
                 changed_rows += 1;
-                for &pair in &self.rev[l] {
+                let (s, e) = (self.rev_off[l] as usize, self.rev_off[l + 1] as usize);
+                for &pair in &self.rev_pairs[s..e] {
                     if self.stamp[pair as usize] != self.epoch {
                         self.stamp[pair as usize] = self.epoch;
-                        self.dirty.push(pair);
+                        self.dirty[dirty_len] = pair;
+                        dirty_len += 1;
                     }
                 }
             }
             let base = t * v * v;
-            for &pair in &self.dirty {
-                let (i, j) = (pair as usize / v, pair as usize % v);
-                // lint:allow(raw-index): the packed pair index is dense
-                // over VHO indices by construction of the reverse index
-                let iv = vod_model::VhoId::from_index(i);
-                // lint:allow(raw-index): same dense-pair decoding
-                let jv = vod_model::VhoId::from_index(j);
-                let sum: f64 = inst
-                    .paths
-                    .path(iv, jv)
-                    .iter()
-                    .map(|&l| duals.rows[layout.link_row(l, t)])
-                    .sum();
-                self.data[base + pair as usize] = sum;
+            match kernel {
+                Kernel::Scalar => {
+                    for &pair in &self.dirty[..dirty_len] {
+                        let (j, i) = (pair as usize / v, pair as usize % v);
+                        // lint:allow(raw-index): the packed pair index is dense
+                        // over VHO indices by construction of the reverse index
+                        let iv = vod_model::VhoId::from_index(i);
+                        // lint:allow(raw-index): same dense-pair decoding
+                        let jv = vod_model::VhoId::from_index(j);
+                        let sum: f64 = inst
+                            .paths
+                            .path(iv, jv)
+                            .iter()
+                            .map(|&l| duals.rows[layout.link_row(l, t)])
+                            .sum();
+                        self.data[base + pair as usize] = sum;
+                    }
+                }
+                _ => {
+                    // Gather once: the window's link-dual rows are one
+                    // contiguous slice of the dual vector
+                    // (`link_row(l, t) = disk_rows + t·L + l`). Stream
+                    // every dirty pair's path through it and scatter
+                    // the sums back — `w[l]` is bitwise the same value
+                    // the scalar path reads via `link_row`, summed in
+                    // the same path order.
+                    let w0 = layout.link_row(LinkId::from_index(0), t);
+                    let w = &duals.rows[w0..w0 + self.n_links];
+                    for &pair in &self.dirty[..dirty_len] {
+                        let (s, e) = (
+                            self.plinks_off[pair as usize] as usize,
+                            self.plinks_off[pair as usize + 1] as usize,
+                        );
+                        self.data[base + pair as usize] = kernel::gather_sum(&self.plinks[s..e], w);
+                    }
+                }
             }
-            resummed += self.dirty.len();
+            resummed += dirty_len;
         }
         // Carry the caller's version so a later update with a clone of
         // the same snapshot hits the version fast path.
@@ -170,10 +257,20 @@ impl PenaltyArena {
     /// Penalty of serving client `j` from server `i` in window `t`.
     #[inline]
     pub fn at(&self, t: usize, i: usize, j: usize) -> f64 {
-        self.data[t * self.n_vhos * self.n_vhos + i * self.n_vhos + j]
+        self.data[t * self.n_vhos * self.n_vhos + j * self.n_vhos + i]
     }
 
-    /// The flat `V×V` matrix of one window.
+    /// Client `j`'s contiguous penalty row over all servers in window
+    /// `t` — the slice `build_ufl_into` streams through the kernels.
+    #[inline]
+    pub fn client_row(&self, t: usize, j: usize) -> &[f64] {
+        let v = self.n_vhos;
+        let base = t * v * v + j * v;
+        &self.data[base..base + v]
+    }
+
+    /// The flat `V×V` matrix of one window, **client-major**:
+    /// `window(t)[j·V + i]` is the penalty of serving `j` from `i`.
     #[inline]
     pub fn window(&self, t: usize) -> &[f64] {
         let v2 = self.n_vhos * self.n_vhos;
@@ -200,13 +297,12 @@ impl PenaltyArena {
     /// Approximate heap bytes held by the arena (reported through
     /// `EpfStats::approx_bytes`).
     pub fn approx_bytes(&self) -> usize {
-        let rev: usize = self
-            .rev
-            .iter()
-            .map(|p| p.capacity() * 4 + std::mem::size_of::<Vec<u32>>())
-            .sum();
         self.data.capacity() * 8
-            + rev
+            + (self.rev_off.capacity()
+                + self.rev_pairs.capacity()
+                + self.plinks_off.capacity()
+                + self.plinks.capacity())
+                * 4
             + self.last.rows.capacity() * 8
             + self.stamp.capacity() * 4
             + self.dirty.capacity() * 4
@@ -237,7 +333,8 @@ mod tests {
         (inst, layout, duals)
     }
 
-    /// Reference implementation: the old from-scratch nested rebuild.
+    /// Reference implementation: the old from-scratch nested rebuild
+    /// (transposed here to the arena's client-major packing).
     fn reference_matrices(inst: &MipInstance, layout: &RowLayout, duals: &Duals) -> Vec<Vec<f64>> {
         let v = inst.n_vhos();
         (0..layout.n_windows)
@@ -252,7 +349,7 @@ mod tests {
                                 .iter()
                                 .map(|&l| duals.rows[layout.link_row(l, t)])
                                 .sum();
-                            mat[i.index() * v + j.index()] = sum;
+                            mat[j.index() * v + i.index()] = sum;
                         }
                     }
                 }
@@ -264,10 +361,33 @@ mod tests {
     #[test]
     fn rebuild_matches_reference() {
         let (inst, layout, duals) = setup();
-        let arena = PenaltyArena::for_duals(&inst, &layout, &duals);
-        let reference = reference_matrices(&inst, &layout, &duals);
-        for (t, want) in reference.iter().enumerate() {
-            assert_eq!(arena.window(t), want.as_slice(), "window {t}");
+        for &k in Kernel::all() {
+            let arena = PenaltyArena::for_duals(&inst, &layout, &duals, k);
+            let reference = reference_matrices(&inst, &layout, &duals);
+            for (t, want) in reference.iter().enumerate() {
+                assert_eq!(
+                    arena.window(t),
+                    want.as_slice(),
+                    "window {t} ({})",
+                    k.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn at_and_client_row_agree() {
+        let (inst, layout, duals) = setup();
+        let arena = PenaltyArena::for_duals(&inst, &layout, &duals, Kernel::Chunked);
+        let v = inst.n_vhos();
+        for t in 0..layout.n_windows {
+            for j in 0..v {
+                let row = arena.client_row(t, j);
+                assert_eq!(row.len(), v);
+                for (i, &x) in row.iter().enumerate() {
+                    assert_eq!(x.to_bits(), arena.at(t, i, j).to_bits());
+                }
+            }
         }
     }
 
@@ -275,16 +395,16 @@ mod tests {
     fn version_skip_on_same_snapshot() {
         let (inst, layout, duals) = setup();
         let mut arena = PenaltyArena::new(&inst, &layout);
-        let first = arena.update(&inst, &layout, &duals);
+        let first = arena.update(&inst, &layout, &duals, Kernel::Chunked);
         assert!(matches!(first, PenaltyUpdate::Applied { .. }));
         // Same snapshot (clone): skipped without any row comparison.
-        let again = arena.update(&inst, &layout, &duals.clone());
+        let again = arena.update(&inst, &layout, &duals.clone(), Kernel::Chunked);
         assert_eq!(again, PenaltyUpdate::SkippedVersion);
         // A bumped clone with identical values is re-compared but
         // resums nothing.
         let mut bumped = duals.clone();
         bumped.bump_version();
-        match arena.update(&inst, &layout, &bumped) {
+        match arena.update(&inst, &layout, &bumped, Kernel::Chunked) {
             PenaltyUpdate::Applied {
                 changed_rows,
                 resummed,
@@ -299,39 +419,46 @@ mod tests {
     #[test]
     fn incremental_update_matches_rebuild_after_row_change() {
         let (inst, layout, duals) = setup();
-        let mut arena = PenaltyArena::for_duals(&inst, &layout, &duals);
-        // Perturb a couple of link rows (and one disk row, which must
-        // not affect penalties at all).
-        let mut perturbed = duals.clone();
-        perturbed.rows[0] *= 3.0; // disk row
-        let link_row0 = layout.link_row(LinkId::new(0), 0);
-        perturbed.rows[link_row0] += 0.125;
-        if layout.n_windows > 1 {
-            let r = layout.link_row(LinkId::new(1), 1);
-            perturbed.rows[r] *= 0.5;
-        }
-        perturbed.bump_version();
-        let upd = arena.update(&inst, &layout, &perturbed);
-        let fresh = PenaltyArena::for_duals(&inst, &layout, &perturbed);
-        for t in 0..layout.n_windows {
-            assert_eq!(arena.window(t), fresh.window(t), "window {t}");
-        }
-        match upd {
-            PenaltyUpdate::Applied {
-                changed_rows,
-                resummed,
-            } => {
-                // Only the touched link rows count; the resummed pairs
-                // are exactly those routed over the changed links.
-                assert!((1..=2).contains(&changed_rows), "{changed_rows}");
-                assert!(resummed > 0);
-                let total_entries = layout.n_windows * inst.n_vhos() * inst.n_vhos();
-                assert!(
-                    resummed < total_entries,
-                    "incremental update resummed everything ({resummed}/{total_entries})"
+        for &k in Kernel::all() {
+            let mut arena = PenaltyArena::for_duals(&inst, &layout, &duals, k);
+            // Perturb a couple of link rows (and one disk row, which must
+            // not affect penalties at all).
+            let mut perturbed = duals.clone();
+            perturbed.rows[0] *= 3.0; // disk row
+            let link_row0 = layout.link_row(LinkId::new(0), 0);
+            perturbed.rows[link_row0] += 0.125;
+            if layout.n_windows > 1 {
+                let r = layout.link_row(LinkId::new(1), 1);
+                perturbed.rows[r] *= 0.5;
+            }
+            perturbed.bump_version();
+            let upd = arena.update(&inst, &layout, &perturbed, k);
+            let fresh = PenaltyArena::for_duals(&inst, &layout, &perturbed, k);
+            for t in 0..layout.n_windows {
+                assert_eq!(
+                    arena.window(t),
+                    fresh.window(t),
+                    "window {t} ({})",
+                    k.name()
                 );
             }
-            other => panic!("expected Applied, got {other:?}"),
+            match upd {
+                PenaltyUpdate::Applied {
+                    changed_rows,
+                    resummed,
+                } => {
+                    // Only the touched link rows count; the resummed pairs
+                    // are exactly those routed over the changed links.
+                    assert!((1..=2).contains(&changed_rows), "{changed_rows}");
+                    assert!(resummed > 0);
+                    let total_entries = layout.n_windows * inst.n_vhos() * inst.n_vhos();
+                    assert!(
+                        resummed < total_entries,
+                        "incremental update resummed everything ({resummed}/{total_entries})"
+                    );
+                }
+                other => panic!("expected Applied, got {other:?}"),
+            }
         }
     }
 
@@ -344,7 +471,7 @@ mod tests {
         // Updating with an explicit zero snapshot compares equal
         // everywhere and resums nothing.
         let zeros = Duals::new(vec![0.0; layout.n_rows()], 1.0);
-        match arena.update(&inst, &layout, &zeros) {
+        match arena.update(&inst, &layout, &zeros, Kernel::Chunked) {
             PenaltyUpdate::Applied {
                 changed_rows,
                 resummed,
@@ -358,7 +485,7 @@ mod tests {
     #[test]
     fn approx_bytes_counts_arena() {
         let (inst, layout, duals) = setup();
-        let arena = PenaltyArena::for_duals(&inst, &layout, &duals);
+        let arena = PenaltyArena::for_duals(&inst, &layout, &duals, Kernel::Chunked);
         let v = inst.n_vhos();
         assert!(arena.approx_bytes() >= layout.n_windows * v * v * 8);
     }

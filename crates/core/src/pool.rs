@@ -26,6 +26,7 @@
 use crate::block::{UflProblem, UflScratch, UflSolution};
 use crate::epf::{block_delta, build_ufl_into};
 use crate::instance::MipInstance;
+use crate::kernel::Kernel;
 use crate::penalty::{PenaltyArena, PenaltyUpdate};
 use crate::potential::{Duals, RowLayout};
 use crate::solution::BlockSolution;
@@ -118,6 +119,7 @@ pub(crate) struct WorkerPool<'env> {
     inst: &'env MipInstance,
     layout: RowLayout,
     arena: &'env RwLock<PenaltyArena>,
+    kernel: Kernel,
     txs: Vec<mpsc::Sender<Job>>,
     rx: mpsc::Receiver<(usize, JobOutput)>,
     /// Scratch for the inline (small-dispatch / single-thread) path.
@@ -135,6 +137,7 @@ impl<'env> WorkerPool<'env> {
         inst: &'env MipInstance,
         layout: RowLayout,
         arena: &'env RwLock<PenaltyArena>,
+        kernel: Kernel,
     ) -> Self {
         let (res_tx, rx) = mpsc::channel();
         let mut txs = Vec::new();
@@ -142,7 +145,7 @@ impl<'env> WorkerPool<'env> {
             for _ in 0..threads {
                 let (tx, job_rx) = mpsc::channel::<Job>();
                 let res_tx = res_tx.clone();
-                scope.spawn(move || worker_loop(inst, layout, arena, &job_rx, &res_tx));
+                scope.spawn(move || worker_loop(inst, layout, arena, kernel, &job_rx, &res_tx));
                 txs.push(tx);
             }
         }
@@ -150,6 +153,7 @@ impl<'env> WorkerPool<'env> {
             inst,
             layout,
             arena,
+            kernel,
             txs,
             rx,
             inline: RefCell::new(BlockScratch::default()),
@@ -162,7 +166,7 @@ impl<'env> WorkerPool<'env> {
         self.arena
             .write()
             .expect("penalty arena lock poisoned") // lint:allow(no-panic-hot-path): poisoned lock implies a worker panic; re-raise it
-            .update(self.inst, &self.layout, duals)
+            .update(self.inst, &self.layout, duals, self.kernel)
     }
 
     /// Read access to the current penalty arena (callers must drop the
@@ -219,6 +223,7 @@ impl<'env> WorkerPool<'env> {
                 self.inst,
                 &self.layout,
                 &arena,
+                self.kernel,
                 kind,
                 items,
                 &mut scratch,
@@ -250,6 +255,7 @@ fn worker_loop(
     inst: &MipInstance,
     layout: RowLayout,
     arena: &RwLock<PenaltyArena>,
+    kernel: Kernel,
     jobs: &mpsc::Receiver<Job>,
     results: &mpsc::Sender<(usize, JobOutput)>,
 ) {
@@ -257,7 +263,15 @@ fn worker_loop(
     while let Ok(job) = jobs.recv() {
         let out = {
             let arena = arena.read().expect("penalty arena lock poisoned"); // lint:allow(no-panic-hot-path): poisoned lock implies a worker panic; re-raise it
-            exec_job(inst, &layout, &arena, job.kind, &job.items, &mut scratch)
+            exec_job(
+                inst,
+                &layout,
+                &arena,
+                kernel,
+                job.kind,
+                &job.items,
+                &mut scratch,
+            )
         };
         if results.send((job.part, out)).is_err() {
             return; // pool gone; nothing left to report to
@@ -271,6 +285,7 @@ fn exec_job(
     inst: &MipInstance,
     layout: &RowLayout,
     arena: &PenaltyArena,
+    kernel: Kernel,
     kind: JobKind,
     items: &[usize],
     scratch: &mut BlockScratch,
@@ -287,10 +302,11 @@ fn exec_job(
                         arena.duals(),
                         arena,
                         &mut scratch.ufl,
+                        kernel,
                     );
                     scratch
                         .ufl
-                        .solve_local_search_fast_with(&mut scratch.search)
+                        .solve_local_search_fast_with_kernel(&mut scratch.search, kernel)
                 })
                 .collect(),
         ),
@@ -305,8 +321,11 @@ fn exec_job(
                         arena.duals(),
                         arena,
                         &mut scratch.ufl,
+                        kernel,
                     );
-                    scratch.ufl.dual_ascent_bound_with(&mut scratch.search)
+                    scratch
+                        .ufl
+                        .dual_ascent_bound_with_kernel(&mut scratch.search, kernel)
                 })
                 .collect(),
         ),
@@ -315,15 +334,28 @@ fn exec_job(
                 .iter()
                 .map(|&m| {
                     let data = &inst.blocks()[m];
-                    build_ufl_into(inst, layout, data, arena.duals(), arena, &mut scratch.ufl);
+                    build_ufl_into(
+                        inst,
+                        layout,
+                        data,
+                        arena.duals(),
+                        arena,
+                        &mut scratch.ufl,
+                        kernel,
+                    );
+                    // Both solvers run on this build: fuse their
+                    // seeding passes (column sums + row minima).
+                    scratch.ufl.precompute_lane_aux(kernel);
                     let lb = if exact {
                         crate::direct::exact_block_lp(&scratch.ufl)
                     } else {
-                        scratch.ufl.dual_ascent_bound_with(&mut scratch.search)
+                        scratch
+                            .ufl
+                            .dual_ascent_bound_with_kernel(&mut scratch.search, kernel)
                     };
                     let sol = scratch
                         .ufl
-                        .solve_local_search_fast_with(&mut scratch.search);
+                        .solve_local_search_fast_with_kernel(&mut scratch.search, kernel);
                     let hat = BlockSolution::from_ufl(&sol);
                     let empty = BlockSolution {
                         y: Vec::new(),

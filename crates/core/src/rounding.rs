@@ -14,6 +14,7 @@
 use crate::block::{UflProblem, UflScratch};
 use crate::epf::{block_delta, build_ufl_into, caps_of, compute_state, layout_of};
 use crate::instance::MipInstance;
+use crate::kernel::Kernel;
 use crate::penalty::PenaltyArena;
 use crate::potential::Coupling;
 use crate::solution::{BlockSolution, FractionalSolution, Placement};
@@ -38,6 +39,7 @@ pub fn round_solution(
     inst: &MipInstance,
     fractional: &FractionalSolution,
     gamma: f64,
+    kernel: Kernel,
 ) -> (Placement, RoundingStats) {
     let layout = layout_of(inst);
     let mut blocks: Vec<BlockSolution> = fractional.blocks.clone();
@@ -69,7 +71,7 @@ pub fn round_solution(
         // penalties are priced *before* this block's own contribution
         // is removed (incremental: only rows the previous rounding
         // touched get re-summed).
-        arena.update(inst, &layout, &coupling.duals());
+        arena.update(inst, &layout, &coupling.duals(), kernel);
         let data = &inst.blocks()[m];
         // Remove this block's fractional contribution so the UFL sees
         // the load of everyone else.
@@ -81,8 +83,8 @@ pub fn round_solution(
         coupling.apply(&deltas_out, dobj_out, 1.0);
 
         let duals_now = coupling.duals();
-        build_ufl_into(inst, &layout, data, &duals_now, &arena, &mut ufl);
-        let cand = ufl.solve_local_search_with(&mut scratch);
+        build_ufl_into(inst, &layout, data, &duals_now, &arena, &mut ufl, kernel);
+        let cand = ufl.solve_local_search_with_kernel(&mut scratch, kernel);
         let hat = BlockSolution::from_ufl(&cand);
         let (deltas_in, dobj_in) = block_delta(inst, &layout, data, &empty, &hat);
         coupling.apply(&deltas_in, dobj_in, 1.0);
@@ -107,7 +109,7 @@ pub fn round_solution(
     {
         let (usage, obj) = compute_state(inst, &layout, &blocks);
         coupling.set_state(usage, obj);
-        arena.update(inst, &layout, &coupling.duals());
+        arena.update(inst, &layout, &coupling.duals(), kernel);
         let mut costs = Vec::new();
         for (m, data) in inst.blocks().iter().enumerate() {
             let better = crate::epf::greedy_x_given_y(inst, data, &blocks[m].y, &arena, &mut costs);
@@ -307,7 +309,7 @@ mod tests {
             ..Default::default()
         };
         let (frac, _) = solve_fractional(&inst, &cfg);
-        let (placement, stats) = round_solution(&inst, &frac, cfg.gamma);
+        let (placement, stats) = round_solution(&inst, &frac, cfg.gamma, cfg.kernel);
         assert_eq!(placement.n_videos(), inst.n_videos());
         for m in inst.catalog.ids() {
             assert!(
@@ -334,7 +336,7 @@ mod tests {
             ..Default::default()
         };
         let (frac, stats) = solve_fractional(&inst, &cfg);
-        let (_, rstats) = round_solution(&inst, &frac, cfg.gamma);
+        let (_, rstats) = round_solution(&inst, &frac, cfg.gamma, cfg.kernel);
         if stats.converged {
             let gap = rstats.optimality_gap.expect("bound exists");
             assert!(gap >= -1e-6, "objective below a valid lower bound: {gap}");
@@ -362,7 +364,7 @@ mod tests {
                 }
             })
             .collect();
-        let (placement, _) = round_solution(&inst, &frac, cfg.gamma);
+        let (placement, _) = round_solution(&inst, &frac, cfg.gamma, cfg.kernel);
         // The integer re-solve must not touch already-integral videos;
         // only the final disk-repair pass may *shrink or move* their
         // copy sets (never below one copy). So: each pre-integral
@@ -401,7 +403,7 @@ mod tests {
             ..Default::default()
         };
         let (frac, _) = solve_fractional(&inst, &cfg);
-        let (placement, stats) = round_solution(&inst, &frac, cfg.gamma);
+        let (placement, stats) = round_solution(&inst, &frac, cfg.gamma, cfg.kernel);
         // After the repair pass, disk violations specifically should be
         // (close to) zero; remaining violation, if any, is on links.
         let usage = placement.disk_usage(&inst.catalog);

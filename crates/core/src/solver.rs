@@ -82,7 +82,7 @@ fn validate(inst: &MipInstance, cfg: &EpfConfig) -> Result<(), SolveError> {
 pub fn solve_placement(inst: &MipInstance, cfg: &EpfConfig) -> Result<PlacementOutput, SolveError> {
     validate(inst, cfg)?;
     let (fractional, epf) = solve_fractional_seeded(inst, cfg, None);
-    let (placement, rounding) = round_solution(inst, &fractional, cfg.gamma);
+    let (placement, rounding) = round_solution(inst, &fractional, cfg.gamma, cfg.kernel);
     Ok(PlacementOutput {
         placement,
         fractional,
@@ -110,7 +110,7 @@ pub fn resolve_from(
         });
     }
     let (fractional, epf) = solve_fractional_seeded(inst, cfg, Some(prev));
-    let (placement, rounding) = round_solution(inst, &fractional, cfg.gamma);
+    let (placement, rounding) = round_solution(inst, &fractional, cfg.gamma, cfg.kernel);
     Ok(PlacementOutput {
         placement,
         fractional,
@@ -131,7 +131,7 @@ pub fn solve_placement_checkpointed(
 ) -> Result<PlacementOutput, SolveError> {
     validate(inst, cfg)?;
     let (fractional, epf) = solve_fractional_driven(inst, cfg, None, None, Some(spec));
-    let (placement, rounding) = round_solution(inst, &fractional, cfg.gamma);
+    let (placement, rounding) = round_solution(inst, &fractional, cfg.gamma, cfg.kernel);
     Ok(PlacementOutput {
         placement,
         fractional,
@@ -154,7 +154,7 @@ pub fn solve_resumable(
     ckpt.validate_for(inst, cfg)
         .map_err(|what| SolveError::MismatchedCheckpoint { what })?;
     let (fractional, epf) = solve_fractional_driven(inst, cfg, None, Some(ckpt), spec);
-    let (placement, rounding) = round_solution(inst, &fractional, cfg.gamma);
+    let (placement, rounding) = round_solution(inst, &fractional, cfg.gamma, cfg.kernel);
     Ok(PlacementOutput {
         placement,
         fractional,

@@ -62,7 +62,7 @@ fn valid_solver_output_passes_audit() {
     let report = audit::check_fractional(inst, frac, frac.max_violation + INT_TOL);
     assert!(report.is_ok(), "clean solve flagged:\n{report}");
 
-    let (placement, stats) = round_solution(inst, frac, 1.0);
+    let (placement, stats) = round_solution(inst, frac, 1.0, vod_core::Kernel::Chunked);
     let report = audit::check_placement(inst, &placement, stats.max_violation + INT_TOL);
     assert!(report.is_ok(), "clean placement flagged:\n{report}");
 }
@@ -132,8 +132,8 @@ fn same_seed_placements_are_byte_identical() {
         frac_a.max_violation.to_bits(),
         frac_b.max_violation.to_bits()
     );
-    let (pl_a, stats_a) = round_solution(&inst, &frac_a, cfg.gamma);
-    let (pl_b, stats_b) = round_solution(&inst, &frac_b, cfg.gamma);
+    let (pl_a, stats_a) = round_solution(&inst, &frac_a, cfg.gamma, cfg.kernel);
+    let (pl_b, stats_b) = round_solution(&inst, &frac_b, cfg.gamma, cfg.kernel);
     assert_eq!(stats_a.objective.to_bits(), stats_b.objective.to_bits());
     assert_eq!(format!("{pl_a:?}"), format!("{pl_b:?}"));
 }

@@ -11,6 +11,7 @@ use proptest::prelude::*;
 use std::sync::OnceLock;
 use vod_core::penalty::PenaltyArena;
 use vod_core::potential::{Duals, RowLayout};
+use vod_core::Kernel;
 use vod_core::{DiskConfig, MipInstance};
 use vod_model::Mbps;
 use vod_net::topologies;
@@ -51,7 +52,10 @@ fn assert_arena_matches_rebuild(
     arena: &PenaltyArena,
     duals: &Duals,
 ) {
-    let fresh = PenaltyArena::for_duals(inst, layout, duals);
+    // The rebuild deliberately uses the Scalar reference backend while
+    // the incremental arena under test ran on Chunked: this pins the
+    // rebuild invariant *and* cross-backend bitwise identity at once.
+    let fresh = PenaltyArena::for_duals(inst, layout, duals, Kernel::Scalar);
     for t in 0..layout.n_windows {
         let (a, f) = (arena.window(t), fresh.window(t));
         assert_eq!(a.len(), f.len());
@@ -83,7 +87,7 @@ proptest! {
         let n_rows = layout.n_rows();
         let mut duals = Duals::new(vec![init[0]; n_rows], 1.0);
         let mut arena = PenaltyArena::new(inst, layout);
-        arena.update(inst, layout, &duals);
+        arena.update(inst, layout, &duals, Kernel::Chunked);
         assert_arena_matches_rebuild(inst, layout, &arena, &duals);
         for &(raw_row, op, factor) in &steps {
             let row = raw_row % n_rows;
@@ -93,7 +97,7 @@ proptest! {
                 _ => duals.rows[row] = 0.0,
             }
             duals.bump_version();
-            arena.update(inst, layout, &duals);
+            arena.update(inst, layout, &duals, Kernel::Chunked);
             assert_arena_matches_rebuild(inst, layout, &arena, &duals);
         }
     }
@@ -109,7 +113,7 @@ proptest! {
         let target = Duals::new((0..n_rows).map(|r| scale * (r % 7) as f64).collect(), 1.0);
         // Route A: straight to the target.
         let mut direct = PenaltyArena::new(inst, layout);
-        direct.update(inst, layout, &target);
+        direct.update(inst, layout, &target, Kernel::Scalar);
         // Route B: detour through other snapshots first.
         let mut wandering = PenaltyArena::new(inst, layout);
         for k in 0..detour {
@@ -117,9 +121,9 @@ proptest! {
                 (0..n_rows).map(|r| (r + k) as f64 * 0.125).collect(),
                 1.0,
             );
-            wandering.update(inst, layout, &mid);
+            wandering.update(inst, layout, &mid, Kernel::Chunked);
         }
-        wandering.update(inst, layout, &target);
+        wandering.update(inst, layout, &target, Kernel::Chunked);
         for t in 0..layout.n_windows {
             let (a, b) = (direct.window(t), wandering.window(t));
             for (x, y) in a.iter().zip(b) {

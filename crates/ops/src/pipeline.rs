@@ -443,7 +443,8 @@ impl<'a> Pipeline<'a> {
             let _ = std::fs::remove_file(self.fractional_path());
             return self.retreat(StageId::Solve, StageId::Round, cycle);
         };
-        let (placement, stats) = round_solution(&inst, &frac, self.cfg.epf.gamma);
+        let (placement, stats) =
+            round_solution(&inst, &frac, self.cfg.epf.gamma, self.cfg.epf.kernel);
         self.state.pending = Some(placement);
         self.state.pending_objective = Some(stats.objective);
         self.advance(StageId::Validate)?;
