@@ -92,7 +92,7 @@ pub fn test_only_file(path: &str) -> bool {
 /// architecture"). `direct.rs` is excluded: the simplex baseline is
 /// deliberately not a hot path.
 pub fn flat_buffer_scope(path: &str) -> bool {
-    const HOT: [&str; 8] = [
+    const HOT: [&str; 9] = [
         "block.rs",
         "epf.rs",
         "kernel.rs",
@@ -100,6 +100,7 @@ pub fn flat_buffer_scope(path: &str) -> bool {
         "pool.rs",
         "potential.rs",
         "rounding.rs",
+        "shard.rs",
         "solution.rs",
     ];
     path.strip_prefix("crates/core/src/")

@@ -163,10 +163,7 @@ fn main() {
     }
     let serial_wall_s = t_serial.elapsed().as_secs_f64();
 
-    // ---- Batched pass: same jobs, all cores, must be byte-identical.
-    // At least two workers so the threaded path is exercised (and its
-    // determinism asserted) even on single-core runners.
-    let threads = default_threads().max(2);
+    // ---- Batched pass: same jobs, must be byte-identical. ----
     let jobs: Vec<SimJob> = solved
         .iter()
         .map(|(_, vhos, policy)| SimJob {
@@ -179,6 +176,11 @@ fn main() {
             cfg: cfg.clone(),
         })
         .collect();
+    // The *timed* batch runs at its natural width — no more workers
+    // than cores or jobs. Timing a forced-2-worker batch on a 1-core
+    // runner measures scheduler overhead, not batching (it reported
+    // `batch_speedup` 0.82× on such boxes).
+    let threads = default_threads().min(jobs.len()).max(1);
     let t_batch = Instant::now();
     let batch_reps = simulate_batch(&jobs, threads);
     let batched_wall_s = t_batch.elapsed().as_secs_f64();
@@ -188,6 +190,19 @@ fn main() {
             fingerprint(b),
             "batched report {i} diverged from serial"
         );
+    }
+    // Determinism still gets a genuinely threaded pass on every
+    // runner: when the natural width fell back to 1, re-run untimed
+    // with two workers and hold it to the same byte identity.
+    if threads < 2 {
+        let det_reps = simulate_batch(&jobs, 2);
+        for (i, (a, b)) in serial_reps.iter().zip(&det_reps).enumerate() {
+            assert_eq!(
+                fingerprint(a),
+                fingerprint(b),
+                "2-worker batched report {i} diverged from serial"
+            );
+        }
     }
 
     let mut table = Table::new(

@@ -152,6 +152,53 @@ pub fn exact_block_lp(p: &crate::block::UflProblem) -> f64 {
     }
 }
 
+/// As [`exact_block_lp`], but also recovers the LP *minimizer*
+/// (fractional `y`/`x`), so callers can form exact subgradients of the
+/// Lagrangian dual instead of approximating them with the heuristic
+/// minimizer's usage — at a dual kink the two can disagree badly
+/// enough that ascent on the heuristic direction goes downhill.
+/// Returns `None` when the simplex fails; callers fall back to the
+/// heuristic bound/minimizer pair.
+pub fn exact_block_lp_solution(
+    p: &crate::block::UflProblem,
+) -> Option<(f64, crate::solution::BlockSolution)> {
+    let n = p.facility_cost.len();
+    let mut lp = LinearProgram::new();
+    let ys: Vec<usize> = (0..n)
+        .map(|i| lp.add_var(p.facility_cost[i], Some(1.0)))
+        .collect();
+    for row in p.service_rows() {
+        let xv: Vec<usize> = (0..n).map(|i| lp.add_var(row[i], None)).collect();
+        lp.add_constraint(xv.iter().map(|&v| (v, 1.0)).collect(), Cmp::Eq, 1.0);
+        for i in 0..n {
+            lp.add_constraint(vec![(xv[i], 1.0), (ys[i], -1.0)], Cmp::Le, 0.0);
+        }
+    }
+    if p.n_clients() == 0 {
+        lp.add_constraint(ys.iter().map(|&v| (v, 1.0)).collect(), Cmp::Ge, 1.0);
+    }
+    let s = vod_lp::solve_lp(&lp).ok()?;
+    // Variable order mirrors the build above: `y` first, then one
+    // dense VHO-row of `x` per client.
+    let y: Vec<(vod_model::VhoId, f64)> = (0..n)
+        .filter(|&i| s.x[i] > 1e-12)
+        // lint:allow(raw-index): LP columns are dense over VHO indices
+        .map(|i| (vod_model::VhoId::from_index(i), s.x[i]))
+        .collect();
+    let x: Vec<Vec<(vod_model::VhoId, f64)>> = (0..p.n_clients())
+        .map(|c| {
+            (0..n)
+                .filter_map(|i| {
+                    let v = s.x[n * (c + 1) + i];
+                    // lint:allow(raw-index): same dense column order
+                    (v > 1e-12).then(|| (vod_model::VhoId::from_index(i), v))
+                })
+                .collect()
+        })
+        .collect();
+    Some((s.objective, crate::solution::BlockSolution { y, x }))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

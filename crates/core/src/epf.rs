@@ -81,6 +81,34 @@ pub struct EpfConfig {
     /// the checkpoint fingerprint, so resumes refuse a mismatch rather
     /// than silently mixing code paths.
     pub kernel: Kernel,
+    /// Certified-gap early stop: the solver reports `converged = true`
+    /// (and stops bisecting) once `ub ≤ (1 + gap_limit)·lb`. `None`
+    /// uses `epsilon` for both the per-run feasibility tolerance and
+    /// the certificate — the historical behavior. Setting it looser
+    /// than `epsilon` lets tight runs stop at a coarser certificate;
+    /// it never loosens per-run feasibility.
+    pub gap_limit: Option<f64>,
+    /// Iteration budget of the *exact certification* stage of the
+    /// final lower-bound polish: each iteration evaluates the
+    /// Lagrangian with exact per-block LPs ([`crate::direct`]) on the
+    /// calibrated loose-block subset (plus one full exact calibration
+    /// sweep), ascending from the best heuristic multipliers. 0
+    /// disables the stage (heuristic dual-ascent bounds only — the
+    /// right choice above ~10⁴ blocks, where block LPs dominate wall
+    /// time).
+    pub exact_cert: usize,
+    /// Penalty arena layout ([`crate::penalty::PenaltyLayout`]):
+    /// `Sparse` (default) stores only the client rows active in each
+    /// window; `Dense` is the historical full `T·V²` arena. Reads are
+    /// bitwise-identical across layouts, so trajectories match — the
+    /// knob is memory/speed only, but fingerprinted like `kernel`.
+    pub layout: crate::penalty::PenaltyLayout,
+    /// Optional working-set budget in MiB. When the projected solver
+    /// working set exceeds it, the sparse arena degrades to streaming
+    /// window rebuilds (dropping its reverse index) instead of
+    /// growing; values stay bitwise-identical (the rebuild invariant),
+    /// only wall time is traded for memory. `None` = never degrade.
+    pub memory_budget_mb: Option<usize>,
 }
 
 impl Default for EpfConfig {
@@ -99,6 +127,10 @@ impl Default for EpfConfig {
             wall_limit: None,
             step_limit: None,
             kernel: Kernel::default(),
+            gap_limit: None,
+            exact_cert: 0,
+            layout: crate::penalty::PenaltyLayout::default(),
+            memory_budget_mb: None,
         }
     }
 }
@@ -170,34 +202,15 @@ pub(crate) fn caps_of(inst: &MipInstance, layout: &RowLayout) -> Vec<f64> {
 }
 
 /// Recompute coupling usage and objective from scratch (drift washout).
+/// Serial entry point — the solver's own call sites go through
+/// [`crate::shard::state`], which shards the same loop over the worker
+/// pool with a thread-count-invariant summation tree.
 pub(crate) fn compute_state(
     inst: &MipInstance,
     layout: &RowLayout,
     blocks: &[BlockSolution],
 ) -> (Vec<f64>, f64) {
-    let mut usage = vec![0.0; layout.n_rows()];
-    let mut obj = 0.0;
-    for (b, data) in blocks.iter().zip(inst.blocks()) {
-        for &(i, yv) in &b.y {
-            usage[layout.disk_row(i)] += data.size_gb * yv;
-            if let Some(&fo) = data.facility_obj_cost.get(i.index()) {
-                obj += fo * yv;
-            }
-        }
-        for (client, dist) in data.clients.iter().zip(&b.x) {
-            for &(i, xv) in dist {
-                obj += client.demand_gb * inst.cost(i, client.j) * xv;
-                for (t, &rate) in client.rate.iter().enumerate() {
-                    if rate != 0.0 {
-                        for &l in inst.paths.path(i, client.j) {
-                            usage[layout.link_row(l, t)] += rate * xv;
-                        }
-                    }
-                }
-            }
-        }
-    }
-    (usage, obj)
+    crate::shard::state(inst, layout, blocks, 1)
 }
 
 /// Sparse merge iterator over two sorted `(VhoId, f64)` lists yielding
@@ -442,22 +455,114 @@ fn lagrangian_bound(
     Some((scaled_sum - penalty_mass) / smoothed.obj)
 }
 
-/// Final lower-bound polish: projected Polyak-step subgradient ascent
-/// on the Lagrangian dual `g(μ) = Σ_k min_{z∈F^k} (c + μA)z − μ·b`
-/// over `μ ≥ 0`, seeded with the best duals the EPF loop saw.
+/// Exact-certified Lagrangian bound at the smoothed duals: as
+/// [`lagrangian_bound`], but every block bound is
+/// `max(dual-ascent, exact block LP)` — both valid per-block bounds,
+/// so the mix is valid. This is the certificate that converts a failed
+/// `FEAS(B)` run's *uncertified* `lo` lift into a certified lower
+/// bound: the run's own terminal duals typically prove a bound within
+/// a fraction of a percent of the infeasible target `B`, which is what
+/// lets the bisection close a ≤2 % certified gap instead of reporting
+/// `converged: false` with a loose heuristic bound.
+fn exact_lagrangian(
+    layout: &RowLayout,
+    coupling: &Coupling,
+    smoothed: &Duals,
+    pool: &WorkerPool<'_>,
+    idx_all: &[usize],
+) -> Option<f64> {
+    if smoothed.obj <= 0.0 {
+        return None;
+    }
+    pool.update_penalty(smoothed);
+    let heur = pool.dual_bounds(idx_all);
+    let exact = pool.exact_bounds(idx_all);
+    let scaled_sum: f64 = heur.iter().zip(&exact).map(|(&h, &e)| h.max(e)).sum();
+    let penalty_mass: f64 = (0..layout.n_rows())
+        .map(|r| smoothed.rows[r] * coupling.cap(r))
+        .sum();
+    Some((scaled_sum - penalty_mass) / smoothed.obj)
+}
+
+/// One evaluation of the Lagrangian dual at capacity-normalized
+/// multipliers `ν` (`ν_r = μ_r·b_r`): retargets the arena, runs one
+/// parallel block sweep, and returns `g(ν) = Σ_k bound_k − Σ_r ν_r`
+/// while filling `rel` with the ν-space subgradient (the dimensionless
+/// relative violation of each row under the block minimizers).
 ///
-/// The ascent works in *capacity-normalized* coordinates
-/// `ν_r = μ_r·b_r`, whose gradient is the dimensionless relative
-/// violation of each row under the block minimizers — this conditions
-/// the step uniformly across disk rows (GB) and link rows (Mb/s).
-/// Every iterate's value is computed from valid per-block lower bounds
-/// (dual ascent, or exact block LPs under `EPF_EXACT_BLOCKS=1`), so the
-/// best value seen is always a valid global bound.
+/// `exact_set` lists blocks whose heuristic dual-ascent bound is
+/// additionally replaced by `max(heuristic, exact block LP)` — both
+/// are valid per-block lower bounds, so the mix is a valid global
+/// bound at any subset (the hybrid certification trick: exact LPs only
+/// where the heuristic is loose).
+#[allow(clippy::too_many_arguments)]
+fn polish_eval(
+    coupling: &Coupling,
+    pool: &WorkerPool<'_>,
+    idx_all: &[usize],
+    nu: &[f64],
+    exact_set: &[usize],
+    duals: &mut Duals,
+    rel: &mut [f64],
+    per: &mut [f64],
+) -> f64 {
+    for (r, d) in duals.rows.iter_mut().enumerate() {
+        *d = nu[r] / coupling.cap(r);
+    }
+    duals.bump_version();
+    pool.update_penalty(duals);
+    // A full exact set upgrades the whole sweep: exact bounds *and*
+    // exact-minimizer usage, so the returned `rel` is a true
+    // subgradient of the Lagrangian dual rather than the heuristic
+    // minimizer's approximation of it.
+    let full_exact = exact_set.len() == idx_all.len();
+    let results = pool.polish_sweep(idx_all, full_exact);
+    for (slot, (lb, _)) in per.iter_mut().zip(&results) {
+        *slot = *lb;
+    }
+    if !full_exact && !exact_set.is_empty() {
+        let exact = pool.exact_bounds(exact_set);
+        for (&m, &e) in exact_set.iter().zip(&exact) {
+            if e > per[m] {
+                per[m] = e;
+            }
+        }
+    }
+    rel.fill(-1.0); // gradient in ν-space
+    for (_, usage) in &results {
+        for &(row, u) in usage {
+            rel[row] += u / coupling.cap(row);
+        }
+    }
+    per.iter().sum::<f64>() - nu.iter().sum::<f64>()
+}
+
+/// Final lower-bound polish: monotone-guarded subgradient ascent on the
+/// Lagrangian dual `g(μ) = Σ_k min_{z∈F^k} (c + μA)z − μ·b` over
+/// `μ ≥ 0`, seeded with the smoothed duals the EPF loop ended on.
+///
+/// The ascent works in *capacity-normalized* coordinates `ν_r = μ_r·b_r`
+/// with exponentiated-gradient steps (multiplicative updates adapt
+/// price magnitudes geometrically, which matters because the EPF seed
+/// can be off by orders of magnitude). Unlike a free-running
+/// subgradient scheme, the iterate is leashed to the best point seen:
+/// any step that loses more than 3 % of the best value — or sustained
+/// non-improvement — resets to the best iterate with a smaller step, so
+/// the returned bound can never fall below the seed's own evaluation
+/// (the failure mode that used to throw away a good seed entirely).
+///
+/// Two stages: `cfg.polish_iters` iterations with the cheap per-block
+/// dual-ascent bounds, then — when `cfg.exact_cert > 0` — an exact
+/// certification stage: one full exact-block-LP sweep calibrates which
+/// blocks the heuristic underestimates, and `exact_cert` further ascent
+/// iterations evaluate exact LPs on that subset only (valid at any
+/// subset, see [`polish_eval`]). Every iterate's value is a valid
+/// global bound, so the best value seen is returned.
 fn polish_bound(
     layout: &RowLayout,
     coupling: &Coupling,
     start: &Duals,
-    iters: usize,
+    cfg: &EpfConfig,
     pool: &WorkerPool<'_>,
     idx_all: &[usize],
 ) -> f64 {
@@ -465,64 +570,99 @@ fn polish_bound(
         return f64::NEG_INFINITY;
     }
     let n_rows = layout.n_rows();
+    let trace = std::env::var_os("EPF_TRACE").is_some();
     // Normalized multipliers ν_r = (π_r/π_0)·b_r.
-    let mut nu: Vec<f64> = (0..n_rows)
+    let seed_nu: Vec<f64> = (0..n_rows)
         .map(|r| (start.rows[r] / start.obj) * coupling.cap(r))
         .collect();
-    let mut best = f64::NEG_INFINITY;
-    let mut theta = 0.5f64;
-    let mut fails = 0u32;
-    let exact_blocks = std::env::var_os("EPF_EXACT_BLOCKS").is_some();
     // Iteration-invariant buffers: the trial duals (rows mutated in
-    // place, version bumped so the arena never skips the retarget) and
-    // the ν-space gradient.
+    // place, version bumped so the arena never skips the retarget),
+    // the ν-space gradient, and the per-block bound scratch.
     let mut duals = Duals::new(vec![0.0; n_rows], 1.0);
     let mut rel = vec![-1.0f64; n_rows];
-    for _ in 0..iters {
-        for (r, d) in duals.rows.iter_mut().enumerate() {
-            *d = nu[r] / coupling.cap(r);
-        }
-        duals.bump_version();
-        pool.update_penalty(&duals);
-        // One parallel sweep: per-block valid bound + the heuristic
-        // minimizer's resource usage (the subgradient).
-        let results = pool.polish_sweep(idx_all, exact_blocks);
-        let mut g: f64 = results.iter().map(|(lb, _)| lb).sum();
-        rel.fill(-1.0); // gradient in ν-space
-        for (_, usage) in &results {
-            for &(row, u) in usage {
-                rel[row] += u / coupling.cap(row);
-            }
-        }
-        g -= nu.iter().sum::<f64>();
-        if std::env::var_os("EPF_TRACE").is_some() {
-            eprintln!("polish: g={g:.2} best={best:.2} theta={theta:.4}");
-        }
-        if g > best {
-            best = g;
-            fails = 0;
-        } else {
-            // The evaluation is noisy (heuristic block minimizers), so
-            // only shrink the step after sustained non-improvement.
-            fails += 1;
-            if fails >= 5 {
-                theta *= 0.7;
-                fails = 0;
-            }
-        }
-        if theta < 1e-3 {
-            break;
-        }
-        // Exponentiated-gradient step: scale each row's price by the
-        // exponential of its (clamped) relative violation under the
-        // block minimizers. Multiplicative updates adapt the price
-        // *magnitude* geometrically, which matters because the EPF
-        // seed can be off by orders of magnitude; a small additive
-        // floor lets zero rows revive.
+    let mut per = vec![0.0f64; idx_all.len()];
+
+    let mut nu = seed_nu.clone();
+    let mut best = polish_eval(
+        coupling,
+        pool,
+        idx_all,
+        &nu,
+        &[],
+        &mut duals,
+        &mut rel,
+        &mut per,
+    );
+    let mut best_nu = nu.clone();
+    let mut best_rel = rel.clone();
+
+    // The shared ascent step: exponentiated gradient with a small
+    // additive floor so zero rows can revive.
+    let step = |nu: &mut [f64], rel: &[f64], theta: f64| {
         let floor = nu.iter().cloned().fold(0.0f64, f64::max) * 1e-9 + 1e-15;
-        for r in 0..n_rows {
-            let x = rel[r].clamp(-1.0, 1.0);
-            nu[r] = (nu[r] + floor) * (theta * x).exp();
+        for (v, &g) in nu.iter_mut().zip(rel) {
+            let x = g.clamp(-1.0, 1.0);
+            *v = (*v + floor) * (theta * x).exp();
+        }
+    };
+
+    for stage in 0..2 {
+        let (iters, exact_set): (usize, &[usize]) = if stage == 0 {
+            (cfg.polish_iters, &[])
+        } else {
+            if cfg.exact_cert == 0 {
+                break;
+            }
+            // Certification stage: evaluate with exact block LPs on
+            // *every* block. On hard instances the heuristic
+            // dual-ascent bounds can undershoot the true block minima
+            // by tens of percent, which buries any dual progress in
+            // evaluation noise — no calibrated subset survives that,
+            // so the certification wander pays for the full sweep. The
+            // first full-exact evaluation at the best point itself
+            // lifts `best` (it can only raise per-block bounds).
+            nu.copy_from_slice(&best_nu);
+            best = polish_eval(
+                coupling, pool, idx_all, &nu, idx_all, &mut duals, &mut rel, &mut per,
+            )
+            .max(best);
+            if trace {
+                eprintln!(
+                    "polish: exact stage on all {} blocks (best={best:.2})",
+                    idx_all.len()
+                );
+            }
+            best_rel.copy_from_slice(&rel);
+            (cfg.exact_cert, idx_all)
+        };
+        nu.copy_from_slice(&best_nu);
+        rel.copy_from_slice(&best_rel);
+        // Non-monotone diminishing-step subgradient ascent. The dual is
+        // concave but kinked: at a kink the subgradient direction can
+        // *decrease* g, so a monotone line-search style loop just
+        // shrinks its step to nothing at the seed. The classic scheme —
+        // let the iterate wander with θ_k = θ₀/√k and keep the best
+        // value seen (every iterate is a valid bound) — climbs through
+        // the kinks instead. One leash only: a catastrophic drop (>15 %
+        // of best) restarts the wander from the best point.
+        let theta0 = if stage == 0 { 0.2f64 } else { 0.05f64 };
+        for it in 0..iters {
+            let theta = theta0 / ((it + 1) as f64).sqrt();
+            step(&mut nu, &rel, theta);
+            let g = polish_eval(
+                coupling, pool, idx_all, &nu, exact_set, &mut duals, &mut rel, &mut per,
+            );
+            if trace {
+                eprintln!("polish[{stage}]: g={g:.2} best={best:.2} theta={theta:.4}");
+            }
+            if g > best {
+                best = g;
+                best_nu.copy_from_slice(&nu);
+                best_rel.copy_from_slice(&rel);
+            } else if g < best * 0.85 {
+                nu.copy_from_slice(&best_nu);
+                rel.copy_from_slice(&best_rel);
+            }
         }
     }
     best
@@ -656,7 +796,20 @@ pub(crate) fn solve_fractional_driven(
     // the arena starts fresh and is rebuilt at the first chunk's dual
     // snapshot — bitwise-equal to the incremental updates it replaces,
     // by the arena's rebuild invariant (`tests/penalty_props.rs`).
-    let arena = RwLock::new(PenaltyArena::new(inst, &layout));
+    // Under a memory budget, the arena gets the bytes left after the
+    // fixed working set (block data + solutions + potential rows +
+    // scratch) — exceeding it degrades the sparse arena to streaming
+    // window rebuilds instead of OOM-ing.
+    let arena_budget = cfg.memory_budget_mb.map(|mb| {
+        let fixed = approx_bytes(inst, &[], &layout, 0, threads);
+        (mb << 20).saturating_sub(fixed)
+    });
+    let arena = RwLock::new(PenaltyArena::with_layout(
+        inst,
+        &layout,
+        cfg.layout,
+        arena_budget,
+    ));
     std::thread::scope(|scope| {
         let pool = WorkerPool::new(scope, threads, inst, layout, &arena, cfg.kernel);
         solve_with_pool(inst, cfg, layout, &pool, start, warm, resume, ckpt)
@@ -735,7 +888,7 @@ fn solve_with_pool(
     let fingerprint = crate::checkpoint::config_fingerprint(cfg, inst);
 
     /// Outcome of one fixed-target FEAS run.
-    #[derive(PartialEq, Clone, Copy)]
+    #[derive(PartialEq, Clone, Copy, Debug)]
     enum RunOutcome {
         /// δ(z) ≤ ε reached.
         Reached,
@@ -755,8 +908,14 @@ fn solve_with_pool(
         /// steps genuinely converge — unlike any scheme that retargets
         /// B every pass (see DESIGN.md §4).
         Run(RunState),
-        /// A run just ended; fold its outcome into lb/ub/lo.
-        RunDone { outcome: RunOutcome, lb_run: f64 },
+        /// A run just ended; fold its outcome into lb/ub/lo. Carries
+        /// the ended run's pass budget so the next run's budget can
+        /// adapt from checkpointed state only (resume-safe).
+        RunDone {
+            outcome: RunOutcome,
+            lb_run: f64,
+            budget: usize,
+        },
         /// Phase 2 steering: converged/budget checks, next target B.
         PickTarget,
     }
@@ -779,14 +938,15 @@ fn solve_with_pool(
         None => {
             // Initial solution: warm-started from a previous placement
             // when given, otherwise each video at its biggest client.
-            let blocks: Vec<BlockSolution> = inst
-                .blocks()
-                .iter()
-                .map(|b| match warm {
+            // Per-block independent, so the sharded build is
+            // thread-count invariant by construction.
+            let blocks: Vec<BlockSolution> = crate::shard::build_blocks(threads, n, |m| {
+                let b = &inst.blocks()[m];
+                match warm {
                     Some(prev) => warm_block(inst, b, prev.stores(b.video), inst.n_vhos()),
                     None => initial_block(b, inst.n_vhos()),
-                })
-                .collect();
+                }
+            });
 
             // Trivial lower bound LR(0): per-block dual ascent with
             // zero multipliers (pure objective UFL). The fresh arena is
@@ -796,7 +956,7 @@ fn solve_with_pool(
             pool.update_penalty(&zero_duals);
             let lb0: f64 = pool.dual_bounds(&idx_all).iter().sum();
 
-            let (usage, obj0) = compute_state(inst, &layout, &blocks);
+            let (usage, obj0) = crate::shard::state(inst, &layout, &blocks, threads);
             let mut coupling = Coupling::new(layout, caps_of(inst, &layout), cfg.gamma, None);
             coupling.set_state(usage, obj0);
             coupling.init_scale(cfg.epsilon);
@@ -860,6 +1020,10 @@ fn solve_with_pool(
 
     const STALL_WINDOW: usize = 25;
     let run_budget = (cfg.max_passes / 6).clamp(25, 400);
+    // Next phase-2 run's pass budget; always (re)set by a `RunDone`
+    // before any `PickTarget` consumes it, and derived only from the
+    // checkpointed `RunState.budget`, so it needs no checkpoint field.
+    let mut next_budget = run_budget;
     // Opt-in budgets, both checked at pass boundaries only: the wall
     // clock restarts on resume (operational latency cap), the step
     // budget is the checkpointed pass counter (deterministic).
@@ -874,7 +1038,7 @@ fn solve_with_pool(
                   passes_done: usize,
                   block_steps: u64| {
         let mut coupling_final = Coupling::new(layout, caps_of(inst, &layout), cfg.gamma, None);
-        let (usage, objective) = compute_state(inst, &layout, &blocks);
+        let (usage, objective) = crate::shard::state(inst, &layout, &blocks, threads);
         coupling_final.set_state(usage, objective);
         let max_violation = coupling_final.delta_c().max(0.0);
         let bytes = approx_bytes(
@@ -918,6 +1082,7 @@ fn solve_with_pool(
                     Phase::RunDone {
                         outcome: RunOutcome::Budget,
                         lb_run: run.lb_run,
+                        budget: run.budget,
                     }
                 } else {
                     run.local_pass += 1;
@@ -973,7 +1138,7 @@ fn solve_with_pool(
 
                     // Drift washout.
                     if run.local_pass % 25 == 0 {
-                        let (usage, obj) = compute_state(inst, &layout, &blocks);
+                        let (usage, obj) = crate::shard::state(inst, &layout, &blocks, threads);
                         coupling.set_state(usage, obj);
                     }
                     coupling.update_scale(cfg.epsilon);
@@ -1027,11 +1192,27 @@ fn solve_with_pool(
                         Phase::RunDone {
                             outcome: RunOutcome::Reached,
                             lb_run: run.lb_run,
+                            budget: run.budget,
                         }
-                    } else if run.local_pass % STALL_WINDOW == 0 && run.snap_delta - dz < 1e-4 {
+                    } else if run.local_pass % STALL_WINDOW == 0 && {
+                        // Gap-based early stop: a window with next to no
+                        // progress is a stall (the historical rule), and
+                        // so is a window whose progress rate — even
+                        // extrapolated over the *whole* remaining budget
+                        // — cannot bring δ down to ε. Long runs on an
+                        // infeasible target asymptote above ε with a
+                        // slow, steady creep; projecting the creep stops
+                        // them at the next window boundary instead of
+                        // letting them drain the global pass budget.
+                        let progress = run.snap_delta - dz;
+                        let windows_left =
+                            run.budget.saturating_sub(run.local_pass) as f64 / STALL_WINDOW as f64;
+                        progress < 1e-4 || dz - progress * windows_left > cfg.epsilon
+                    } {
                         Phase::RunDone {
                             outcome: RunOutcome::Stalled,
                             lb_run: run.lb_run,
+                            budget: run.budget,
                         }
                     } else {
                         if run.local_pass % STALL_WINDOW == 0 {
@@ -1070,7 +1251,17 @@ fn solve_with_pool(
                 }
             }
 
-            Phase::RunDone { outcome, lb_run } => {
+            Phase::RunDone {
+                outcome,
+                lb_run,
+                budget,
+            } => {
+                if std::env::var_os("EPF_TRACE").is_some() {
+                    eprintln!(
+                        "run done: outcome={outcome:?} budget={budget} B={:?} ub={ub:.2} lb={lb:.2} lo={lo:.2} pass={global_pass}",
+                        coupling.target()
+                    );
+                }
                 if coupling.target().is_none() {
                     // Phase 1 ended (`lb_run` tracked nothing: no
                     // objective row means LR is unavailable).
@@ -1093,12 +1284,7 @@ fn solve_with_pool(
                         // what we have.
                         if cfg.polish_iters > 0 {
                             lb = lb.max(polish_bound(
-                                &layout,
-                                &coupling,
-                                &smoothed,
-                                cfg.polish_iters,
-                                pool,
-                                &idx_all,
+                                &layout, &coupling, &smoothed, cfg, pool, &idx_all,
                             ));
                         }
                         return finish(blocks, lb, false, passes_done, block_steps);
@@ -1109,6 +1295,7 @@ fn solve_with_pool(
                     // `lo` steers the bisection: certified lb, raised
                     // (uncertified) on failed FEAS(B) runs.
                     lo = lb.max(ub * 1e-3).max(1e-12);
+                    next_budget = run_budget;
                     Phase::PickTarget
                 } else {
                     if lb_run > lb {
@@ -1122,14 +1309,65 @@ fn solve_with_pool(
                                 ub = obj;
                                 zstar = blocks.clone();
                             }
+                            next_budget = budget;
                         }
                         RunOutcome::Stalled | RunOutcome::Budget => {
+                            // The *target row* still violates ε, but
+                            // the terminal iterate may already be
+                            // ε-feasible in the real coupling rows (the
+                            // target row is only the bisection device,
+                            // and it is exactly the real-row violation
+                            // that the returned solution's
+                            // `max_violation` reports). Harvest it when
+                            // it beats the incumbent — FEAS(B) runs
+                            // that *nearly* reach a low target often
+                            // end on better points than the last run
+                            // that fully converged.
+                            // Only *stalled* endpoints are harvested:
+                            // they are descent fixed points, so their
+                            // blocks are as settled as a Reached
+                            // iterate's. A Budget endpoint is an
+                            // arbitrary mid-descent snapshot — often
+                            // lower-objective but much more fractional,
+                            // which the rounding pass pays for.
+                            let obj = coupling.objective();
+                            if outcome == RunOutcome::Stalled
+                                && coupling.delta_c() <= cfg.epsilon
+                                && obj < ub
+                            {
+                                ub = obj;
+                                zstar = blocks.clone();
+                            }
                             // FEAS(B) looks infeasible at this target:
                             // steer the bisection up (not a certified
                             // bound).
                             if let Some(b) = coupling.target() {
                                 lo = lo.max(b);
                             }
+                            // With exact certification enabled, convert
+                            // the failure into a *certified* bound: the
+                            // exact-block-LP Lagrangian at the run's own
+                            // smoothed duals lands close to the
+                            // infeasible target.
+                            if cfg.exact_cert > 0 {
+                                if let Some(lr) =
+                                    exact_lagrangian(&layout, &coupling, &smoothed, pool, &idx_all)
+                                {
+                                    if lr > lb {
+                                        lb = lr;
+                                    }
+                                }
+                            }
+                            // Adaptive patience: a run that ran out of
+                            // budget might only have needed more
+                            // passes; give the next run 1.5×. Derived
+                            // from the checkpointed `RunState.budget`
+                            // alone, so resume replays identically.
+                            next_budget = if outcome == RunOutcome::Budget {
+                                (budget.saturating_mul(3) / 2).min(1200)
+                            } else {
+                                budget
+                            };
                         }
                     }
                     Phase::PickTarget
@@ -1137,33 +1375,30 @@ fn solve_with_pool(
             }
 
             Phase::PickTarget => {
-                let mut converged = ub <= (1.0 + cfg.epsilon) * lb + 1e-9;
+                // Certification tolerance: `gap_limit` when set (the
+                // gap-based early stop), `epsilon` otherwise.
+                let cert = cfg.gap_limit.unwrap_or(cfg.epsilon);
+                let mut converged = ub <= (1.0 + cert) * lb + 1e-9;
                 let out_of_budget =
                     passes_done >= cfg.max_passes || over_wall() || over_steps(global_pass);
                 // Pinched: B cannot move meaningfully anymore.
-                let pinched = ub <= lo * (1.0 + cfg.epsilon);
+                let pinched = ub <= lo * (1.0 + cert);
                 if converged || out_of_budget || pinched {
                     // Certification polish: tighten the Lagrangian
-                    // bound by Polyak subgradient ascent from the (now
-                    // well-tuned) EPF duals.
+                    // bound by monotone subgradient ascent from the
+                    // (now well-tuned) EPF duals.
                     if !converged && cfg.polish_iters > 0 {
-                        let polished = polish_bound(
-                            &layout,
-                            &coupling,
-                            &smoothed,
-                            cfg.polish_iters,
-                            pool,
-                            &idx_all,
-                        );
+                        let polished =
+                            polish_bound(&layout, &coupling, &smoothed, cfg, pool, &idx_all);
                         lb = lb.max(polished);
-                        converged = ub <= (1.0 + cfg.epsilon) * lb + 1e-9;
+                        converged = ub <= (1.0 + cert) * lb + 1e-9;
                     }
                     return finish(zstar, lb, converged, passes_done, block_steps);
                 }
                 let b = (lo * ub).sqrt().min(ub / (1.0 + 1.5 * cfg.epsilon)).max(lo);
                 coupling.set_target(b);
                 coupling.init_scale(cfg.epsilon); // re-scale δ for the new target
-                let budget = run_budget.min(cfg.max_passes.saturating_sub(passes_done).max(1));
+                let budget = next_budget.min(cfg.max_passes.saturating_sub(passes_done).max(1));
                 Phase::Run(RunState {
                     local_pass: 0,
                     budget,

@@ -44,6 +44,7 @@ pub mod penalty;
 pub mod pool;
 pub mod potential;
 pub mod rounding;
+pub mod shard;
 pub mod solution;
 pub mod solver;
 

@@ -89,8 +89,9 @@ where
 pub(crate) enum JobKind {
     /// Lagrangized UFL heuristic minimizer (the Frank-Wolfe direction).
     Solve,
-    /// Per-block dual-ascent lower bound.
-    DualBound,
+    /// Per-block lower bound: dual ascent, or the exact block LP
+    /// (`exact: true` — the polish's hybrid certification subset).
+    DualBound { exact: bool },
     /// Polish sweep: valid bound + heuristic minimizer's resource usage.
     Polish { exact: bool },
 }
@@ -188,7 +189,21 @@ impl<'env> WorkerPool<'env> {
 
     /// Per-block dual-ascent bounds for `items`, in item order.
     pub(crate) fn dual_bounds(&self, items: &[usize]) -> Vec<f64> {
-        self.run(items, JobKind::DualBound)
+        self.run(items, JobKind::DualBound { exact: false })
+            .into_iter()
+            .flat_map(|o| match o {
+                JobOutput::Bounds(v) => v,
+                _ => unreachable!("DualBound job returned a non-Bounds output"), // lint:allow(no-panic-hot-path): exec_job pairs DualBound with Bounds
+            })
+            .collect()
+    }
+
+    /// Exact per-block LP bounds for `items`, in item order — the
+    /// polish's hybrid certification path (orders of magnitude more
+    /// expensive per block than [`WorkerPool::dual_bounds`]; callers
+    /// restrict `items` to the calibrated loose subset).
+    pub(crate) fn exact_bounds(&self, items: &[usize]) -> Vec<f64> {
+        self.run(items, JobKind::DualBound { exact: true })
             .into_iter()
             .flat_map(|o| match o {
                 JobOutput::Bounds(v) => v,
@@ -310,7 +325,7 @@ fn exec_job(
                 })
                 .collect(),
         ),
-        JobKind::DualBound => JobOutput::Bounds(
+        JobKind::DualBound { exact } => JobOutput::Bounds(
             items
                 .iter()
                 .map(|&m| {
@@ -323,9 +338,13 @@ fn exec_job(
                         &mut scratch.ufl,
                         kernel,
                     );
-                    scratch
-                        .ufl
-                        .dual_ascent_bound_with_kernel(&mut scratch.search, kernel)
+                    if exact {
+                        crate::direct::exact_block_lp(&scratch.ufl)
+                    } else {
+                        scratch
+                            .ufl
+                            .dual_ascent_bound_with_kernel(&mut scratch.search, kernel)
+                    }
                 })
                 .collect(),
         ),
@@ -346,6 +365,23 @@ fn exec_job(
                     // Both solvers run on this build: fuse their
                     // seeding passes (column sums + row minima).
                     scratch.ufl.precompute_lane_aux(kernel);
+                    let empty = BlockSolution {
+                        y: Vec::new(),
+                        x: vec![Vec::new(); data.clients.len()],
+                    };
+                    // Exact mode wants the LP *minimizer's* usage, not
+                    // the heuristic's: the pair (exact bound, exact
+                    // argmin) is what makes the polish's certification
+                    // direction a true subgradient of the Lagrangian
+                    // dual.
+                    if exact {
+                        if let Some((lb, hat)) =
+                            crate::direct::exact_block_lp_solution(&scratch.ufl)
+                        {
+                            let (usage, _dobj) = block_delta(inst, layout, data, &empty, &hat);
+                            return (lb, usage);
+                        }
+                    }
                     let lb = if exact {
                         crate::direct::exact_block_lp(&scratch.ufl)
                     } else {
@@ -357,10 +393,6 @@ fn exec_job(
                         .ufl
                         .solve_local_search_fast_with_kernel(&mut scratch.search, kernel);
                     let hat = BlockSolution::from_ufl(&sol);
-                    let empty = BlockSolution {
-                        y: Vec::new(),
-                        x: vec![Vec::new(); data.clients.len()],
-                    };
                     let (usage, _dobj) = block_delta(inst, layout, data, &empty, &hat);
                     (lb, usage)
                 })

@@ -15,7 +15,7 @@ pub const INT_TOL: f64 = 1e-6;
 /// One video's (possibly fractional) solution: its `y_i^m` values and,
 /// for each block client (same order as `VideoBlock::clients`), the
 /// serving distribution `x_{·j}^m`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BlockSolution {
     /// Sparse `(i, y_i)` with `y_i > 0`, sorted by VHO.
     pub y: Vec<(VhoId, f64)>,

@@ -19,7 +19,7 @@ use proptest::prelude::*;
 use std::sync::OnceLock;
 use vod_core::block::{UflProblem, UflScratch};
 use vod_core::kernel::{self, Kernel};
-use vod_core::penalty::PenaltyArena;
+use vod_core::penalty::{PenaltyArena, PenaltyLayout};
 use vod_core::potential::{Duals, RowLayout};
 use vod_core::{DiskConfig, MipInstance};
 use vod_model::Mbps;
@@ -191,9 +191,12 @@ proptest! {
         let (inst, layout) = setup();
         let n_rows = layout.n_rows();
         let target = Duals::new((0..n_rows).map(|r| scale * (r % 5) as f64).collect(), 1.0);
-        let reference = PenaltyArena::for_duals(inst, layout, &target, Kernel::Scalar);
+        // Dense layout: window() compares whole matrices (the sparse
+        // layout's bitwise identity is pinned by penalty_props.rs).
+        let mut reference = PenaltyArena::with_layout(inst, layout, PenaltyLayout::Dense, None);
+        reference.update(inst, layout, &target, Kernel::Scalar);
         for &k in Kernel::all() {
-            let mut arena = PenaltyArena::new(inst, layout);
+            let mut arena = PenaltyArena::with_layout(inst, layout, PenaltyLayout::Dense, None);
             let mut duals = Duals::new(vec![0.0; n_rows], 1.0);
             for &(raw_row, bump) in &detours {
                 duals.rows[raw_row % n_rows] += bump;

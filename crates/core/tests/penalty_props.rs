@@ -1,15 +1,19 @@
-//! Property test for the incremental penalty arena: after **any**
+//! Property tests for the incremental penalty arena: after **any**
 //! sequence of dual perturbations, the incrementally-maintained arena
 //! must be bitwise identical to a from-scratch rebuild under the final
-//! duals. This is the invariant (`crates/core/src/penalty.rs`: dirty
-//! entries are re-summed in path order, never patched with deltas)
-//! that lets the EPF hot path reuse one flat arena across tens of
-//! thousands of dual snapshots without ever drifting from the
-//! reference semantics.
+//! duals — in *every* layout. This is the invariant
+//! (`crates/core/src/penalty.rs`: dirty entries are re-summed in path
+//! order, never patched with deltas) that lets the EPF hot path reuse
+//! one flat arena across tens of thousands of dual snapshots without
+//! ever drifting from the reference semantics, and it is what makes
+//! [`PenaltyLayout`] a pure memory knob: the sparse arena (and its
+//! budget-degraded streaming variant) must read bitwise-equal to the
+//! dense one at every `(window, server, client)` triple, on random
+//! topologies and random dual trajectories alike.
 #![allow(clippy::unwrap_used, clippy::float_cmp)]
 use proptest::prelude::*;
 use std::sync::OnceLock;
-use vod_core::penalty::PenaltyArena;
+use vod_core::penalty::{PenaltyArena, PenaltyLayout};
 use vod_core::potential::{Duals, RowLayout};
 use vod_core::Kernel;
 use vod_core::{DiskConfig, MipInstance};
@@ -19,31 +23,62 @@ use vod_trace::{
     analysis, generate_trace, synthesize_library, DemandInput, LibraryConfig, TraceConfig,
 };
 
+fn build_instance(n_vhos: usize, n_videos: usize, seed: u64) -> (MipInstance, RowLayout) {
+    let mut net = topologies::mesh_backbone(n_vhos, n_vhos * 3 / 2, seed);
+    net.set_uniform_capacity(Mbps::from_gbps(1.0));
+    let catalog = synthesize_library(&LibraryConfig::default_for(n_videos, 7, seed));
+    let trace = generate_trace(
+        &catalog,
+        &net,
+        &TraceConfig::default_for(n_videos as f64 * 15.0, 7, seed),
+    );
+    let windows = analysis::select_peak_windows(&trace, &catalog, 3600, 2);
+    let demand = DemandInput::from_trace(&trace, &catalog, net.num_nodes(), windows);
+    let inst = MipInstance::new(
+        net,
+        catalog,
+        demand,
+        &DiskConfig::UniformRatio { ratio: 2.0 },
+        1.0,
+        0.0,
+        None,
+    );
+    let layout = RowLayout {
+        n_vhos: inst.n_vhos(),
+        n_links: inst.network.num_links(),
+        n_windows: inst.n_windows(),
+    };
+    (inst, layout)
+}
+
 fn setup() -> &'static (MipInstance, RowLayout) {
     static SETUP: OnceLock<(MipInstance, RowLayout)> = OnceLock::new();
-    SETUP.get_or_init(|| {
-        let mut net = topologies::mesh_backbone(6, 9, 33);
-        net.set_uniform_capacity(Mbps::from_gbps(1.0));
-        let catalog = synthesize_library(&LibraryConfig::default_for(40, 7, 33));
-        let trace = generate_trace(&catalog, &net, &TraceConfig::default_for(600.0, 7, 33));
-        let windows = analysis::select_peak_windows(&trace, &catalog, 3600, 2);
-        let demand = DemandInput::from_trace(&trace, &catalog, net.num_nodes(), windows);
-        let inst = MipInstance::new(
-            net,
-            catalog,
-            demand,
-            &DiskConfig::UniformRatio { ratio: 2.0 },
-            1.0,
-            0.0,
-            None,
-        );
-        let layout = RowLayout {
-            n_vhos: inst.n_vhos(),
-            n_links: inst.network.num_links(),
-            n_windows: inst.n_windows(),
-        };
-        (inst, layout)
-    })
+    SETUP.get_or_init(|| build_instance(6, 40, 33))
+}
+
+/// Every `(t, i, j)` read of `a` and `b` is bitwise identical — the
+/// cross-layout equivalence the sparse arena promises.
+fn assert_reads_bitwise_equal(layout: &RowLayout, a: &PenaltyArena, b: &PenaltyArena, what: &str) {
+    let v = layout.n_vhos;
+    for t in 0..layout.n_windows {
+        for j in 0..v {
+            for i in 0..v {
+                let (x, y) = (a.at(t, i, j), b.at(t, i, j));
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "{what}: at({t},{i},{j}): {x} vs {y}"
+                );
+            }
+            if a.row_stored(t, j) && b.row_stored(t, j) {
+                assert_eq!(
+                    a.client_row(t, j),
+                    b.client_row(t, j),
+                    "{what}: row {t}/{j}"
+                );
+            }
+        }
+    }
 }
 
 fn assert_arena_matches_rebuild(
@@ -52,21 +87,13 @@ fn assert_arena_matches_rebuild(
     arena: &PenaltyArena,
     duals: &Duals,
 ) {
-    // The rebuild deliberately uses the Scalar reference backend while
-    // the incremental arena under test ran on Chunked: this pins the
-    // rebuild invariant *and* cross-backend bitwise identity at once.
-    let fresh = PenaltyArena::for_duals(inst, layout, duals, Kernel::Scalar);
-    for t in 0..layout.n_windows {
-        let (a, f) = (arena.window(t), fresh.window(t));
-        assert_eq!(a.len(), f.len());
-        for (k, (x, y)) in a.iter().zip(f).enumerate() {
-            assert_eq!(
-                x.to_bits(),
-                y.to_bits(),
-                "window {t} entry {k}: incremental {x} vs rebuild {y}"
-            );
-        }
-    }
+    // The rebuild deliberately uses the Scalar reference backend on the
+    // *dense* layout while the incremental arena under test ran on
+    // Chunked/Sparse: this pins the rebuild invariant, cross-backend
+    // bitwise identity, and cross-layout bitwise identity at once.
+    let mut fresh = PenaltyArena::with_layout(inst, layout, PenaltyLayout::Dense, None);
+    fresh.update(inst, layout, duals, Kernel::Scalar);
+    assert_reads_bitwise_equal(layout, arena, &fresh, "incremental vs rebuild");
 }
 
 proptest! {
@@ -74,7 +101,7 @@ proptest! {
 
     /// Apply a random sequence of row perturbations (scales, bumps and
     /// zero-outs on random rows — link and disk alike) and check the
-    /// arena against the from-scratch rebuild after every update.
+    /// arena against the from-scratch dense rebuild after every update.
     #[test]
     fn incremental_matches_rebuild_after_random_perturbations(
         init in prop::collection::vec(0.0f64..2.0, 1..2),
@@ -86,7 +113,7 @@ proptest! {
         let (inst, layout) = setup();
         let n_rows = layout.n_rows();
         let mut duals = Duals::new(vec![init[0]; n_rows], 1.0);
-        let mut arena = PenaltyArena::new(inst, layout);
+        let mut arena = PenaltyArena::new(inst, layout); // default Sparse
         arena.update(inst, layout, &duals, Kernel::Chunked);
         assert_arena_matches_rebuild(inst, layout, &arena, &duals);
         for &(raw_row, op, factor) in &steps {
@@ -105,29 +132,63 @@ proptest! {
     /// Updating through intermediate snapshots and then jumping back to
     /// an earlier one (values equal, version different) still lands on
     /// the rebuild of that snapshot — path-order re-summing is
-    /// history-independent.
+    /// history-independent, in both layouts.
     #[test]
     fn arena_state_is_history_independent(scale in 0.5f64..3.0, detour in 1usize..5) {
         let (inst, layout) = setup();
         let n_rows = layout.n_rows();
         let target = Duals::new((0..n_rows).map(|r| scale * (r % 7) as f64).collect(), 1.0);
-        // Route A: straight to the target.
-        let mut direct = PenaltyArena::new(inst, layout);
-        direct.update(inst, layout, &target, Kernel::Scalar);
-        // Route B: detour through other snapshots first.
-        let mut wandering = PenaltyArena::new(inst, layout);
-        for k in 0..detour {
-            let mid = Duals::new(
-                (0..n_rows).map(|r| (r + k) as f64 * 0.125).collect(),
-                1.0,
-            );
-            wandering.update(inst, layout, &mid, Kernel::Chunked);
+        for mode in [PenaltyLayout::Dense, PenaltyLayout::Sparse] {
+            // Route A: straight to the target.
+            let mut direct = PenaltyArena::with_layout(inst, layout, mode, None);
+            direct.update(inst, layout, &target, Kernel::Scalar);
+            // Route B: detour through other snapshots first.
+            let mut wandering = PenaltyArena::with_layout(inst, layout, mode, None);
+            for k in 0..detour {
+                let mid = Duals::new(
+                    (0..n_rows).map(|r| (r + k) as f64 * 0.125).collect(),
+                    1.0,
+                );
+                wandering.update(inst, layout, &mid, Kernel::Chunked);
+            }
+            wandering.update(inst, layout, &target, Kernel::Chunked);
+            assert_reads_bitwise_equal(layout, &direct, &wandering, mode.name());
         }
-        wandering.update(inst, layout, &target, Kernel::Chunked);
-        for t in 0..layout.n_windows {
-            let (a, b) = (direct.window(t), wandering.window(t));
-            for (x, y) in a.iter().zip(b) {
-                prop_assert_eq!(x.to_bits(), y.to_bits());
+    }
+
+    /// The tentpole equivalence property: on *random topologies* and
+    /// random dual trajectories, the sparse arena — with and without
+    /// the streaming memory-budget degrade — reads bitwise-identical
+    /// to the dense arena at every `(t, i, j)`, on every kernel
+    /// backend.
+    #[test]
+    fn sparse_matches_dense_on_random_topologies(
+        dims in (5usize..9, 20usize..40),
+        seed in 0u64..500,
+        steps in prop::collection::vec((0usize..1000, 0.1f64..3.0), 1..6),
+    ) {
+        let (n_vhos, n_videos) = dims;
+        let (inst, layout) = build_instance(n_vhos, n_videos, seed);
+        let n_rows = layout.n_rows();
+        for &k in Kernel::all() {
+            let mut dense = PenaltyArena::with_layout(&inst, &layout, PenaltyLayout::Dense, None);
+            let mut sparse = PenaltyArena::with_layout(&inst, &layout, PenaltyLayout::Sparse, None);
+            // A 1-byte budget always degrades to streaming rebuilds.
+            let mut streaming =
+                PenaltyArena::with_layout(&inst, &layout, PenaltyLayout::Sparse, Some(1));
+            prop_assert!(streaming.is_streaming());
+            prop_assert!(!sparse.is_streaming());
+            prop_assert!(sparse.stored_rows() <= dense.stored_rows());
+            prop_assert!(sparse.approx_bytes() <= dense.approx_bytes());
+            let mut duals = Duals::new(vec![0.0; n_rows], 1.0);
+            for &(raw_row, bump) in &steps {
+                duals.rows[raw_row % n_rows] += bump;
+                duals.bump_version();
+                dense.update(&inst, &layout, &duals, k);
+                sparse.update(&inst, &layout, &duals, k);
+                streaming.update(&inst, &layout, &duals, k);
+                assert_reads_bitwise_equal(&layout, &sparse, &dense, k.name());
+                assert_reads_bitwise_equal(&layout, &streaming, &dense, k.name());
             }
         }
     }

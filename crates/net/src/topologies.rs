@@ -141,6 +141,17 @@ pub fn ebone() -> Network {
     mesh_backbone(23, 38, 0xEB_0E)
 }
 
+/// Ladder-scale synthetic backbone for the 10⁵–10⁶-video scale rows:
+/// `n` VHOs (the shipped ladder uses 100–500) at the ~1.7 edges/node
+/// density of the Rocketfuel maps above, so hop counts and degree skew
+/// extrapolate the Table IV graphs instead of introducing a new
+/// regime. Deterministic in `n` alone — two runs of the same ladder
+/// row always solve the same graph.
+pub fn ladder_mesh(n: usize) -> Network {
+    assert!(n >= 3, "ladder mesh needs at least a ring");
+    mesh_backbone(n, (n * 17 / 10).max(n), 0x001A_DDE2)
+}
+
 /// Spanning tree over the same nodes as `net` (BFS tree from node 0),
 /// preserving node populations — the hypothetical *tree* topology of
 /// Table IV (55 nodes → 54 links for the default backbone).
@@ -281,6 +292,29 @@ mod tests {
         let a = mesh_backbone(20, 30, 1);
         let b = mesh_backbone(20, 30, 2);
         assert_ne!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn ladder_mesh_scales_to_hundreds_of_vhos() {
+        for n in [100usize, 250, 500] {
+            let net = ladder_mesh(n);
+            assert_eq!(net.num_nodes(), n);
+            assert_eq!(net.num_undirected_edges(), n * 17 / 10);
+            assert!(net.is_strongly_connected());
+            // Proximity-biased chords make the mesh geometric, so
+            // routes grow ~√n; pin that envelope (a regression to
+            // ring-like Θ(n) routing would blow the solver's per-path
+            // penalty work at the scale rows).
+            let ps = PathSet::shortest_paths(&net);
+            assert!(
+                ps.mean_hops() < (n as f64).sqrt(),
+                "n={n}: mean hops {} above the geometric-mesh envelope",
+                ps.mean_hops()
+            );
+            // Determinism: the ladder row's graph is a pure function
+            // of `n`.
+            assert_eq!(net.to_json(), ladder_mesh(n).to_json());
+        }
     }
 
     #[test]
