@@ -7,8 +7,8 @@
 //! annotations for *either* layer parse everywhere, and an annotation
 //! naming an unknown rule is a finding instead of a silent no-op.
 
-/// The eight textual rules enforced by `cargo xtask lint`.
-pub const TEXTUAL_RULES: [&str; 8] = [
+/// The nine textual rules enforced by `cargo xtask lint`.
+pub const TEXTUAL_RULES: [&str; 9] = [
     "nondeterministic-map",
     "nan-unwrap-cmp",
     "wall-clock",
@@ -17,6 +17,7 @@ pub const TEXTUAL_RULES: [&str; 8] = [
     "dyn-dispatch",
     "no-panic-hot-path",
     "snapshot-io",
+    "sleep-timer",
 ];
 
 /// The interprocedural rules enforced by `cargo xtask analyze`.
@@ -79,6 +80,16 @@ pub fn snapshot_io_scope(path: &str) -> bool {
     path.starts_with("crates/json/src/")
         || path.starts_with("crates/ops/src/")
         || path.starts_with("crates/bench/src/")
+}
+
+/// The only sanctioned sleep sites. The supervisors' determinism
+/// contract is that backoff is *recorded*, never slept
+/// (`vod_ops::recorded_backoff`); the single real `thread::sleep` in
+/// the workspace is `deployment_sleep` in the recorded-backoff module.
+/// The bench harness is also exempt: it times and paces real work by
+/// design (same rationale as [`wall_clock_exempt`]).
+pub fn sleep_timer_exempt(path: &str) -> bool {
+    path == "crates/ops/src/supervise.rs" || path.starts_with("crates/bench/")
 }
 
 /// Whether a path is test-only code (integration tests, benches).

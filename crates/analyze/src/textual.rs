@@ -1,4 +1,4 @@
-//! The eight textual per-line rules, re-hosted on the token stream.
+//! The nine textual per-line rules, re-hosted on the token stream.
 //!
 //! This is the engine behind `cargo xtask lint`. The rules themselves
 //! are unchanged from the line-oriented implementation they replace
@@ -23,11 +23,13 @@
 //! | `dyn-dispatch` | `Box<dyn` | `vod-sim` simulator hot-path modules |
 //! | `no-panic-hot-path` | `panic!` / `unreachable!` / `todo!` / `.unwrap()` / `.expect(` | modules reachable from `simulate` / `solve_placement` |
 //! | `snapshot-io` | `fs::write(` / `File::create(` | `vod-json`, `vod-ops`, `vod-bench` library + bin code (durable artifact writers) |
+//! | `sleep-timer` | `thread::sleep` / `park_timeout` | everywhere except `crates/ops/src/supervise.rs` (the recorded-backoff module) and `crates/bench` |
 
 use crate::lexer::{code_view, comment_view, lex};
 use crate::rules::{
     self, deterministic_container_scope, exempt_path, flat_buffer_scope, no_panic_scope,
-    raw_index_exempt, sim_hot_path_scope, snapshot_io_scope, test_only_file, wall_clock_exempt,
+    raw_index_exempt, sim_hot_path_scope, sleep_timer_exempt, snapshot_io_scope, test_only_file,
+    wall_clock_exempt,
 };
 use std::collections::BTreeSet;
 use std::fmt;
@@ -244,6 +246,17 @@ pub fn lint_file_full(path: &str, content: &str) -> TextualOutcome {
                 "direct file writes in snapshot/results paths can be torn by a crash; \
                  route through vod_json::snapshot::write_atomic (or the snapshot \
                  helpers) so readers only ever see complete files"
+                    .to_string(),
+            );
+        }
+        if !sleep_timer_exempt(path) && !in_test_code {
+            check(
+                "sleep-timer",
+                code.contains("thread::sleep") || code.contains("park_timeout"),
+                "sleeping outside the recorded-backoff module breaks the never-sleeps \
+                 determinism contract (interrupted and uninterrupted runs must be \
+                 bit-comparable); record the delay with vod_ops::recorded_backoff and \
+                 leave real sleeping to supervise::deployment_sleep"
                     .to_string(),
             );
         }

@@ -143,6 +143,7 @@ fn reason_str(r: &DegradeReason) -> String {
             format!("stage-failed:{stage}:{attempts}")
         }
         DegradeReason::ValidationFailed { .. } => "validation-failed".into(),
+        DegradeReason::Stalled { stage, .. } => format!("stalled:{stage}"),
     }
 }
 

@@ -205,6 +205,38 @@ fn main() {
         }
     }
 
+    // ---- Regression guard (`--guard-batch-speedup`): the batched
+    // pass must not be slower than the serial one. Only meaningful
+    // with a genuinely parallel batch; a single noisy timing must not
+    // fail CI, so up to two extra rounds are timed and the best
+    // observed ratio is what the guard judges. The *recorded*
+    // `batch_speedup` stays the first-round figure — the file tracks
+    // the trajectory, the guard tracks non-regression.
+    let guard = std::env::args().any(|a| a == "--guard-batch-speedup");
+    if guard && threads >= 2 {
+        let mut best = serial_wall_s / batched_wall_s.max(1e-9);
+        for _ in 0..2 {
+            if best >= 1.0 {
+                break;
+            }
+            let t0 = Instant::now();
+            for (_, vhos, policy) in &solved {
+                let _ = simulate(&net, &s.paths, &s.catalog, &future, vhos, policy, &cfg);
+            }
+            let serial = t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            let _ = simulate_batch(&jobs, threads);
+            best = best.max(serial / t1.elapsed().as_secs_f64().max(1e-9));
+        }
+        assert!(
+            best >= 1.0,
+            "batching regression: best observed speedup {best:.3}x < 1.0 on {threads} threads"
+        );
+        println!("batch-speedup guard passed ({best:.2}x on {threads} threads)");
+    } else if guard {
+        println!("batch-speedup guard skipped (only {threads} thread available)");
+    }
+
     let mut table = Table::new(
         "Simulator baseline — Fig. 12 ladder replay",
         &["row", "requests", "wall (s)", "req/s", "prev wall (s)"],

@@ -144,6 +144,19 @@ impl EpfConfig {
         }
     }
 
+    /// This configuration with a deterministic per-cycle pass budget:
+    /// the service loop re-solves every cycle under a bounded number
+    /// of global passes so one hard cycle can never starve the next.
+    /// An existing (tighter) `step_limit` is kept — the budget only
+    /// ever shrinks the work, and in passes (not wall time) so the
+    /// cutoff lands on the same pass on every machine.
+    pub fn budgeted(&self, steps: u64) -> Self {
+        Self {
+            step_limit: Some(self.step_limit.map_or(steps, |s| s.min(steps))),
+            ..self.clone()
+        }
+    }
+
     /// Worker threads for a solve over `n_blocks` video blocks: the
     /// configured (or available) count, capped at the block count —
     /// an extra worker could never receive a chunk part, it would only

@@ -60,6 +60,7 @@ pub use pool::map_ordered;
 pub use rounding::RoundingStats;
 pub use solution::{BlockSolution, FractionalSolution, Placement};
 pub use solver::{
-    resolve_from, solve_fractional_checkpointed, solve_fractional_resumable, solve_placement,
-    solve_placement_checkpointed, solve_resumable, PlacementOutput,
+    resolve_from, solve_cycle_fractional, solve_fractional_checkpointed,
+    solve_fractional_resumable, solve_placement, solve_placement_checkpointed, solve_resumable,
+    PlacementOutput, ResumeKind,
 };

@@ -185,6 +185,65 @@ pub fn solve_fractional_checkpointed(
     Ok(solve_fractional_driven(inst, cfg, warm, None, Some(spec)))
 }
 
+/// How a cycle's fractional solve actually started — reported by
+/// [`solve_cycle_fractional`] so a supervising service loop can log
+/// its recovery action instead of guessing from side effects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResumeKind {
+    /// A validated mid-solve checkpoint was resumed.
+    Checkpoint,
+    /// Cold trajectory seeded from a previous placement (warm start).
+    WarmStart,
+    /// Cold trajectory with no prior information.
+    Cold,
+}
+
+impl ResumeKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            ResumeKind::Checkpoint => "checkpoint",
+            ResumeKind::WarmStart => "warm-start",
+            ResumeKind::Cold => "cold",
+        }
+    }
+}
+
+/// One service-cycle fractional solve with the warm-resume ladder
+/// folded in: a validated `prior` checkpoint resumes mid-solve; a
+/// stale or mismatched one is *discarded* (the caller deletes the
+/// durable file when the returned kind is not
+/// [`ResumeKind::Checkpoint`]) and the solve falls through to a cold
+/// trajectory seeded from `warm` — never a hard error, because the
+/// resume contract guarantees both legs land on the same bits as the
+/// uninterrupted run. Only a shape-mismatched `warm` is rejected.
+pub fn solve_cycle_fractional(
+    inst: &MipInstance,
+    cfg: &EpfConfig,
+    prior: Option<&SolverCheckpoint>,
+    warm: Option<&Placement>,
+    spec: Option<CheckpointSpec<'_>>,
+) -> Result<(FractionalSolution, EpfStats, ResumeKind), SolveError> {
+    validate(inst, cfg)?;
+    if let Some(ckpt) = prior {
+        if ckpt.validate_for(inst, cfg).is_ok() {
+            let (frac, epf) = solve_fractional_driven(inst, cfg, None, Some(ckpt), spec);
+            return Ok((frac, epf, ResumeKind::Checkpoint));
+        }
+    }
+    if let Some(prev) = warm {
+        if prev.n_videos() != inst.n_videos() {
+            return Err(SolveError::MismatchedWarmStart {
+                prev_videos: prev.n_videos(),
+                instance_videos: inst.n_videos(),
+            });
+        }
+        let (frac, epf) = solve_fractional_driven(inst, cfg, Some(prev), None, spec);
+        return Ok((frac, epf, ResumeKind::WarmStart));
+    }
+    let (frac, epf) = solve_fractional_driven(inst, cfg, None, None, spec);
+    Ok((frac, epf, ResumeKind::Cold))
+}
+
 /// Fractional-only variant of [`solve_resumable`]. The checkpoint
 /// already carries the warm-started blocks, so no `warm` is taken.
 pub fn solve_fractional_resumable(

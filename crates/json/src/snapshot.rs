@@ -255,6 +255,46 @@ pub fn write_snapshot_atomic(
     write_atomic(path, &encode(kind, version, payload)?)
 }
 
+/// Inspect a snapshot *header* without validating the payload: the
+/// `(kind, version)` pair the file claims to hold. Recovery paths use
+/// this to diagnose what a stray state file is — e.g. a checkpoint
+/// left by a different pipeline generation — before deciding how to
+/// treat it. The payload may still be truncated or corrupt; only a
+/// full [`read_snapshot`] vouches for the bytes. Never panics.
+pub fn peek_kind(path: &Path) -> Result<(String, u32), SnapshotError> {
+    let bytes = std::fs::read(path).map_err(|source| SnapshotError::Io {
+        path: path.to_path_buf(),
+        source,
+    })?;
+    if bytes.len() < FIXED_PREFIX {
+        return Err(SnapshotError::Truncated {
+            expected: FIXED_PREFIX,
+            found: bytes.len(),
+        });
+    }
+    if &bytes[..8] != SNAPSHOT_MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let kind_end = FIXED_PREFIX + usize::from(bytes[8]);
+    if bytes.len() < kind_end + 4 {
+        return Err(SnapshotError::Truncated {
+            expected: kind_end + 4,
+            found: bytes.len(),
+        });
+    }
+    let kind = match std::str::from_utf8(&bytes[FIXED_PREFIX..kind_end]) {
+        Ok(s) => s.to_string(),
+        Err(_) => {
+            return Err(SnapshotError::Malformed {
+                what: "kind tag is not UTF-8".to_string(),
+            })
+        }
+    };
+    let mut v = [0u8; 4];
+    v.copy_from_slice(&bytes[kind_end..kind_end + 4]);
+    Ok((kind, u32::from_le_bytes(v)))
+}
+
 /// Read and verify a snapshot, returning the payload bytes.
 pub fn read_snapshot(path: &Path, kind: &str, version: u32) -> Result<Vec<u8>, SnapshotError> {
     let bytes = std::fs::read(path).map_err(|source| SnapshotError::Io {
@@ -455,6 +495,40 @@ mod tests {
         ] {
             assert!(f64_from_bits_value(&v, "x").is_err());
             assert!(u64_from_bits_value(&v, "x").is_err());
+        }
+    }
+
+    #[test]
+    fn peek_reads_header_without_payload_validation() {
+        let path = tmp_dir().join("peek.snap");
+        write_snapshot_atomic(&path, "peek-kind", 7, b"payload").unwrap();
+        assert_eq!(peek_kind(&path).unwrap(), ("peek-kind".to_string(), 7));
+        // Corrupt the payload: a full read fails, the peek still
+        // answers (that is its point — diagnosing damaged files).
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        write_atomic(&path, &bytes).unwrap();
+        assert!(read_snapshot(&path, "peek-kind", 7).is_err());
+        assert_eq!(peek_kind(&path).unwrap(), ("peek-kind".to_string(), 7));
+    }
+
+    #[test]
+    fn peek_failures_are_typed() {
+        let dir = tmp_dir();
+        let missing = dir.join("nope.snap");
+        assert!(matches!(peek_kind(&missing), Err(SnapshotError::Io { .. })));
+        let garbage = dir.join("garbage.snap");
+        write_atomic(&garbage, b"NOTSNAP!xxxx").unwrap();
+        assert!(matches!(peek_kind(&garbage), Err(SnapshotError::BadMagic)));
+        let full = encode("k", 1, b"x").unwrap();
+        for cut in [0usize, 4, FIXED_PREFIX] {
+            let short = dir.join(format!("short{cut}.snap"));
+            write_atomic(&short, &full[..cut]).unwrap();
+            assert!(matches!(
+                peek_kind(&short),
+                Err(SnapshotError::Truncated { .. } | SnapshotError::BadMagic)
+            ));
         }
     }
 

@@ -19,6 +19,16 @@
 //! The supervisor never reads a clock: interrupted and uninterrupted
 //! runs are bit-for-bit comparable, which is exactly what the
 //! `ops_pipeline` bench harness asserts.
+//!
+//! On top of the one-shot pipeline, [`Service`] is the *daemon* form:
+//! a long-running supervised loop that streams demand from the live
+//! trace window, re-solves incrementally under a per-cycle budget,
+//! deploys migration-cost-aware diffs under a churn cap (excess moves
+//! become typed [`DeferredMigration`]s), and degrades gracefully —
+//! warm-resume → cold re-solve → last-good → stale-serve with denial
+//! accounting — instead of ever aborting. The `service_drill` bench
+//! harness drives it through a seeded kill/corruption matrix and
+//! asserts the same bitwise recovery identity.
 
 #![cfg_attr(
     test,
@@ -29,11 +39,19 @@
     )
 )]
 
+pub mod diff;
 pub mod pipeline;
+pub mod service;
 pub mod state;
+pub mod supervise;
 
+pub use diff::{apply_churn_cap, ChurnPlan, DeferredMigration};
 pub use pipeline::{FaultPlan, OpsConfig, OpsWorld, Pipeline, StepOutcome};
+pub use service::{
+    Service, ServiceConfig, ServicePlan, ServiceRecord, ServiceState, SERVICE_KIND, SERVICE_VERSION,
+};
 pub use state::{
     CycleRecord, DegradeReason, OpsError, PipelineState, SimSummary, StageId, FRACTIONAL_KIND,
     STATE_KIND, STATE_VERSION,
 };
+pub use supervise::{deployment_sleep, recorded_backoff, RecoveryAction, Watchdog};

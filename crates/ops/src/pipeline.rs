@@ -42,6 +42,7 @@ use crate::state::{
     CycleRecord, DegradeReason, OpsError, PipelineState, SimSummary, StageId, FRACTIONAL_KIND,
     FRACTIONAL_VERSION, STATE_KIND, STATE_VERSION,
 };
+use crate::supervise::recorded_backoff;
 
 /// The fixed world the pipeline re-optimizes against: topology (with
 /// link capacities already set), routing, library, the full request
@@ -625,12 +626,15 @@ impl<'a> Pipeline<'a> {
     }
 
     /// Recorded exponential backoff with deterministic seeded jitter.
-    /// Never slept — see the module docs.
+    /// Never slept — see [`crate::supervise::recorded_backoff`].
     fn backoff_increment(&self, cycle: usize, stage: StageId, attempt: u32) -> u64 {
-        let base = self.cfg.backoff_base_ms.max(1);
-        let exp = base.saturating_mul(1u64 << attempt.min(16));
-        let mix = ((cycle as u64) << 16) ^ ((stage as u64) << 8) ^ u64::from(attempt) ^ 0xBAC0_FF00;
-        exp + derive_seed(self.state.seed, mix) % base
+        recorded_backoff(
+            self.state.seed,
+            cycle,
+            stage,
+            attempt,
+            self.cfg.backoff_base_ms,
+        )
     }
 
     // ---- deterministic inputs --------------------------------------
@@ -695,23 +699,7 @@ impl<'a> Pipeline<'a> {
     /// artifact from a different solver configuration is rejected at
     /// the round stage instead of silently reused.
     fn epf_token(&self, cycle: usize) -> u64 {
-        let e = self.epf_for_cycle(cycle);
-        let mut buf = Vec::with_capacity(96);
-        for bits in [
-            e.epsilon.to_bits(),
-            e.gamma.to_bits(),
-            e.rho.to_bits(),
-            e.chunk_size as u64,
-            e.max_passes as u64,
-            e.lb_every as u64,
-            e.polish_iters as u64,
-            e.seed,
-            u64::from(e.feasibility_only),
-            e.step_limit.unwrap_or(u64::MAX),
-        ] {
-            buf.extend_from_slice(&bits.to_le_bytes());
-        }
-        fnv1a64(&buf)
+        epf_config_token(&self.epf_for_cycle(cycle))
     }
 
     fn solver_ckpt_path(&self) -> PathBuf {
@@ -723,12 +711,35 @@ impl<'a> Pipeline<'a> {
     }
 }
 
+/// Fingerprint of everything that shapes a solve trajectory, so a
+/// persisted fractional artifact from a different solver configuration
+/// is rejected instead of silently reused (shared by both
+/// supervisors).
+pub(crate) fn epf_config_token(e: &EpfConfig) -> u64 {
+    let mut buf = Vec::with_capacity(96);
+    for bits in [
+        e.epsilon.to_bits(),
+        e.gamma.to_bits(),
+        e.rho.to_bits(),
+        e.chunk_size as u64,
+        e.max_passes as u64,
+        e.lb_every as u64,
+        e.polish_iters as u64,
+        e.seed,
+        u64::from(e.feasibility_only),
+        e.step_limit.unwrap_or(u64::MAX),
+    ] {
+        buf.extend_from_slice(&bits.to_le_bytes());
+    }
+    fnv1a64(&buf)
+}
+
 /// Structural serviceability of a rounded placement: right shape,
 /// every video has a holder, disks within tolerance. Deliberately
 /// *not* the audit layer's link checks — an over-tight link budget
 /// yields a degraded-but-serviceable placement, which the supervisor
 /// must keep, not reject.
-fn serviceable(p: &Placement, inst: &MipInstance, tol: f64) -> Result<(), String> {
+pub(crate) fn serviceable(p: &Placement, inst: &MipInstance, tol: f64) -> Result<(), String> {
     if p.n_vhos() != inst.n_vhos() {
         return Err(format!(
             "placement has {} VHOs, instance has {}",
@@ -760,7 +771,7 @@ fn serviceable(p: &Placement, inst: &MipInstance, tol: f64) -> Result<(), String
     Ok(())
 }
 
-fn effective_cycles(world: &OpsWorld, cfg: &OpsConfig) -> usize {
+pub(crate) fn effective_cycles(world: &OpsWorld, cfg: &OpsConfig) -> usize {
     let horizon = world.trace.horizon().secs() / DAY;
     let mut n = 0usize;
     while n < cfg.cycles && cfg.start_day + n as u64 * cfg.period_days < horizon {

@@ -1,0 +1,1132 @@
+//! The long-running supervised placement service.
+//!
+//! Where [`crate::Pipeline`] runs one durable pass over its schedule,
+//! `Service` is the daemon form the paper operates (§VI: demand
+//! re-estimated and the placement re-solved on an update cadence):
+//! a deterministic multi-cycle loop that
+//!
+//! 1. feeds a streaming demand estimator from the live trace window
+//!    ([`vod_estimate::StreamingWindow`] — amortized O(1) per cycle),
+//! 2. incrementally re-solves each cycle via the warm-start ladder
+//!    ([`vod_core::solve_cycle_fractional`]) under a per-cycle
+//!    deterministic pass budget ([`EpfConfig::budgeted`]),
+//! 3. deploys migration-cost-aware diffs under a churn cap
+//!    ([`crate::diff::apply_churn_cap`]) — excess copies become typed
+//!    [`DeferredMigration`]s that drain oldest-first in later cycles,
+//! 4. runs under a supervision layer: per-stage retry budgets with
+//!    recorded (never-slept) seeded backoff, a deterministic
+//!    [`Watchdog`] that degrades stalled cycles, and a
+//!    graceful-degradation ladder — warm-resume → cold re-solve →
+//!    last-good placement → stale-serve with denial accounting. A
+//!    cycle can *degrade*; the service never aborts.
+//!
+//! Determinism contract (inherited from the pipeline, pinned by the
+//! `service_drill` bench): the service never reads a clock and never
+//! sleeps; every cycle's deployed placement is a pure function of
+//! (world, config, seed, cycle). An interrupted run — killed at any
+//! stage boundary, killed mid-solve, state file torn at any byte,
+//! checkpoint swapped for a foreign one — re-converges to deployed
+//! placements byte-identical to the uninterrupted twin's.
+
+use std::path::PathBuf;
+use vod_core::checkpoint::{
+    fractional_from_value, fractional_to_value, CHECKPOINT_KIND, CHECKPOINT_VERSION,
+};
+use vod_core::rounding::round_solution;
+use vod_core::{
+    solve_cycle_fractional, CheckpointSpec, EpfConfig, MipInstance, Placement, PlacementCost,
+    ResumeKind, SolverCheckpoint,
+};
+use vod_estimate::{estimate_demand, StreamingWindow};
+use vod_json::snapshot::{
+    f64_bits_value, f64_from_bits_value, read_json_snapshot, read_snapshot, u64_bits_value,
+    u64_from_bits_value, write_json_snapshot, write_snapshot_atomic, SnapshotError,
+};
+use vod_json::Value;
+use vod_model::rng::derive_seed;
+use vod_model::time::DAY;
+use vod_model::{SimTime, TimeWindow, VhoId};
+use vod_sim::{mip_vho_configs, simulate, CacheKind, FaultSchedule, PolicyKind, SimConfig};
+
+use crate::diff::{apply_churn_cap, DeferredMigration};
+use crate::pipeline::{
+    effective_cycles, epf_config_token, serviceable, OpsConfig, OpsWorld, StepOutcome,
+};
+use crate::state::{
+    reason_from_value, reason_to_value, sim_from_value, sim_to_value, DegradeReason, OpsError,
+    SimSummary, StageId, FRACTIONAL_KIND, FRACTIONAL_VERSION,
+};
+use crate::supervise::{recorded_backoff, RecoveryAction, Watchdog};
+
+/// Snapshot-container kind tag for the service state file.
+pub const SERVICE_KIND: &str = "ops-service";
+/// Service state payload version.
+pub const SERVICE_VERSION: u32 = 1;
+
+/// Cycle seed salt — distinct from the pipeline's `0x0E5F` so solver
+/// checkpoints written by one supervisor can never validate against
+/// the other's cycles.
+const SERVICE_CYCLE_SALT: u64 = 0x5EBF;
+
+/// Service parameters: the pipeline's schedule plus the service-only
+/// knobs (churn cap, per-cycle budget, watchdog, fault feed).
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Schedule, solver, retry and state-dir parameters (the service
+    /// stores its own `service.state` next to the solver artifacts).
+    pub ops: OpsConfig,
+    /// Copies the service may move per cycle; `None` = unbounded.
+    pub churn_cap: Option<usize>,
+    /// Deterministic per-cycle solver budget in global passes, applied
+    /// on top of `ops.epf` via [`EpfConfig::budgeted`]. `None` = the
+    /// solver config as-is.
+    pub cycle_step_budget: Option<u64>,
+    /// Supervision ticks one cycle may burn before the watchdog
+    /// degrades it ([`Watchdog`]).
+    pub watchdog_budget: u64,
+    /// Fault schedules injected into specific cycles' replay stage
+    /// (validated against the world up front).
+    pub cycle_faults: Vec<(usize, FaultSchedule)>,
+}
+
+/// Deterministic chaos injection for drills: forced stage failures,
+/// process kills at stage boundaries, and mid-solve kills.
+#[derive(Debug, Clone, Default)]
+pub struct ServicePlan {
+    /// `(cycle, stage, attempt)` triples that fail with an injected
+    /// error instead of running.
+    pub fail: Vec<(usize, StageId, u32)>,
+    /// `(cycle, stage)` pairs: the "process" dies immediately before
+    /// executing that stage — nothing is run or persisted. Fires once
+    /// per pair per `Service` value; stepping again (or rebuilding the
+    /// service over the same state dir) models the restart.
+    pub kill_at_stage: Vec<(usize, StageId)>,
+    /// `(cycle, keep_checkpoints)`: during that cycle's solve, stop
+    /// persisting after `keep_checkpoints` checkpoint emissions and
+    /// report a simulated crash (same contract as
+    /// [`crate::FaultPlan::kill_mid_solve`]).
+    pub kill_mid_solve: Vec<(usize, u64)>,
+}
+
+/// One closed service cycle: the ledger row `BENCH_service.json`
+/// aggregates.
+#[derive(Debug, Clone)]
+pub struct ServiceRecord {
+    pub cycle: usize,
+    /// `None` = a fresh placement was deployed this cycle.
+    pub degraded: Option<DegradeReason>,
+    /// Degradation-ladder rungs recorded during the cycle, in order.
+    pub recoveries: Vec<RecoveryAction>,
+    pub attempts: u32,
+    /// Recorded (never slept) retry backoff.
+    pub backoff_ms: u64,
+    pub solver_resumes: u32,
+    /// Fingerprint of the placement *serving* at cycle close (the
+    /// post-churn-cap deployment) — the chaos drill's identity anchor.
+    pub placement_fnv: u64,
+    /// Rounded objective of the cycle's full target (pre-churn-cap).
+    pub objective: Option<f64>,
+    /// Certified fractional lower bound (per-cycle optimality gap =
+    /// `objective / lower_bound - 1`).
+    pub lower_bound: Option<f64>,
+    /// Copies actually moved this cycle (`<= churn_cap` always).
+    pub moved: usize,
+    /// Deferred-migration queue length after this cycle.
+    pub deferred: usize,
+    /// Requests denied during the window (stale-served demand counts
+    /// in full).
+    pub denied: u64,
+    pub denial_rate: Option<f64>,
+    /// True when the window was served with *no* deployment at all.
+    pub stale: bool,
+    pub sim: Option<SimSummary>,
+}
+
+/// Complete durable service state (persisted after every transition).
+#[derive(Debug, Clone)]
+pub struct ServiceState {
+    pub seed: u64,
+    pub cycle: usize,
+    pub stage: StageId,
+    pub attempts_done: u32,
+    pub cycle_attempts: u32,
+    pub cycle_backoff_ms: u64,
+    pub cycle_solver_resumes: u32,
+    pub cycle_recoveries: Vec<RecoveryAction>,
+    /// The placement currently serving, and the cycle that deployed it.
+    pub deployed: Option<(usize, Placement)>,
+    /// The current cycle's rounded full-target placement.
+    pub target: Option<Placement>,
+    pub target_objective: Option<f64>,
+    pub target_lower_bound: Option<f64>,
+    pub pending_moved: usize,
+    pub pending_sim: Option<SimSummary>,
+    pub pending_denied: u64,
+    pub pending_denial: Option<f64>,
+    /// Migrations postponed by the churn cap, oldest first.
+    pub deferred: Vec<DeferredMigration>,
+    pub records: Vec<ServiceRecord>,
+    pub resumes: u64,
+    pub cold_restarts: u64,
+    pub stale_serves: u64,
+}
+
+impl ServiceState {
+    #[must_use]
+    pub fn fresh(seed: u64) -> Self {
+        Self {
+            seed,
+            cycle: 0,
+            stage: StageId::Estimate,
+            attempts_done: 0,
+            cycle_attempts: 0,
+            cycle_backoff_ms: 0,
+            cycle_solver_resumes: 0,
+            cycle_recoveries: Vec::new(),
+            deployed: None,
+            target: None,
+            target_objective: None,
+            target_lower_bound: None,
+            pending_moved: 0,
+            pending_sim: None,
+            pending_denied: 0,
+            pending_denial: None,
+            deferred: Vec::new(),
+            records: Vec::new(),
+            resumes: 0,
+            cold_restarts: 0,
+            stale_serves: 0,
+        }
+    }
+
+    pub fn to_value(&self) -> Value {
+        use vod_core::checkpoint::placement_to_value;
+        let record_v = |r: &ServiceRecord| {
+            Value::Obj(vec![
+                ("cycle".into(), Value::Num(r.cycle as f64)),
+                (
+                    "degraded".into(),
+                    r.degraded.as_ref().map_or(Value::Null, reason_to_value),
+                ),
+                (
+                    "recoveries".into(),
+                    Value::Arr(
+                        r.recoveries
+                            .iter()
+                            .map(|a| Value::Str(a.name().into()))
+                            .collect(),
+                    ),
+                ),
+                ("attempts".into(), Value::Num(f64::from(r.attempts))),
+                ("backoff_ms".into(), u64_bits_value(r.backoff_ms)),
+                (
+                    "solver_resumes".into(),
+                    Value::Num(f64::from(r.solver_resumes)),
+                ),
+                ("placement_fnv".into(), u64_bits_value(r.placement_fnv)),
+                (
+                    "objective".into(),
+                    r.objective.map_or(Value::Null, f64_bits_value),
+                ),
+                (
+                    "lower_bound".into(),
+                    r.lower_bound.map_or(Value::Null, f64_bits_value),
+                ),
+                ("moved".into(), Value::Num(r.moved as f64)),
+                ("deferred".into(), Value::Num(r.deferred as f64)),
+                ("denied".into(), u64_bits_value(r.denied)),
+                (
+                    "denial_rate".into(),
+                    r.denial_rate.map_or(Value::Null, f64_bits_value),
+                ),
+                ("stale".into(), Value::Bool(r.stale)),
+                (
+                    "sim".into(),
+                    r.sim.as_ref().map_or(Value::Null, sim_to_value),
+                ),
+            ])
+        };
+        Value::Obj(vec![
+            ("seed".into(), u64_bits_value(self.seed)),
+            ("cycle".into(), Value::Num(self.cycle as f64)),
+            ("stage".into(), Value::Str(self.stage.name().into())),
+            (
+                "attempts_done".into(),
+                Value::Num(f64::from(self.attempts_done)),
+            ),
+            (
+                "cycle_attempts".into(),
+                Value::Num(f64::from(self.cycle_attempts)),
+            ),
+            (
+                "cycle_backoff_ms".into(),
+                u64_bits_value(self.cycle_backoff_ms),
+            ),
+            (
+                "cycle_solver_resumes".into(),
+                Value::Num(f64::from(self.cycle_solver_resumes)),
+            ),
+            (
+                "cycle_recoveries".into(),
+                Value::Arr(
+                    self.cycle_recoveries
+                        .iter()
+                        .map(|a| Value::Str(a.name().into()))
+                        .collect(),
+                ),
+            ),
+            (
+                "deployed".into(),
+                self.deployed.as_ref().map_or(Value::Null, |(c, p)| {
+                    Value::Obj(vec![
+                        ("cycle".into(), Value::Num(*c as f64)),
+                        ("placement".into(), placement_to_value(p)),
+                    ])
+                }),
+            ),
+            (
+                "target".into(),
+                self.target.as_ref().map_or(Value::Null, placement_to_value),
+            ),
+            (
+                "target_objective".into(),
+                self.target_objective.map_or(Value::Null, f64_bits_value),
+            ),
+            (
+                "target_lower_bound".into(),
+                self.target_lower_bound.map_or(Value::Null, f64_bits_value),
+            ),
+            (
+                "pending_moved".into(),
+                Value::Num(self.pending_moved as f64),
+            ),
+            (
+                "pending_sim".into(),
+                self.pending_sim.as_ref().map_or(Value::Null, sim_to_value),
+            ),
+            ("pending_denied".into(), u64_bits_value(self.pending_denied)),
+            (
+                "pending_denial".into(),
+                self.pending_denial.map_or(Value::Null, f64_bits_value),
+            ),
+            (
+                "deferred".into(),
+                Value::Arr(self.deferred.iter().map(|d| d.to_value()).collect()),
+            ),
+            (
+                "records".into(),
+                Value::Arr(self.records.iter().map(record_v).collect()),
+            ),
+            ("resumes".into(), u64_bits_value(self.resumes)),
+            ("cold_restarts".into(), u64_bits_value(self.cold_restarts)),
+            ("stale_serves".into(), u64_bits_value(self.stale_serves)),
+        ])
+    }
+
+    /// Decode a persisted state; any malformed field is a typed error
+    /// string and the caller cold-restarts.
+    pub fn from_value(v: &Value) -> Result<Self, String> {
+        use vod_core::checkpoint::placement_from_value;
+        let field = |key: &str| -> Result<&Value, String> {
+            v.get(key).ok_or_else(|| format!("missing field {key:?}"))
+        };
+        let num_u32 = |x: &Value, what: &str| -> Result<u32, String> {
+            x.as_usize()
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| format!("{what}: expected a u32"))
+        };
+        let recoveries_of = |x: &Value, what: &str| -> Result<Vec<RecoveryAction>, String> {
+            x.as_arr()
+                .ok_or_else(|| format!("{what}: expected an array"))?
+                .iter()
+                .map(|a| {
+                    a.as_str()
+                        .and_then(RecoveryAction::from_name)
+                        .ok_or_else(|| format!("{what}: unknown recovery action"))
+                })
+                .collect()
+        };
+        let opt_f64 = |x: &Value, what: &str| -> Result<Option<f64>, String> {
+            match x {
+                Value::Null => Ok(None),
+                other => f64_from_bits_value(other, what)
+                    .map(Some)
+                    .map_err(|e| e.to_string()),
+            }
+        };
+        let records = field("records")?
+            .as_arr()
+            .ok_or("records: expected an array")?
+            .iter()
+            .map(|r| -> Result<ServiceRecord, String> {
+                let rf = |key: &str| -> Result<&Value, String> {
+                    r.get(key).ok_or_else(|| format!("records.{key}: missing"))
+                };
+                Ok(ServiceRecord {
+                    cycle: rf("cycle")?
+                        .as_usize()
+                        .ok_or("records.cycle: expected int")?,
+                    degraded: match rf("degraded")? {
+                        Value::Null => None,
+                        other => Some(reason_from_value(other)?),
+                    },
+                    recoveries: recoveries_of(rf("recoveries")?, "records.recoveries")?,
+                    attempts: num_u32(rf("attempts")?, "records.attempts")?,
+                    backoff_ms: u64_from_bits_value(rf("backoff_ms")?, "backoff_ms")
+                        .map_err(|e| e.to_string())?,
+                    solver_resumes: num_u32(rf("solver_resumes")?, "records.solver_resumes")?,
+                    placement_fnv: u64_from_bits_value(rf("placement_fnv")?, "placement_fnv")
+                        .map_err(|e| e.to_string())?,
+                    objective: opt_f64(rf("objective")?, "records.objective")?,
+                    lower_bound: opt_f64(rf("lower_bound")?, "records.lower_bound")?,
+                    moved: rf("moved")?
+                        .as_usize()
+                        .ok_or("records.moved: expected int")?,
+                    deferred: rf("deferred")?
+                        .as_usize()
+                        .ok_or("records.deferred: expected int")?,
+                    denied: u64_from_bits_value(rf("denied")?, "denied")
+                        .map_err(|e| e.to_string())?,
+                    denial_rate: opt_f64(rf("denial_rate")?, "records.denial_rate")?,
+                    stale: rf("stale")?
+                        .as_bool()
+                        .ok_or("records.stale: expected bool")?,
+                    sim: match rf("sim")? {
+                        Value::Null => None,
+                        other => Some(sim_from_value(other, "records.sim")?),
+                    },
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let deferred = field("deferred")?
+            .as_arr()
+            .ok_or("deferred: expected an array")?
+            .iter()
+            .map(DeferredMigration::from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            seed: u64_from_bits_value(field("seed")?, "seed").map_err(|e| e.to_string())?,
+            cycle: field("cycle")?.as_usize().ok_or("cycle: expected int")?,
+            stage: field("stage")?
+                .as_str()
+                .and_then(StageId::from_name)
+                .ok_or("stage: unknown stage name")?,
+            attempts_done: num_u32(field("attempts_done")?, "attempts_done")?,
+            cycle_attempts: num_u32(field("cycle_attempts")?, "cycle_attempts")?,
+            cycle_backoff_ms: u64_from_bits_value(field("cycle_backoff_ms")?, "cycle_backoff_ms")
+                .map_err(|e| e.to_string())?,
+            cycle_solver_resumes: num_u32(field("cycle_solver_resumes")?, "cycle_solver_resumes")?,
+            cycle_recoveries: recoveries_of(field("cycle_recoveries")?, "cycle_recoveries")?,
+            deployed: match field("deployed")? {
+                Value::Null => None,
+                other => {
+                    let c = other
+                        .get("cycle")
+                        .and_then(Value::as_usize)
+                        .ok_or("deployed.cycle: expected int")?;
+                    let p = placement_from_value(
+                        other
+                            .get("placement")
+                            .ok_or("deployed.placement: missing")?,
+                    )
+                    .map_err(|e| e.to_string())?;
+                    Some((c, p))
+                }
+            },
+            target: match field("target")? {
+                Value::Null => None,
+                other => Some(placement_from_value(other).map_err(|e| e.to_string())?),
+            },
+            target_objective: opt_f64(field("target_objective")?, "target_objective")?,
+            target_lower_bound: opt_f64(field("target_lower_bound")?, "target_lower_bound")?,
+            pending_moved: field("pending_moved")?
+                .as_usize()
+                .ok_or("pending_moved: expected int")?,
+            pending_sim: match field("pending_sim")? {
+                Value::Null => None,
+                other => Some(sim_from_value(other, "pending_sim")?),
+            },
+            pending_denied: u64_from_bits_value(field("pending_denied")?, "pending_denied")
+                .map_err(|e| e.to_string())?,
+            pending_denial: opt_f64(field("pending_denial")?, "pending_denial")?,
+            deferred,
+            records,
+            resumes: u64_from_bits_value(field("resumes")?, "resumes")
+                .map_err(|e| e.to_string())?,
+            cold_restarts: u64_from_bits_value(field("cold_restarts")?, "cold_restarts")
+                .map_err(|e| e.to_string())?,
+            stale_serves: u64_from_bits_value(field("stale_serves")?, "stale_serves")
+                .map_err(|e| e.to_string())?,
+        })
+    }
+}
+
+/// The supervised service loop. Construct with
+/// [`Service::resume_or_start`], drive with [`Service::step`] or
+/// [`Service::run`].
+pub struct Service<'a> {
+    world: &'a OpsWorld,
+    cfg: ServiceConfig,
+    plan: ServicePlan,
+    state: ServiceState,
+    watchdog: Watchdog,
+    /// History / period trace cursors (amortized O(1) window slides).
+    history_win: StreamingWindow,
+    period_win: StreamingWindow,
+    fired_kills: Vec<usize>,
+    fired_stage_kills: Vec<(usize, StageId)>,
+}
+
+impl std::fmt::Debug for Service<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Service")
+            .field("cfg", &self.cfg)
+            .field("state", &self.state)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> Service<'a> {
+    /// Load `service.state` from the state dir and continue, or start
+    /// fresh. Corrupt/truncated state = cold restart (counted, then
+    /// the whole schedule deterministically replays — which is why a
+    /// torn state file still re-converges to identical deployments);
+    /// a state file from a different seed is refused.
+    pub fn resume_or_start(
+        world: &'a OpsWorld,
+        cfg: ServiceConfig,
+        plan: ServicePlan,
+    ) -> Result<Self, OpsError> {
+        let invalid = |what: String| Err(OpsError::Invalid { what });
+        if cfg.ops.start_day < 7 {
+            return invalid(format!(
+                "start_day must be >= 7 (one week of history); got {}",
+                cfg.ops.start_day
+            ));
+        }
+        if cfg.ops.period_days == 0 || cfg.ops.cycles == 0 {
+            return invalid("period_days and cycles must be >= 1".into());
+        }
+        if cfg.ops.max_attempts == 0 {
+            return invalid("max_attempts must be >= 1".into());
+        }
+        if world.disks.len() != world.net.num_nodes() {
+            return invalid(format!(
+                "disk inventory has {} entries for {} VHOs",
+                world.disks.len(),
+                world.net.num_nodes()
+            ));
+        }
+        if effective_cycles(world, &cfg.ops) == 0 {
+            return invalid(format!(
+                "trace horizon ends before start_day {}: no cycle fits",
+                cfg.ops.start_day
+            ));
+        }
+        for (cycle, schedule) in &cfg.cycle_faults {
+            if let Err(e) = schedule.validate(world.net.num_nodes(), world.net.num_links()) {
+                return invalid(format!("fault schedule for cycle {cycle}: {e}"));
+            }
+        }
+        std::fs::create_dir_all(&cfg.ops.state_dir).map_err(|e| OpsError::Io {
+            what: format!("create {}: {e}", cfg.ops.state_dir.display()),
+        })?;
+        let path = cfg.ops.state_dir.join("service.state");
+        let seed = cfg.ops.epf.seed;
+        let cold = || {
+            let mut st = ServiceState::fresh(seed);
+            st.cold_restarts = 1;
+            st
+        };
+        let state = match read_json_snapshot(&path, SERVICE_KIND, SERVICE_VERSION) {
+            Ok(v) => match ServiceState::from_value(&v) {
+                Ok(mut st) if st.seed == seed => {
+                    st.resumes += 1;
+                    st
+                }
+                Ok(st) => {
+                    return invalid(format!(
+                        "state file {} belongs to seed {:#x}, config has {:#x}",
+                        path.display(),
+                        st.seed,
+                        seed
+                    ))
+                }
+                Err(_) => cold(),
+            },
+            Err(SnapshotError::Io { ref source, .. })
+                if source.kind() == std::io::ErrorKind::NotFound =>
+            {
+                ServiceState::fresh(seed)
+            }
+            Err(_) => cold(),
+        };
+        // The watchdog resumes mid-cycle with the durable tick count,
+        // so a restart cannot grant a stalled cycle a fresh budget.
+        let mut watchdog = Watchdog::new(cfg.watchdog_budget);
+        for _ in 0..state.cycle_attempts {
+            let _ = watchdog.tick();
+        }
+        let svc = Self {
+            world,
+            cfg,
+            plan,
+            state,
+            watchdog,
+            history_win: StreamingWindow::new(),
+            period_win: StreamingWindow::new(),
+            fired_kills: Vec::new(),
+            fired_stage_kills: Vec::new(),
+        };
+        svc.persist()?;
+        Ok(svc)
+    }
+
+    #[must_use]
+    pub fn state(&self) -> &ServiceState {
+        &self.state
+    }
+
+    /// Cycles that actually fit in the trace horizon.
+    #[must_use]
+    pub fn effective_cycles(&self) -> usize {
+        effective_cycles(self.world, &self.cfg.ops)
+    }
+
+    /// Drive the service to completion. The only error exits are an
+    /// invalid configuration (caught in the constructor) and a state
+    /// directory that stops being writable — cycle-level trouble
+    /// degrades, it never aborts.
+    pub fn run(&mut self) -> Result<&ServiceState, OpsError> {
+        while self.step()? != StepOutcome::Finished {}
+        Ok(&self.state)
+    }
+
+    /// Execute one attempt of the current stage. Exactly one durable
+    /// transition per call (none on simulated kills).
+    pub fn step(&mut self) -> Result<StepOutcome, OpsError> {
+        if self.state.cycle >= self.effective_cycles() {
+            return Ok(StepOutcome::Finished);
+        }
+        let cycle = self.state.cycle;
+        let stage = self.state.stage;
+        if self.plan.kill_at_stage.contains(&(cycle, stage))
+            && !self.fired_stage_kills.contains(&(cycle, stage))
+        {
+            // The process dies before the stage runs: nothing executes,
+            // nothing mutates, nothing persists. The next step (or a
+            // rebuilt service over the same state dir) re-runs the
+            // stage from the identical durable state.
+            self.fired_stage_kills.push((cycle, stage));
+            return Ok(StepOutcome::SimulatedCrash { cycle });
+        }
+        if self.watchdog.tick() {
+            return self.degrade(DegradeReason::Stalled {
+                stage,
+                ticks: self.watchdog.ticks(),
+                budget: self.watchdog.budget(),
+            });
+        }
+        self.state.cycle_attempts += 1;
+        if self
+            .plan
+            .fail
+            .contains(&(cycle, stage, self.state.attempts_done))
+        {
+            return self.fail_attempt(stage, "injected failure".into());
+        }
+        match stage {
+            StageId::Estimate => self.step_estimate(cycle),
+            StageId::Solve => self.step_solve(cycle),
+            StageId::Round => self.step_round(cycle),
+            StageId::Validate => self.step_validate(cycle),
+            StageId::Simulate => self.step_simulate(cycle),
+        }
+    }
+
+    // ---- stages -----------------------------------------------------
+
+    fn step_estimate(&mut self, cycle: usize) -> Result<StepOutcome, OpsError> {
+        let inst = self.instance_for(cycle);
+        if inst.n_videos() == 0 {
+            return self.fail_attempt(
+                StageId::Estimate,
+                "estimate produced an empty instance".into(),
+            );
+        }
+        self.advance(StageId::Solve)?;
+        Ok(StepOutcome::StageDone {
+            cycle,
+            stage: StageId::Estimate,
+        })
+    }
+
+    fn step_solve(&mut self, cycle: usize) -> Result<StepOutcome, OpsError> {
+        let inst = self.instance_for(cycle);
+        let epf = self.epf_for_cycle(cycle);
+        let ckpt_path = self.solver_ckpt_path();
+        let kill_at = self
+            .plan
+            .kill_mid_solve
+            .iter()
+            .find(|(c, _)| *c == cycle && !self.fired_kills.contains(c))
+            .map(|&(_, keep)| keep);
+        let prior = match read_snapshot(&ckpt_path, CHECKPOINT_KIND, CHECKPOINT_VERSION) {
+            Ok(bytes) => SolverCheckpoint::from_bytes(&bytes).ok(),
+            Err(_) => None,
+        };
+        let had_prior = prior.is_some();
+        let mut emitted: u64 = 0;
+        let mut killed = false;
+        let every = self.cfg.ops.checkpoint_every;
+        let mut sink = |ck: SolverCheckpoint| {
+            if killed {
+                return;
+            }
+            if kill_at.is_some_and(|keep| emitted >= keep) {
+                killed = true;
+                return;
+            }
+            emitted += 1;
+            let _ = write_snapshot_atomic(
+                &ckpt_path,
+                CHECKPOINT_KIND,
+                CHECKPOINT_VERSION,
+                &ck.to_bytes(),
+            );
+        };
+        let warm = self.state.deployed.as_ref().map(|(_, p)| p.clone());
+        let result = solve_cycle_fractional(
+            &inst,
+            &epf,
+            prior.as_ref(),
+            warm.as_ref(),
+            Some(CheckpointSpec {
+                every,
+                sink: &mut sink,
+            }),
+        );
+        match result {
+            Ok((frac, stats, kind)) => {
+                if killed {
+                    self.fired_kills.push(cycle);
+                    return Ok(StepOutcome::SimulatedCrash { cycle });
+                }
+                match kind {
+                    ResumeKind::Checkpoint => {
+                        self.state.cycle_solver_resumes += 1;
+                        self.push_recovery(RecoveryAction::WarmResume);
+                    }
+                    // A checkpoint existed but did not validate for
+                    // this (instance, config): it was discarded and
+                    // the solve fell through to a cold trajectory.
+                    _ if had_prior => {
+                        let _ = std::fs::remove_file(&ckpt_path);
+                        self.push_recovery(RecoveryAction::ColdSolve);
+                    }
+                    _ => {}
+                }
+                let payload = Value::Obj(vec![
+                    ("cycle".into(), Value::Num(cycle as f64)),
+                    (
+                        "config".into(),
+                        u64_bits_value(epf_config_token(&self.epf_for_cycle(cycle))),
+                    ),
+                    ("lower_bound".into(), f64_bits_value(stats.lower_bound)),
+                    ("fractional".into(), fractional_to_value(&frac)),
+                ]);
+                write_json_snapshot(
+                    &self.fractional_path(),
+                    FRACTIONAL_KIND,
+                    FRACTIONAL_VERSION,
+                    &payload,
+                )
+                .map_err(|e| OpsError::Io {
+                    what: format!("persist fractional: {e}"),
+                })?;
+                let _ = std::fs::remove_file(&ckpt_path);
+                self.state.target_lower_bound = Some(stats.lower_bound);
+                self.advance(StageId::Round)?;
+                Ok(StepOutcome::StageDone {
+                    cycle,
+                    stage: StageId::Solve,
+                })
+            }
+            Err(e) => self.fail_attempt(StageId::Solve, e.to_string()),
+        }
+    }
+
+    fn step_round(&mut self, cycle: usize) -> Result<StepOutcome, OpsError> {
+        let inst = self.instance_for(cycle);
+        let token = epf_config_token(&self.epf_for_cycle(cycle));
+        let frac = read_json_snapshot(&self.fractional_path(), FRACTIONAL_KIND, FRACTIONAL_VERSION)
+            .ok()
+            .and_then(|v| {
+                let same_cycle = v.get("cycle")?.as_usize()? == cycle;
+                let same_cfg = u64_from_bits_value(v.get("config")?, "config").ok()? == token;
+                if !(same_cycle && same_cfg) {
+                    return None;
+                }
+                fractional_from_value(v.get("fractional")?, &inst).ok()
+            });
+        let Some(frac) = frac else {
+            let _ = std::fs::remove_file(self.fractional_path());
+            return self.retreat(StageId::Solve, StageId::Round, cycle);
+        };
+        let epf = self.epf_for_cycle(cycle);
+        let (placement, stats) = round_solution(&inst, &frac, epf.gamma, epf.kernel);
+        self.state.target = Some(placement);
+        self.state.target_objective = Some(stats.objective);
+        self.advance(StageId::Validate)?;
+        Ok(StepOutcome::StageDone {
+            cycle,
+            stage: StageId::Round,
+        })
+    }
+
+    fn step_validate(&mut self, cycle: usize) -> Result<StepOutcome, OpsError> {
+        let Some(target) = self.state.target.clone() else {
+            return self.retreat(StageId::Round, StageId::Validate, cycle);
+        };
+        let inst = self.instance_for(cycle);
+        // The strict serviceability gate applies to the full target;
+        // the churn-capped hybrid may transiently double-occupy disk
+        // during the migration window (see `crate::diff`).
+        if let Err(what) = serviceable(&target, &inst, self.cfg.ops.validate_tol) {
+            return self.degrade(DegradeReason::ValidationFailed { what });
+        }
+        match &self.state.deployed {
+            None => {
+                // Bootstrap deployment: there is nothing serving yet,
+                // so the churn cap (an *update* bandwidth bound) does
+                // not apply — the initial fill is an offline bulk load.
+                self.state.pending_moved = 0;
+                self.state.deployed = Some((cycle, target));
+            }
+            Some((_, prev)) => {
+                let plan = match apply_churn_cap(
+                    prev,
+                    &target,
+                    self.cfg.churn_cap,
+                    &self.state.deferred,
+                    cycle,
+                ) {
+                    Ok(plan) => plan,
+                    Err(what) => return self.degrade(DegradeReason::ValidationFailed { what }),
+                };
+                self.state.pending_moved = plan.moved;
+                self.state.deferred = plan.deferred;
+                self.state.deployed = Some((cycle, plan.placement));
+            }
+        }
+        self.advance(StageId::Simulate)?;
+        Ok(StepOutcome::StageDone {
+            cycle,
+            stage: StageId::Validate,
+        })
+    }
+
+    fn step_simulate(&mut self, cycle: usize) -> Result<StepOutcome, OpsError> {
+        if self.cfg.ops.simulate {
+            let Some((_, deployed)) = self.state.deployed.clone() else {
+                return self.retreat(StageId::Validate, StageId::Simulate, cycle);
+            };
+            let (sim, denied, denial) = self.replay_window(cycle, &deployed);
+            self.state.pending_sim = Some(sim);
+            self.state.pending_denied = denied;
+            self.state.pending_denial = Some(denial);
+        }
+        let record = ServiceRecord {
+            cycle,
+            degraded: None,
+            recoveries: std::mem::take(&mut self.state.cycle_recoveries),
+            attempts: self.state.cycle_attempts,
+            backoff_ms: self.state.cycle_backoff_ms,
+            solver_resumes: self.state.cycle_solver_resumes,
+            placement_fnv: self.deployed_fingerprint(),
+            objective: self.state.target_objective,
+            lower_bound: self.state.target_lower_bound,
+            moved: self.state.pending_moved,
+            deferred: self.state.deferred.len(),
+            denied: self.state.pending_denied,
+            denial_rate: self.state.pending_denial,
+            stale: false,
+            sim: self.state.pending_sim.clone(),
+        };
+        self.state.records.push(record);
+        self.close_cycle()?;
+        Ok(StepOutcome::StageDone {
+            cycle,
+            stage: StageId::Simulate,
+        })
+    }
+
+    // ---- supervision ------------------------------------------------
+
+    fn push_recovery(&mut self, action: RecoveryAction) {
+        self.state.cycle_recoveries.push(action);
+    }
+
+    fn fail_attempt(&mut self, stage: StageId, err: String) -> Result<StepOutcome, OpsError> {
+        let cycle = self.state.cycle;
+        let attempt = self.state.attempts_done;
+        self.state.attempts_done += 1;
+        let backoff = recorded_backoff(
+            self.state.seed,
+            cycle,
+            stage,
+            attempt,
+            self.cfg.ops.backoff_base_ms,
+        );
+        self.state.cycle_backoff_ms += backoff;
+        if self.state.attempts_done >= self.cfg.ops.max_attempts {
+            return self.degrade(DegradeReason::StageFailed {
+                stage,
+                attempts: self.state.attempts_done,
+                last_error: err,
+            });
+        }
+        self.persist()?;
+        Ok(StepOutcome::AttemptFailed {
+            cycle,
+            stage,
+            attempt,
+            backoff_ms: backoff,
+        })
+    }
+
+    /// The graceful-degradation ladder's terminal rungs. With a
+    /// deployment: keep serving it (last-good), with real denial
+    /// accounting for the window. Without one: stale-serve — every
+    /// request in the window is denied and *counted*. Either way the
+    /// cycle closes and the service keeps running; there is no abort
+    /// path here, unlike the pipeline's `NoFallback`.
+    fn degrade(&mut self, reason: DegradeReason) -> Result<StepOutcome, OpsError> {
+        let cycle = self.state.cycle;
+        let record = match self.state.deployed.clone() {
+            Some((_, deployed)) => {
+                self.push_recovery(RecoveryAction::LastGood);
+                let (sim, denied, denial) = if self.cfg.ops.simulate {
+                    let (s, d, r) = self.replay_window(cycle, &deployed);
+                    (Some(s), d, Some(r))
+                } else {
+                    (None, 0, None)
+                };
+                ServiceRecord {
+                    cycle,
+                    degraded: Some(reason),
+                    recoveries: std::mem::take(&mut self.state.cycle_recoveries),
+                    attempts: self.state.cycle_attempts,
+                    backoff_ms: self.state.cycle_backoff_ms,
+                    solver_resumes: self.state.cycle_solver_resumes,
+                    placement_fnv: self.deployed_fingerprint(),
+                    objective: None,
+                    lower_bound: None,
+                    moved: 0,
+                    deferred: self.state.deferred.len(),
+                    denied,
+                    denial_rate: denial,
+                    stale: false,
+                    sim,
+                }
+            }
+            None => {
+                // Nothing has ever been deployed: the window's demand
+                // is denied in full, visibly, instead of crashing out.
+                self.push_recovery(RecoveryAction::StaleServe);
+                self.state.stale_serves += 1;
+                let (day, end) = self.window_of(cycle);
+                let window = TimeWindow::new(SimTime::new(day * DAY), SimTime::new(end * DAY));
+                let denied = self.world.trace.slice(window).len() as u64;
+                ServiceRecord {
+                    cycle,
+                    degraded: Some(reason),
+                    recoveries: std::mem::take(&mut self.state.cycle_recoveries),
+                    attempts: self.state.cycle_attempts,
+                    backoff_ms: self.state.cycle_backoff_ms,
+                    solver_resumes: self.state.cycle_solver_resumes,
+                    placement_fnv: 0,
+                    objective: None,
+                    lower_bound: None,
+                    moved: 0,
+                    deferred: self.state.deferred.len(),
+                    denied,
+                    denial_rate: Some(1.0),
+                    stale: true,
+                    sim: None,
+                }
+            }
+        };
+        self.state.records.push(record);
+        self.close_cycle()?;
+        Ok(StepOutcome::CycleDegraded { cycle })
+    }
+
+    fn retreat(
+        &mut self,
+        to: StageId,
+        from: StageId,
+        cycle: usize,
+    ) -> Result<StepOutcome, OpsError> {
+        self.state.stage = to;
+        self.state.attempts_done = 0;
+        self.persist()?;
+        Ok(StepOutcome::Retreated { cycle, stage: from })
+    }
+
+    fn advance(&mut self, next: StageId) -> Result<(), OpsError> {
+        self.state.stage = next;
+        self.state.attempts_done = 0;
+        self.persist()
+    }
+
+    fn close_cycle(&mut self) -> Result<(), OpsError> {
+        self.state.target = None;
+        self.state.target_objective = None;
+        self.state.target_lower_bound = None;
+        self.state.pending_moved = 0;
+        self.state.pending_sim = None;
+        self.state.pending_denied = 0;
+        self.state.pending_denial = None;
+        self.state.attempts_done = 0;
+        self.state.cycle_attempts = 0;
+        self.state.cycle_backoff_ms = 0;
+        self.state.cycle_solver_resumes = 0;
+        self.state.cycle_recoveries.clear();
+        self.state.cycle += 1;
+        self.state.stage = StageId::Estimate;
+        self.watchdog.reset();
+        let _ = std::fs::remove_file(self.solver_ckpt_path());
+        let _ = std::fs::remove_file(self.fractional_path());
+        self.persist()
+    }
+
+    fn persist(&self) -> Result<(), OpsError> {
+        write_json_snapshot(
+            &self.cfg.ops.state_dir.join("service.state"),
+            SERVICE_KIND,
+            SERVICE_VERSION,
+            &self.state.to_value(),
+        )
+        .map_err(|e| OpsError::Io {
+            what: format!("persist service state: {e}"),
+        })
+    }
+
+    fn deployed_fingerprint(&self) -> u64 {
+        self.state
+            .deployed
+            .as_ref()
+            .map_or(0, |(_, p)| crate::PipelineState::placement_fingerprint(p))
+    }
+
+    // ---- deterministic inputs --------------------------------------
+
+    fn window_of(&self, cycle: usize) -> (u64, u64) {
+        let horizon = self.world.trace.horizon().secs() / DAY;
+        let day = self.cfg.ops.start_day + cycle as u64 * self.cfg.ops.period_days;
+        (day, (day + self.cfg.ops.period_days).min(horizon))
+    }
+
+    /// Rebuild the cycle's MIP instance from the streaming windows.
+    /// Pure function of the world, the cycle index and the deployed
+    /// placement (the migration anchor), so every attempt and every
+    /// resumed process sees the identical instance.
+    fn instance_for(&mut self, cycle: usize) -> MipInstance {
+        let (day, end) = self.window_of(cycle);
+        let history = self.history_win.advance(
+            &self.world.trace,
+            TimeWindow::new(SimTime::new((day - 7) * DAY), SimTime::new(day * DAY)),
+        );
+        let future = self.period_win.advance(
+            &self.world.trace,
+            TimeWindow::new(SimTime::new(day * DAY), SimTime::new(end * DAY)),
+        );
+        let demand = estimate_demand(
+            self.cfg.ops.estimator,
+            &self.world.catalog,
+            self.world.net.num_nodes(),
+            &history,
+            &future,
+            day,
+            end - day,
+            &self.world.est,
+        );
+        let pc = self.state.deployed.as_ref().map(|(_, p)| PlacementCost {
+            weight: 1.0,
+            previous: Some(p.holder_lists()),
+            // lint:allow(raw-index): update transfers are anchored at VHO 0 by convention
+            origin: VhoId::new(0),
+        });
+        MipInstance::new(
+            self.world.net.clone(),
+            self.world.catalog.clone(),
+            demand,
+            &self.world.mip_disk,
+            1.0,
+            0.0,
+            pc.as_ref(),
+        )
+    }
+
+    /// Per-cycle solver config: derived seed (service-distinct salt)
+    /// plus the per-cycle pass budget.
+    fn epf_for_cycle(&self, cycle: usize) -> EpfConfig {
+        let base = EpfConfig {
+            seed: derive_seed(self.cfg.ops.epf.seed, SERVICE_CYCLE_SALT ^ cycle as u64),
+            ..self.cfg.ops.epf.clone()
+        };
+        match self.cfg.cycle_step_budget {
+            Some(steps) => base.budgeted(steps),
+            None => base,
+        }
+    }
+
+    /// Replay the cycle's period window against `placement`, injecting
+    /// the cycle's fault schedule (if any). Returns the sim summary
+    /// plus denial accounting.
+    fn replay_window(&mut self, cycle: usize, placement: &Placement) -> (SimSummary, u64, f64) {
+        let (day, end) = self.window_of(cycle);
+        let future = self.period_win.advance(
+            &self.world.trace,
+            TimeWindow::new(SimTime::new(day * DAY), SimTime::new(end * DAY)),
+        );
+        let faults = self
+            .cfg
+            .cycle_faults
+            .iter()
+            .find(|(c, _)| *c == cycle)
+            .map_or_else(FaultSchedule::empty, |(_, s)| s.clone());
+        let vhos = mip_vho_configs(placement, &self.world.disks, 0.0, CacheKind::Lru);
+        let policy = PolicyKind::MipRouting(placement.clone());
+        let rep = simulate(
+            &self.world.net,
+            &self.world.paths,
+            &self.world.catalog,
+            &future,
+            &vhos,
+            &policy,
+            &SimConfig {
+                seed: derive_seed(self.state.seed, 0x51A1 ^ cycle as u64),
+                insert_on_miss: false,
+                faults,
+                ..SimConfig::default()
+            },
+        );
+        let local = rep.served_local_pinned + rep.served_local_cached;
+        let sim = SimSummary {
+            max_gbps: rep.max_link_mbps / 1000.0,
+            local_frac: local as f64 / rep.total_requests.max(1) as f64,
+            total_requests: rep.total_requests,
+        };
+        (sim, rep.denied(), rep.denial_rate())
+    }
+
+    fn solver_ckpt_path(&self) -> PathBuf {
+        self.cfg.ops.state_dir.join("solver.ckpt")
+    }
+
+    fn fractional_path(&self) -> PathBuf {
+        self.cfg.ops.state_dir.join("fractional.snap")
+    }
+}

@@ -63,7 +63,8 @@ impl StageId {
         }
     }
 
-    fn from_name(s: &str) -> Option<Self> {
+    #[must_use]
+    pub fn from_name(s: &str) -> Option<Self> {
         Self::ALL.into_iter().find(|st| st.name() == s)
     }
 }
@@ -86,6 +87,13 @@ pub enum DegradeReason {
     },
     /// The rounded placement failed the serviceability checks.
     ValidationFailed { what: String },
+    /// The service watchdog tripped: the cycle burned its whole
+    /// deterministic supervision-tick budget without closing.
+    Stalled {
+        stage: StageId,
+        ticks: u64,
+        budget: u64,
+    },
 }
 
 impl fmt::Display for DegradeReason {
@@ -100,8 +108,124 @@ impl fmt::Display for DegradeReason {
                 "stage {stage} failed after {attempts} attempts: {last_error}"
             ),
             Self::ValidationFailed { what } => write!(f, "placement validation failed: {what}"),
+            Self::Stalled {
+                stage,
+                ticks,
+                budget,
+            } => write!(
+                f,
+                "watchdog: cycle stalled at stage {stage} after {ticks} ticks (budget {budget})"
+            ),
         }
     }
+}
+
+/// Serialize a degradation reason (shared by the pipeline and service
+/// state codecs).
+pub(crate) fn reason_to_value(r: &DegradeReason) -> Value {
+    match r {
+        DegradeReason::StageFailed {
+            stage,
+            attempts,
+            last_error,
+        } => Value::Obj(vec![
+            ("kind".into(), Value::Str("stage-failed".into())),
+            ("stage".into(), Value::Str(stage.name().into())),
+            ("attempts".into(), Value::Num(f64::from(*attempts))),
+            ("last_error".into(), Value::Str(last_error.clone())),
+        ]),
+        DegradeReason::ValidationFailed { what } => Value::Obj(vec![
+            ("kind".into(), Value::Str("validation-failed".into())),
+            ("what".into(), Value::Str(what.clone())),
+        ]),
+        DegradeReason::Stalled {
+            stage,
+            ticks,
+            budget,
+        } => Value::Obj(vec![
+            ("kind".into(), Value::Str("stalled".into())),
+            ("stage".into(), Value::Str(stage.name().into())),
+            ("ticks".into(), u64_bits_value(*ticks)),
+            ("budget".into(), u64_bits_value(*budget)),
+        ]),
+    }
+}
+
+/// Decode a degradation reason; unknown kinds are typed errors.
+pub(crate) fn reason_from_value(x: &Value) -> Result<DegradeReason, String> {
+    let kind = x
+        .get("kind")
+        .and_then(Value::as_str)
+        .ok_or("degraded.kind: expected a string")?;
+    let stage_of = || {
+        x.get("stage")
+            .and_then(Value::as_str)
+            .and_then(StageId::from_name)
+            .ok_or("degraded.stage: unknown stage")
+    };
+    match kind {
+        "stage-failed" => Ok(DegradeReason::StageFailed {
+            stage: stage_of()?,
+            attempts: x
+                .get("attempts")
+                .and_then(Value::as_usize)
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or("degraded.attempts: expected a u32")?,
+            last_error: x
+                .get("last_error")
+                .and_then(Value::as_str)
+                .ok_or("degraded.last_error: expected a string")?
+                .to_string(),
+        }),
+        "validation-failed" => Ok(DegradeReason::ValidationFailed {
+            what: x
+                .get("what")
+                .and_then(Value::as_str)
+                .ok_or("degraded.what: expected a string")?
+                .to_string(),
+        }),
+        "stalled" => Ok(DegradeReason::Stalled {
+            stage: stage_of()?,
+            ticks: u64_from_bits_value(x.get("ticks").ok_or("degraded.ticks: missing")?, "ticks")
+                .map_err(|e| e.to_string())?,
+            budget: u64_from_bits_value(
+                x.get("budget").ok_or("degraded.budget: missing")?,
+                "budget",
+            )
+            .map_err(|e| e.to_string())?,
+        }),
+        other => Err(format!("degraded.kind: unknown kind {other:?}")),
+    }
+}
+
+/// Serialize a cycle's simulation summary (shared codec).
+pub(crate) fn sim_to_value(s: &SimSummary) -> Value {
+    Value::Obj(vec![
+        ("max_gbps".into(), f64_bits_value(s.max_gbps)),
+        ("local_frac".into(), f64_bits_value(s.local_frac)),
+        ("total_requests".into(), u64_bits_value(s.total_requests)),
+    ])
+}
+
+/// Decode a simulation summary (shared codec).
+pub(crate) fn sim_from_value(x: &Value, what: &str) -> Result<SimSummary, String> {
+    let f = |key: &str| -> Result<f64, String> {
+        f64_from_bits_value(
+            x.get(key).ok_or_else(|| format!("{what}.{key}: missing"))?,
+            key,
+        )
+        .map_err(|e| e.to_string())
+    };
+    Ok(SimSummary {
+        max_gbps: f("max_gbps")?,
+        local_frac: f("local_frac")?,
+        total_requests: u64_from_bits_value(
+            x.get("total_requests")
+                .ok_or_else(|| format!("{what}.total_requests: missing"))?,
+            "total_requests",
+        )
+        .map_err(|e| e.to_string())?,
+    })
 }
 
 /// Why the pipeline as a whole stopped.
@@ -236,29 +360,8 @@ impl PipelineState {
     }
 
     pub fn to_value(&self) -> Value {
-        let sim_v = |s: &SimSummary| {
-            Value::Obj(vec![
-                ("max_gbps".into(), f64_bits_value(s.max_gbps)),
-                ("local_frac".into(), f64_bits_value(s.local_frac)),
-                ("total_requests".into(), u64_bits_value(s.total_requests)),
-            ])
-        };
-        let reason_v = |r: &DegradeReason| match r {
-            DegradeReason::StageFailed {
-                stage,
-                attempts,
-                last_error,
-            } => Value::Obj(vec![
-                ("kind".into(), Value::Str("stage-failed".into())),
-                ("stage".into(), Value::Str(stage.name().into())),
-                ("attempts".into(), Value::Num(f64::from(*attempts))),
-                ("last_error".into(), Value::Str(last_error.clone())),
-            ]),
-            DegradeReason::ValidationFailed { what } => Value::Obj(vec![
-                ("kind".into(), Value::Str("validation-failed".into())),
-                ("what".into(), Value::Str(what.clone())),
-            ]),
-        };
+        let sim_v = sim_to_value;
+        let reason_v = reason_to_value;
         let record_v = |r: &CycleRecord| {
             Value::Obj(vec![
                 ("cycle".into(), Value::Num(r.cycle as f64)),
@@ -348,57 +451,8 @@ impl PipelineState {
                 .and_then(|n| u32::try_from(n).ok())
                 .ok_or_else(|| format!("{what}: expected a u32"))
         };
-        let sim_of = |x: &Value, what: &str| -> Result<SimSummary, String> {
-            let f = |key: &str| -> Result<f64, String> {
-                f64_from_bits_value(
-                    x.get(key).ok_or_else(|| format!("{what}.{key}: missing"))?,
-                    key,
-                )
-                .map_err(|e| e.to_string())
-            };
-            Ok(SimSummary {
-                max_gbps: f("max_gbps")?,
-                local_frac: f("local_frac")?,
-                total_requests: u64_from_bits_value(
-                    x.get("total_requests")
-                        .ok_or_else(|| format!("{what}.total_requests: missing"))?,
-                    "total_requests",
-                )
-                .map_err(|e| e.to_string())?,
-            })
-        };
-        let reason_of = |x: &Value| -> Result<DegradeReason, String> {
-            let kind = x
-                .get("kind")
-                .and_then(Value::as_str)
-                .ok_or("degraded.kind: expected a string")?;
-            match kind {
-                "stage-failed" => Ok(DegradeReason::StageFailed {
-                    stage: x
-                        .get("stage")
-                        .and_then(Value::as_str)
-                        .and_then(StageId::from_name)
-                        .ok_or("degraded.stage: unknown stage")?,
-                    attempts: num_u32(
-                        x.get("attempts").ok_or("degraded.attempts: missing")?,
-                        "degraded.attempts",
-                    )?,
-                    last_error: x
-                        .get("last_error")
-                        .and_then(Value::as_str)
-                        .ok_or("degraded.last_error: expected a string")?
-                        .to_string(),
-                }),
-                "validation-failed" => Ok(DegradeReason::ValidationFailed {
-                    what: x
-                        .get("what")
-                        .and_then(Value::as_str)
-                        .ok_or("degraded.what: expected a string")?
-                        .to_string(),
-                }),
-                other => Err(format!("degraded.kind: unknown kind {other:?}")),
-            }
-        };
+        let sim_of = sim_from_value;
+        let reason_of = reason_from_value;
         let records = field("records")?
             .as_arr()
             .ok_or("records: expected an array")?
@@ -603,6 +657,27 @@ mod tests {
         }
         let err = PipelineState::from_value(&v).unwrap_err();
         assert!(err.contains("stage"), "{err}");
+    }
+
+    #[test]
+    fn every_degrade_reason_round_trips() {
+        for r in [
+            DegradeReason::StageFailed {
+                stage: StageId::Round,
+                attempts: 2,
+                last_error: "boom".into(),
+            },
+            DegradeReason::ValidationFailed {
+                what: "unsorted holders".into(),
+            },
+            DegradeReason::Stalled {
+                stage: StageId::Solve,
+                ticks: 9,
+                budget: 8,
+            },
+        ] {
+            assert_eq!(reason_from_value(&reason_to_value(&r)).unwrap(), r);
+        }
     }
 
     #[test]

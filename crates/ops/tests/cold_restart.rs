@@ -1,0 +1,163 @@
+//! Pinned coverage for the supervisor's cold-restart path: a
+//! `pipeline.state` file torn at *every byte offset of the snapshot
+//! header* (and corrupted at every header byte) must produce a typed
+//! cold restart — never a panic, never a resumed-from-garbage state —
+//! and the replay after a torn write must land on placements
+//! byte-identical to an uninterrupted run. A state file written under
+//! a different seed must be refused outright.
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+
+use std::path::{Path, PathBuf};
+use vod_core::{DiskConfig, EpfConfig};
+use vod_estimate::{EstimateConfig, EstimatorKind};
+use vod_model::Mbps;
+use vod_net::{topologies, PathSet};
+use vod_ops::{FaultPlan, OpsConfig, OpsError, OpsWorld, Pipeline, StepOutcome};
+use vod_trace::{generate_trace, synthesize_library, LibraryConfig, TraceConfig};
+
+/// Snapshot container header for the `ops-pipeline` kind: 8B magic +
+/// 1B kind-len + 12B kind + 4B version + 8B payload-len + 8B checksum.
+const HEADER_LEN: usize = 8 + 1 + "ops-pipeline".len() + 4 + 8 + 8;
+
+fn world(seed: u64) -> OpsWorld {
+    let mut net = topologies::mesh_backbone(6, 9, seed);
+    net.set_uniform_capacity(Mbps::from_gbps(1.0));
+    let paths = PathSet::shortest_paths(&net);
+    let catalog = synthesize_library(&LibraryConfig::default_for(40, 14, seed));
+    let trace = generate_trace(&catalog, &net, &TraceConfig::default_for(400.0, 14, seed));
+    let disks = DiskConfig::UniformRatio { ratio: 2.5 }.capacities(&net, catalog.total_size());
+    OpsWorld {
+        net,
+        paths,
+        catalog,
+        trace,
+        disks,
+        mip_disk: DiskConfig::UniformRatio { ratio: 2.0 },
+        est: EstimateConfig::default(),
+    }
+}
+
+fn config(seed: u64, dir: PathBuf) -> OpsConfig {
+    OpsConfig {
+        cycles: 2,
+        period_days: 2,
+        start_day: 7,
+        estimator: EstimatorKind::History,
+        epf: EpfConfig {
+            max_passes: 40,
+            seed,
+            ..EpfConfig::default()
+        },
+        max_attempts: 3,
+        checkpoint_every: 3,
+        backoff_base_ms: 250,
+        validate_tol: 1e-6,
+        simulate: false,
+        state_dir: dir,
+    }
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vod_cold_{}_{}", name, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Run a pipeline a few steps in, then return the healthy state bytes.
+fn partial_state(dir: &Path, seed: u64, w: &OpsWorld, steps: usize) -> Vec<u8> {
+    let mut p = Pipeline::resume_or_start(w, config(seed, dir.to_path_buf()), FaultPlan::default())
+        .unwrap();
+    for _ in 0..steps {
+        assert_ne!(p.step().unwrap(), StepOutcome::Finished);
+    }
+    std::fs::read(dir.join("pipeline.state")).unwrap()
+}
+
+#[test]
+fn torn_header_writes_at_every_offset_cold_restart() {
+    let w = world(60);
+    let dir = fresh_dir("torn");
+    let clean = partial_state(&dir, 60, &w, 3);
+    assert!(clean.len() > HEADER_LEN, "state should outgrow its header");
+    let path = dir.join("pipeline.state");
+
+    for offset in 0..=HEADER_LEN {
+        // Torn write: only the first `offset` bytes hit the disk.
+        std::fs::write(&path, &clean[..offset]).unwrap();
+        let p =
+            Pipeline::resume_or_start(&w, config(60, dir.clone()), FaultPlan::default()).unwrap();
+        assert_eq!(
+            p.state().cold_restarts,
+            1,
+            "truncation at {offset} must cold-restart, not resume"
+        );
+        assert_eq!(p.state().cycle, 0, "cold restart starts from cycle 0");
+
+        if offset < HEADER_LEN {
+            // Bit rot inside the header: magic, kind, version, length
+            // and checksum corruptions are all typed rejections.
+            let mut rotted = clean.clone();
+            rotted[offset] ^= 0x20;
+            std::fs::write(&path, &rotted).unwrap();
+            let p = Pipeline::resume_or_start(&w, config(60, dir.clone()), FaultPlan::default())
+                .unwrap();
+            assert_eq!(
+                p.state().cold_restarts,
+                1,
+                "header corruption at {offset} must cold-restart"
+            );
+        }
+    }
+
+    // The pristine bytes still resume (the loop never spoiled them).
+    std::fs::write(&path, &clean).unwrap();
+    let p = Pipeline::resume_or_start(&w, config(60, dir), FaultPlan::default()).unwrap();
+    assert_eq!(p.state().cold_restarts, 0, "clean state must resume");
+    assert!(p.state().resumes >= 1);
+}
+
+#[test]
+fn replay_after_torn_write_matches_uninterrupted_run() {
+    let w = world(61);
+
+    let mut base =
+        Pipeline::resume_or_start(&w, config(61, fresh_dir("torn_base")), FaultPlan::default())
+            .unwrap();
+    let base_fps: Vec<u64> = base
+        .run()
+        .unwrap()
+        .records
+        .iter()
+        .map(|r| r.placement_fnv)
+        .collect();
+
+    // Interrupt mid-schedule with a torn state write, then let the
+    // cold restart replay the whole schedule.
+    let dir = fresh_dir("torn_replay");
+    let clean = partial_state(&dir, 61, &w, 7);
+    let cut = HEADER_LEN / 2;
+    std::fs::write(dir.join("pipeline.state"), &clean[..cut]).unwrap();
+    let mut p = Pipeline::resume_or_start(&w, config(61, dir), FaultPlan::default()).unwrap();
+    assert_eq!(p.state().cold_restarts, 1);
+    let st = p.run().unwrap();
+    let fps: Vec<u64> = st.records.iter().map(|r| r.placement_fnv).collect();
+    assert_eq!(fps, base_fps, "cold replay must reproduce the baseline");
+}
+
+#[test]
+fn seed_mismatch_refuses_to_clobber_foreign_state() {
+    let w = world(62);
+    let dir = fresh_dir("seed");
+    let _ = partial_state(&dir, 62, &w, 2);
+    // Same directory, different experiment seed: typed refusal, and
+    // the foreign state file is left byte-for-byte intact.
+    let before = std::fs::read(dir.join("pipeline.state")).unwrap();
+    match Pipeline::resume_or_start(&w, config(63, dir.clone()), FaultPlan::default()) {
+        Err(OpsError::Invalid { what }) => {
+            assert!(what.contains("seed"), "{what}");
+        }
+        other => panic!("expected Invalid, got {other:?}"),
+    }
+    let after = std::fs::read(dir.join("pipeline.state")).unwrap();
+    assert_eq!(before, after, "refusal must not touch the state file");
+}

@@ -281,6 +281,35 @@ mod tests {
     }
 
     #[test]
+    fn flags_sleeps_outside_the_backoff_module() {
+        let src = "fn f() { std::thread::sleep(std::time::Duration::from_millis(5)); }\n";
+        for path in [
+            "crates/ops/src/service.rs",
+            "crates/core/src/epf.rs",
+            "crates/sim/src/engine.rs",
+        ] {
+            assert_eq!(rules_of(&lint_file(path, src)), ["sleep-timer"], "{path}");
+        }
+        // The sanctioned sites: the recorded-backoff module owns the
+        // only real sleep; the bench harness paces real work by design.
+        assert!(lint_file("crates/ops/src/supervise.rs", src).is_empty());
+        assert!(lint_file("crates/bench/src/bin/x.rs", src).is_empty());
+        // Tests and test modules may sleep freely.
+        assert!(lint_file("crates/sim/tests/x.rs", src).is_empty());
+        let in_tests = format!("#[cfg(test)]\nmod tests {{\n    {src}\n}}\n");
+        assert!(lint_file("crates/ops/src/service.rs", &in_tests).is_empty());
+        // park_timeout is a disguised sleep; a justified allow works.
+        let park = "fn f() { std::thread::park_timeout(d); }\n";
+        assert_eq!(
+            rules_of(&lint_file("crates/ops/src/pipeline.rs", park)),
+            ["sleep-timer"]
+        );
+        let allowed = "// lint:allow(sleep-timer): shutdown drain, not a backoff\n\
+                       std::thread::sleep(d);\n";
+        assert!(lint_file("crates/ops/src/service.rs", allowed).is_empty());
+    }
+
+    #[test]
     fn pattern_inside_string_literal_is_not_a_finding() {
         let src = "fn f() { let s = \"use std::collections::HashMap;\"; }\n";
         assert!(lint_file("crates/core/src/x.rs", src).is_empty());
