@@ -104,6 +104,13 @@ pub const BLESSED: &[(&str, &str, &str, &str)] = &[
         "checkpoint/snapshot reads are part of the solver's declared input, not ambient state",
     ),
     (
+        "read_all",
+        "determinism-taint",
+        "fs-read",
+        "the single raw-read site every snapshot reader funnels through; it consults the \
+         injectable fault schedule first, and reads are declared input, not ambient state",
+    ),
+    (
         "read_json_snapshot",
         "determinism-taint",
         "fs-read",

@@ -7,8 +7,8 @@
 //! annotations for *either* layer parse everywhere, and an annotation
 //! naming an unknown rule is a finding instead of a silent no-op.
 
-/// The nine textual rules enforced by `cargo xtask lint`.
-pub const TEXTUAL_RULES: [&str; 9] = [
+/// The ten textual rules enforced by `cargo xtask lint`.
+pub const TEXTUAL_RULES: [&str; 10] = [
     "nondeterministic-map",
     "nan-unwrap-cmp",
     "wall-clock",
@@ -17,6 +17,7 @@ pub const TEXTUAL_RULES: [&str; 9] = [
     "dyn-dispatch",
     "no-panic-hot-path",
     "snapshot-io",
+    "io-fault-shim",
     "sleep-timer",
 ];
 
@@ -80,6 +81,18 @@ pub fn snapshot_io_scope(path: &str) -> bool {
     path.starts_with("crates/json/src/")
         || path.starts_with("crates/ops/src/")
         || path.starts_with("crates/bench/src/")
+}
+
+/// Crates whose snapshot I/O must stay *observable by the fault shim*
+/// (`vod_json::faults`): every durable read and write routes through
+/// the `vod_json::snapshot` helpers, whose single raw-I/O sites
+/// consult the shim's seeded schedule — so injected ENOSPC, torn
+/// writes and read-EIO faults exercise exactly the code paths real
+/// disk trouble would. Unlike [`snapshot_io_scope`] this excludes
+/// `crates/bench`: the drill harnesses tear and corrupt files
+/// *deliberately*, simulating external damage the shim must not see.
+pub fn io_fault_shim_scope(path: &str) -> bool {
+    path.starts_with("crates/json/src/") || path.starts_with("crates/ops/src/")
 }
 
 /// The only sanctioned sleep sites. The supervisors' determinism

@@ -1,4 +1,4 @@
-//! The nine textual per-line rules, re-hosted on the token stream.
+//! The ten textual per-line rules, re-hosted on the token stream.
 //!
 //! This is the engine behind `cargo xtask lint`. The rules themselves
 //! are unchanged from the line-oriented implementation they replace
@@ -23,13 +23,14 @@
 //! | `dyn-dispatch` | `Box<dyn` | `vod-sim` simulator hot-path modules |
 //! | `no-panic-hot-path` | `panic!` / `unreachable!` / `todo!` / `.unwrap()` / `.expect(` | modules reachable from `simulate` / `solve_placement` |
 //! | `snapshot-io` | `fs::write(` / `File::create(` | `vod-json`, `vod-ops`, `vod-bench` library + bin code (durable artifact writers) |
+//! | `io-fault-shim` | `fs::read(` / `fs::read_to_string(` / `File::open(` / `fs::write(` / `File::create(` | `vod-json`, `vod-ops` library code (snapshot I/O must consult the injectable fault shim) |
 //! | `sleep-timer` | `thread::sleep` / `park_timeout` | everywhere except `crates/ops/src/supervise.rs` (the recorded-backoff module) and `crates/bench` |
 
 use crate::lexer::{code_view, comment_view, lex};
 use crate::rules::{
-    self, deterministic_container_scope, exempt_path, flat_buffer_scope, no_panic_scope,
-    raw_index_exempt, sim_hot_path_scope, sleep_timer_exempt, snapshot_io_scope, test_only_file,
-    wall_clock_exempt,
+    self, deterministic_container_scope, exempt_path, flat_buffer_scope, io_fault_shim_scope,
+    no_panic_scope, raw_index_exempt, sim_hot_path_scope, sleep_timer_exempt, snapshot_io_scope,
+    test_only_file, wall_clock_exempt,
 };
 use std::collections::BTreeSet;
 use std::fmt;
@@ -246,6 +247,21 @@ pub fn lint_file_full(path: &str, content: &str) -> TextualOutcome {
                 "direct file writes in snapshot/results paths can be torn by a crash; \
                  route through vod_json::snapshot::write_atomic (or the snapshot \
                  helpers) so readers only ever see complete files"
+                    .to_string(),
+            );
+        }
+        if io_fault_shim_scope(path) && !in_test_code {
+            check(
+                "io-fault-shim",
+                code.contains("fs::read(")
+                    || code.contains("fs::read_to_string(")
+                    || code.contains("File::open(")
+                    || code.contains("fs::write(")
+                    || code.contains("File::create("),
+                "raw file I/O here bypasses the injectable fault shim (vod_json::faults), \
+                 so chaos drills can never reach this path; route through the \
+                 vod_json::snapshot helpers, whose single raw-I/O sites consult the \
+                 shim's seeded schedule"
                     .to_string(),
             );
         }

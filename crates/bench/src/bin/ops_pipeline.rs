@@ -144,6 +144,9 @@ fn reason_str(r: &DegradeReason) -> String {
         }
         DegradeReason::ValidationFailed { .. } => "validation-failed".into(),
         DegradeReason::Stalled { stage, .. } => format!("stalled:{stage}"),
+        DegradeReason::SnapshotUnavailable { failures, .. } => {
+            format!("snapshot-unavailable:{failures}")
+        }
     }
 }
 

@@ -125,6 +125,7 @@ fn config(s: &Scenario, w: &OpsWorld, dir: PathBuf) -> ServiceConfig {
         cycle_step_budget: budget,
         watchdog_budget: 64,
         cycle_faults: vec![(1, storm(w.trace.horizon()))],
+        cycle_deltas: Vec::new(),
     }
 }
 
@@ -267,6 +268,9 @@ fn reason_str(r: &DegradeReason) -> String {
         } => format!("stage-failed:{stage}:{attempts}"),
         DegradeReason::ValidationFailed { .. } => "validation-failed".into(),
         DegradeReason::Stalled { stage, .. } => format!("stalled:{stage}"),
+        DegradeReason::SnapshotUnavailable { failures, .. } => {
+            format!("snapshot-unavailable:{failures}")
+        }
     }
 }
 

@@ -956,8 +956,13 @@ fn solve_with_pool(
             let blocks: Vec<BlockSolution> = crate::shard::build_blocks(threads, n, |m| {
                 let b = &inst.blocks()[m];
                 match warm {
-                    Some(prev) => warm_block(inst, b, prev.stores(b.video), inst.n_vhos()),
-                    None => initial_block(b, inst.n_vhos()),
+                    // A warm placement may be *shorter* than the
+                    // instance (append-only catalog growth): tail
+                    // videos have no history and open cold.
+                    Some(prev) if b.video.index() < prev.n_videos() => {
+                        warm_block(inst, b, prev.stores(b.video), inst.n_vhos())
+                    }
+                    _ => initial_block(b, inst.n_vhos()),
                 }
             });
 

@@ -43,6 +43,8 @@ pub mod kernel;
 pub mod penalty;
 pub mod pool;
 pub mod potential;
+pub mod remap;
+pub mod repair;
 pub mod rounding;
 pub mod shard;
 pub mod solution;
@@ -57,6 +59,8 @@ pub use instance::{DiskConfig, MipInstance, PlacementCost};
 pub use kernel::Kernel;
 pub use penalty::{PenaltyArena, PenaltyUpdate};
 pub use pool::map_ordered;
+pub use remap::{remap_checkpoint, remap_fractional, RemapError};
+pub use repair::{repair_placement, RepairMove, RepairPlan};
 pub use rounding::RoundingStats;
 pub use solution::{BlockSolution, FractionalSolution, Placement};
 pub use solver::{

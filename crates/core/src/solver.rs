@@ -188,7 +188,7 @@ pub fn solve_fractional_checkpointed(
 /// How a cycle's fractional solve actually started — reported by
 /// [`solve_cycle_fractional`] so a supervising service loop can log
 /// its recovery action instead of guessing from side effects.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ResumeKind {
     /// A validated mid-solve checkpoint was resumed.
     Checkpoint,
@@ -196,14 +196,22 @@ pub enum ResumeKind {
     WarmStart,
     /// Cold trajectory with no prior information.
     Cold,
+    /// A prior checkpoint was presented but failed validation and was
+    /// discarded; the solve fell through to the warm/cold trajectory.
+    /// `reason` is the typed validation message, so callers can
+    /// distinguish a *foreign* artifact (fingerprint mismatch) from a
+    /// *remap-eligible* one (axes intact, capacities moved) instead of
+    /// losing the evidence to a silent discard.
+    Rejected { reason: String },
 }
 
 impl ResumeKind {
-    pub fn name(self) -> &'static str {
+    pub fn name(&self) -> &'static str {
         match self {
             ResumeKind::Checkpoint => "checkpoint",
             ResumeKind::WarmStart => "warm-start",
             ResumeKind::Cold => "cold",
+            ResumeKind::Rejected { .. } => "rejected",
         }
     }
 }
@@ -212,10 +220,17 @@ impl ResumeKind {
 /// folded in: a validated `prior` checkpoint resumes mid-solve; a
 /// stale or mismatched one is *discarded* (the caller deletes the
 /// durable file when the returned kind is not
-/// [`ResumeKind::Checkpoint`]) and the solve falls through to a cold
-/// trajectory seeded from `warm` — never a hard error, because the
-/// resume contract guarantees both legs land on the same bits as the
-/// uninterrupted run. Only a shape-mismatched `warm` is rejected.
+/// [`ResumeKind::Checkpoint`]), the typed validation reason is
+/// surfaced as [`ResumeKind::Rejected`], and the solve falls through
+/// to a cold trajectory seeded from `warm` — never a hard error,
+/// because the resume contract guarantees both legs land on the same
+/// bits as the uninterrupted run.
+///
+/// A `warm` placement *shorter* than the instance's video axis is
+/// accepted: the world's catalog is append-only, so the missing tail
+/// videos simply open at their initial blocks (no history to carry).
+/// A warm placement *longer* than the instance is a genuine shape
+/// mismatch and is rejected.
 pub fn solve_cycle_fractional(
     inst: &MipInstance,
     cfg: &EpfConfig,
@@ -224,24 +239,36 @@ pub fn solve_cycle_fractional(
     spec: Option<CheckpointSpec<'_>>,
 ) -> Result<(FractionalSolution, EpfStats, ResumeKind), SolveError> {
     validate(inst, cfg)?;
+    let mut rejected: Option<String> = None;
     if let Some(ckpt) = prior {
-        if ckpt.validate_for(inst, cfg).is_ok() {
-            let (frac, epf) = solve_fractional_driven(inst, cfg, None, Some(ckpt), spec);
-            return Ok((frac, epf, ResumeKind::Checkpoint));
+        match ckpt.validate_for(inst, cfg) {
+            Ok(()) => {
+                let (frac, epf) = solve_fractional_driven(inst, cfg, None, Some(ckpt), spec);
+                return Ok((frac, epf, ResumeKind::Checkpoint));
+            }
+            Err(reason) => rejected = Some(reason),
         }
     }
     if let Some(prev) = warm {
-        if prev.n_videos() != inst.n_videos() {
+        if prev.n_videos() > inst.n_videos() {
             return Err(SolveError::MismatchedWarmStart {
                 prev_videos: prev.n_videos(),
                 instance_videos: inst.n_videos(),
             });
         }
         let (frac, epf) = solve_fractional_driven(inst, cfg, Some(prev), None, spec);
-        return Ok((frac, epf, ResumeKind::WarmStart));
+        let kind = match rejected {
+            Some(reason) => ResumeKind::Rejected { reason },
+            None => ResumeKind::WarmStart,
+        };
+        return Ok((frac, epf, kind));
     }
     let (frac, epf) = solve_fractional_driven(inst, cfg, None, None, spec);
-    Ok((frac, epf, ResumeKind::Cold))
+    let kind = match rejected {
+        Some(reason) => ResumeKind::Rejected { reason },
+        None => ResumeKind::Cold,
+    };
+    Ok((frac, epf, kind))
 }
 
 /// Fractional-only variant of [`solve_resumable`]. The checkpoint

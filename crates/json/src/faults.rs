@@ -1,0 +1,269 @@
+//! Injectable I/O faults for the snapshot layer.
+//!
+//! Storage robustness drills need to answer "what happens when the disk
+//! fails *here*?" without root privileges, loopback filesystems, or a
+//! genuinely full disk. This module puts a process-global, seedable
+//! fault schedule in front of every snapshot read and write: the
+//! service and its tests keep calling the ordinary [`crate::snapshot`]
+//! API, and an installed [`FaultPlan`] decides which operation fails
+//! with which `errno`.
+//!
+//! Design constraints:
+//! - **deterministic** — faults fire by *operation index* (the Nth
+//!   write, the Mth read while the shim is installed), never by clock
+//!   or randomness, so chaos twins replay bit-identically;
+//! - **near-zero default cost** — with no shim installed each hook is
+//!   one uncontended mutex lock per snapshot op, and snapshot I/O is
+//!   rare by construction (one durable step per service transition);
+//! - **process-global, test-serialized** — [`install`] holds a global
+//!   gate for the lifetime of the returned [`ShimHandle`], so
+//!   concurrent `#[test]`s cannot interleave their schedules.
+//!
+//! The shim only fronts the snapshot container code in this crate
+//! ([`crate::snapshot`]); the `xtask` lint rule `io-fault-shim` denies
+//! snapshot-adjacent code paths that would bypass it with direct
+//! `std::fs` calls.
+
+use std::fmt;
+use std::io;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// One injectable storage fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFault {
+    /// The write fails immediately with `ENOSPC`; no bytes land.
+    WriteEnospc,
+    /// The temp file receives only the first `keep` bytes, then the
+    /// write fails with `ENOSPC` — a torn write that leaves a stray
+    /// partial temp file for the cleanup path to deal with.
+    WritePartial { keep: usize },
+    /// The payload is written in full but the durability barrier fails
+    /// with `EIO` before the rename, so the destination keeps its old
+    /// contents — "data in the page cache, disk said no".
+    FsyncFail,
+    /// The read fails with `EIO` — unreadable sector under a snapshot.
+    ReadEio,
+}
+
+impl IoFault {
+    /// Stable lower-case tag, used in drill records and logs.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            IoFault::WriteEnospc => "write-enospc",
+            IoFault::WritePartial { .. } => "write-partial",
+            IoFault::FsyncFail => "fsync-fail",
+            IoFault::ReadEio => "read-eio",
+        }
+    }
+
+    /// True for faults that may fire on the write path.
+    #[must_use]
+    pub fn is_write_fault(self) -> bool {
+        !matches!(self, IoFault::ReadEio)
+    }
+}
+
+impl fmt::Display for IoFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoFault::WritePartial { keep } => write!(f, "write-partial(keep={keep})"),
+            other => f.write_str(other.name()),
+        }
+    }
+}
+
+/// A deterministic fault schedule, addressed by operation index.
+///
+/// Indices count operations *since the shim was installed*: write index
+/// `n` is the `n`-th call to [`crate::snapshot::write_atomic`] (every
+/// snapshot writer funnels through it), read index `m` the `m`-th
+/// snapshot read ([`crate::snapshot::read_snapshot`] or
+/// [`crate::snapshot::peek_kind`]). Unmentioned indices succeed.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// `(write op index, fault)` pairs; each fault must satisfy
+    /// [`IoFault::is_write_fault`].
+    pub writes: Vec<(u64, IoFault)>,
+    /// Read op indices that fail with `EIO`.
+    pub reads: Vec<u64>,
+}
+
+impl FaultPlan {
+    /// A plan that fails the single write at `index` with `fault`.
+    #[must_use]
+    pub fn one_write(index: u64, fault: IoFault) -> Self {
+        FaultPlan {
+            writes: vec![(index, fault)],
+            reads: Vec::new(),
+        }
+    }
+
+    /// A plan that fails the single read at `index` with `EIO`.
+    #[must_use]
+    pub fn one_read(index: u64) -> Self {
+        FaultPlan {
+            writes: Vec::new(),
+            reads: vec![index],
+        }
+    }
+}
+
+struct Shim {
+    plan: FaultPlan,
+    writes_seen: u64,
+    reads_seen: u64,
+}
+
+static GATE: Mutex<()> = Mutex::new(());
+static SHIM: Mutex<Option<Shim>> = Mutex::new(None);
+
+fn shim_slot() -> MutexGuard<'static, Option<Shim>> {
+    // A panicking test must not wedge every later drill: the slot holds
+    // plain data, so the poison flag carries no integrity meaning.
+    SHIM.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Exclusive handle on the installed fault schedule. Dropping it (or a
+/// panic unwinding past it) uninstalls the shim and releases the global
+/// gate, so a failed test cannot leak faults into the next one.
+pub struct ShimHandle {
+    _gate: MutexGuard<'static, ()>,
+}
+
+impl fmt::Debug for ShimHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShimHandle")
+            .field("writes_seen", &self.writes_seen())
+            .field("reads_seen", &self.reads_seen())
+            .finish()
+    }
+}
+
+impl ShimHandle {
+    /// Write operations observed since [`install`].
+    #[must_use]
+    pub fn writes_seen(&self) -> u64 {
+        shim_slot().as_ref().map_or(0, |s| s.writes_seen)
+    }
+
+    /// Read operations observed since [`install`].
+    #[must_use]
+    pub fn reads_seen(&self) -> u64 {
+        shim_slot().as_ref().map_or(0, |s| s.reads_seen)
+    }
+}
+
+impl Drop for ShimHandle {
+    fn drop(&mut self) {
+        *shim_slot() = None;
+    }
+}
+
+/// Install a fault schedule, returning the RAII handle that keeps it
+/// active. Blocks until any previously installed shim is dropped.
+///
+/// # Panics
+/// If `plan.writes` schedules [`IoFault::ReadEio`] on the write path —
+/// that is a malformed drill, not a runtime condition.
+#[must_use]
+pub fn install(plan: FaultPlan) -> ShimHandle {
+    for &(at, fault) in &plan.writes {
+        assert!(
+            fault.is_write_fault(),
+            "fault plan schedules {fault} at write op {at}, but it is not a write fault"
+        );
+    }
+    let gate = GATE.lock().unwrap_or_else(PoisonError::into_inner);
+    *shim_slot() = Some(Shim {
+        plan,
+        writes_seen: 0,
+        reads_seen: 0,
+    });
+    ShimHandle { _gate: gate }
+}
+
+/// Consult the schedule for the next write operation.
+pub(crate) fn on_write() -> Option<IoFault> {
+    let mut slot = shim_slot();
+    let shim = slot.as_mut()?;
+    let at = shim.writes_seen;
+    shim.writes_seen += 1;
+    shim.plan
+        .writes
+        .iter()
+        .find(|(idx, _)| *idx == at)
+        .map(|&(_, fault)| fault)
+}
+
+/// Consult the schedule for the next read operation.
+pub(crate) fn on_read() -> Option<io::Error> {
+    let mut slot = shim_slot();
+    let shim = slot.as_mut()?;
+    let at = shim.reads_seen;
+    shim.reads_seen += 1;
+    shim.plan
+        .reads
+        .contains(&at)
+        .then(|| io::Error::from_raw_os_error(libc_eio()))
+}
+
+/// `ENOSPC` as an [`io::Error`] (errno 28 on Linux).
+pub(crate) fn enospc() -> io::Error {
+    io::Error::from_raw_os_error(28)
+}
+
+/// `EIO` errno (5 on Linux).
+fn libc_eio() -> i32 {
+    5
+}
+
+/// `EIO` as an [`io::Error`].
+pub(crate) fn eio() -> io::Error {
+    io::Error::from_raw_os_error(libc_eio())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faults_fire_by_operation_index_and_clear_on_drop() {
+        {
+            let handle = install(FaultPlan {
+                writes: vec![(1, IoFault::WriteEnospc)],
+                reads: vec![0],
+            });
+            assert!(on_write().is_none(), "write 0 is clean");
+            assert_eq!(on_write(), Some(IoFault::WriteEnospc), "write 1 faults");
+            assert!(on_write().is_none(), "write 2 is clean again");
+            assert_eq!(on_read().map(|e| e.raw_os_error()), Some(Some(5)));
+            assert!(on_read().is_none());
+            assert_eq!(handle.writes_seen(), 3);
+            assert_eq!(handle.reads_seen(), 2);
+        }
+        // Uninstalled: everything succeeds and nothing is counted.
+        assert!(on_write().is_none());
+        assert!(on_read().is_none());
+    }
+
+    #[test]
+    fn errnos_and_names_are_stable() {
+        assert_eq!(enospc().raw_os_error(), Some(28));
+        assert_eq!(eio().raw_os_error(), Some(5));
+        assert_eq!(IoFault::WriteEnospc.name(), "write-enospc");
+        assert_eq!(
+            IoFault::WritePartial { keep: 7 }.to_string(),
+            "write-partial(keep=7)"
+        );
+        assert_eq!(IoFault::FsyncFail.name(), "fsync-fail");
+        assert_eq!(IoFault::ReadEio.name(), "read-eio");
+        assert!(!IoFault::ReadEio.is_write_fault());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a write fault")]
+    fn read_faults_on_the_write_path_are_a_malformed_drill() {
+        let _ = install(FaultPlan::one_write(0, IoFault::ReadEio));
+    }
+}

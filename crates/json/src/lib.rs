@@ -26,6 +26,7 @@
 
 use std::fmt::Write as _;
 
+pub mod faults;
 pub mod snapshot;
 
 /// A JSON document.

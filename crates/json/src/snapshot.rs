@@ -232,17 +232,60 @@ fn tmp_path(path: &Path) -> PathBuf {
 /// Write raw bytes atomically: temp file in the same directory, then
 /// rename over the destination. On success a reader at any instant sees
 /// either the old complete file or the new complete file, never a
-/// partial write.
+/// partial write. On *any* failure — real or injected via
+/// [`crate::faults`] — the temp file is removed best-effort, so a
+/// failed write leaves the destination untouched and no stray `*.tmp`
+/// behind.
 pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), SnapshotError> {
+    let tmp = tmp_path(path);
+    let result = write_atomic_inner(path, &tmp, bytes);
+    if result.is_err() {
+        // Best-effort: the partial temp file is garbage whether the
+        // failure was a short write or a failed rename. Ignoring the
+        // secondary error is deliberate — the primary one is reported.
+        // (Removal deliberately bypasses the fault shim, which hooks
+        // only reads and writes: an injected fault must never make its
+        // own debris uncollectable.)
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+fn write_atomic_inner(path: &Path, tmp: &Path, bytes: &[u8]) -> Result<(), SnapshotError> {
     let io_err = |p: &Path, source: std::io::Error| SnapshotError::Io {
         path: p.to_path_buf(),
         source,
     };
-    let tmp = tmp_path(path);
+    match crate::faults::on_write() {
+        Some(crate::faults::IoFault::WriteEnospc) => {
+            return Err(io_err(tmp, crate::faults::enospc()));
+        }
+        Some(crate::faults::IoFault::WritePartial { keep }) => {
+            // Torn write: some bytes land in the temp file, then the
+            // device runs out of space. The destination is untouched.
+            // lint:allow(snapshot-io): the torn prefix IS the injected
+            // damage — tearing it atomically would defeat the point.
+            // lint:allow(io-fault-shim): fault-injection writes the torn
+            // prefix directly; routing it through the shim would recurse.
+            let _ = std::fs::write(tmp, &bytes[..keep.min(bytes.len())]);
+            return Err(io_err(tmp, crate::faults::enospc()));
+        }
+        Some(crate::faults::IoFault::FsyncFail) => {
+            // The payload is written in full but the durability barrier
+            // fails, so the rename is never attempted.
+            // lint:allow(snapshot-io): see WritePartial above.
+            // lint:allow(io-fault-shim): see WritePartial above.
+            std::fs::write(tmp, bytes).map_err(|e| io_err(tmp, e))?;
+            return Err(io_err(tmp, crate::faults::eio()));
+        }
+        Some(crate::faults::IoFault::ReadEio) | None => {}
+    }
     // lint:allow(snapshot-io): this IS the atomic write helper every
     // other snapshot/results writer is required to route through.
-    std::fs::write(&tmp, bytes).map_err(|e| io_err(&tmp, e))?;
-    std::fs::rename(&tmp, path).map_err(|e| io_err(path, e))
+    // lint:allow(io-fault-shim): and the shim hook above is its fault
+    // schedule, so the raw calls here are the single sanctioned pair.
+    std::fs::write(tmp, bytes).map_err(|e| io_err(tmp, e))?;
+    std::fs::rename(tmp, path).map_err(|e| io_err(path, e))
 }
 
 /// Write a checksummed snapshot atomically.
@@ -262,10 +305,7 @@ pub fn write_snapshot_atomic(
 /// treat it. The payload may still be truncated or corrupt; only a
 /// full [`read_snapshot`] vouches for the bytes. Never panics.
 pub fn peek_kind(path: &Path) -> Result<(String, u32), SnapshotError> {
-    let bytes = std::fs::read(path).map_err(|source| SnapshotError::Io {
-        path: path.to_path_buf(),
-        source,
-    })?;
+    let bytes = read_all(path)?;
     if bytes.len() < FIXED_PREFIX {
         return Err(SnapshotError::Truncated {
             expected: FIXED_PREFIX,
@@ -295,12 +335,24 @@ pub fn peek_kind(path: &Path) -> Result<(String, u32), SnapshotError> {
     Ok((kind, u32::from_le_bytes(v)))
 }
 
-/// Read and verify a snapshot, returning the payload bytes.
-pub fn read_snapshot(path: &Path, kind: &str, version: u32) -> Result<Vec<u8>, SnapshotError> {
-    let bytes = std::fs::read(path).map_err(|source| SnapshotError::Io {
+/// Snapshot read with the fault schedule consulted first: an injected
+/// `EIO` surfaces exactly like an unreadable sector would.
+fn read_all(path: &Path) -> Result<Vec<u8>, SnapshotError> {
+    let io_err = |source: std::io::Error| SnapshotError::Io {
         path: path.to_path_buf(),
         source,
-    })?;
+    };
+    if let Some(e) = crate::faults::on_read() {
+        return Err(io_err(e));
+    }
+    // lint:allow(io-fault-shim): the shim hook above IS this read's
+    // fault schedule; every snapshot reader funnels through here.
+    std::fs::read(path).map_err(io_err)
+}
+
+/// Read and verify a snapshot, returning the payload bytes.
+pub fn read_snapshot(path: &Path, kind: &str, version: u32) -> Result<Vec<u8>, SnapshotError> {
+    let bytes = read_all(path)?;
     decode(&bytes, kind, version)
 }
 

@@ -24,9 +24,11 @@
     )
 )]
 
+pub mod delta;
 pub mod graph;
 pub mod routing;
 pub mod topologies;
 
+pub use delta::{DeltaOp, WorldDelta, CAPACITY_EPSILON};
 pub use graph::{Link, Network, Node};
 pub use routing::PathSet;

@@ -96,7 +96,11 @@ pub fn apply_churn_cap(
     deferred_in: &[DeferredMigration],
     cycle: usize,
 ) -> Result<ChurnPlan, String> {
-    if prev.n_vhos() != target.n_vhos() || prev.n_videos() != target.n_videos() {
+    // The VHO axis must match exactly; the video axis may *grow*
+    // (append-only catalog deltas): `prev` is padded with virtual
+    // empty entries for the appended tail. A `prev` longer than the
+    // target is a genuine mismatch.
+    if prev.n_vhos() != target.n_vhos() || prev.n_videos() > target.n_videos() {
         return Err(format!(
             "placement shape mismatch: prev {}v/{}m vs target {}v/{}m",
             prev.n_vhos(),
@@ -106,6 +110,15 @@ pub fn apply_churn_cap(
         ));
     }
     let n_videos = target.n_videos();
+    const EMPTY_STORES: &[vod_model::VhoId] = &[];
+    const EMPTY_ROUTING: &[(vod_model::VhoId, vod_core::solution::ServingDist)] = &[];
+    let prev_stores = |m: VideoId| -> &[vod_model::VhoId] {
+        if m.index() < prev.n_videos() {
+            prev.stores(m)
+        } else {
+            EMPTY_STORES
+        }
+    };
     // Queue position of each previously-deferred video.
     let mut order: Vec<(usize, VideoId)> = Vec::with_capacity(n_videos);
     let mut queued = vec![false; n_videos];
@@ -127,42 +140,54 @@ pub fn apply_churn_cap(
 
     let prev_routing = prev.routing_lists();
     let target_routing = target.routing_lists();
+    let prev_routing_of = |i: usize| -> &[(vod_model::VhoId, vod_core::solution::ServingDist)] {
+        prev_routing.get(i).map_or(EMPTY_ROUTING, Vec::as_slice)
+    };
     let mut moved = 0usize;
     let mut deferred = Vec::new();
     let mut stores_out: Vec<Vec<_>> = (0..n_videos)
-        .map(|m| prev.stores(VideoId::from_index(m)).to_vec())
+        .map(|m| prev_stores(VideoId::from_index(m)).to_vec())
         .collect();
-    let mut routing_out = prev_routing.to_vec();
+    let mut routing_out: Vec<Vec<_>> = (0..n_videos).map(|i| prev_routing_of(i).to_vec()).collect();
     for &(queued_since, m) in &order {
         let i = m.index();
-        if prev.stores(m) == target.stores(m) && prev_routing[i] == target_routing[i] {
+        if prev_stores(m) == target.stores(m) && prev_routing_of(i) == target_routing[i] {
             continue; // identical layouts: nothing to do
         }
-        // Transfer cost: target holders not already on prev.
+        // Transfer cost: target holders not already on prev. The
+        // *first* copy of a brand-new (appended) video is free — it is
+        // content ingest, not placement churn, and structural validity
+        // requires every video to hold at least one copy.
         let missing: Vec<_> = target
             .stores(m)
             .iter()
-            .filter(|v| prev.stores(m).binary_search(v).is_err())
+            .filter(|v| prev_stores(m).binary_search(v).is_err())
             .copied()
             .collect();
-        let budget = cap.map_or(usize::MAX, |c| c - moved);
-        if missing.len() <= budget {
+        let free_copies = usize::from(i >= prev.n_videos());
+        let cost = missing.len().saturating_sub(free_copies);
+        // Saturating clamp: the cap may have been *lowered* between
+        // cycles (even to 0) while repair pre-charges or a drain is in
+        // flight; the budget must floor at 0, never wrap.
+        let budget = cap.map_or(usize::MAX, |c| c.saturating_sub(moved));
+        if cost <= budget {
             // Full adoption: target stores and routing together.
             stores_out[i] = target.stores(m).to_vec();
             routing_out[i] = target_routing[i].clone();
-            moved += missing.len();
+            moved += cost;
         } else {
-            if budget > 0 {
+            let stage = budget + free_copies; // paid prefix + free first copy
+            if stage > 0 {
                 // Partial staging: transfer the affordable prefix of
                 // the missing copies now; the previous layout (and its
                 // routing) keeps serving until full adoption.
-                stores_out[i].extend_from_slice(&missing[..budget]);
+                stores_out[i].extend_from_slice(&missing[..stage.min(missing.len())]);
                 stores_out[i].sort_unstable();
                 moved += budget;
             }
             deferred.push(DeferredMigration {
                 video: m,
-                copies: missing.len() - budget.min(missing.len()),
+                copies: missing.len() - stage.min(missing.len()),
                 since_cycle: queued_since,
             });
         }
@@ -294,6 +319,90 @@ mod tests {
     }
 
     #[test]
+    fn cap_lowered_mid_drain_keeps_guaranteed_progress() {
+        // Drain starts under cap 3, then the operator lowers the cap
+        // to 1 mid-drain: every later cycle must still move exactly
+        // min(cap, remaining) copies — never wrap, never stall.
+        let prev = placement(vec![vec![0], vec![0], vec![0]]);
+        let target = placement(vec![vec![1, 2, 3], vec![1], vec![2]]);
+        let p0 = apply_churn_cap(&prev, &target, Some(3), &[], 0).unwrap();
+        assert_eq!(p0.moved, 3);
+        assert!(!p0.deferred.is_empty());
+        let mut current = p0.placement;
+        let mut deferred = p0.deferred;
+        let mut cycle = 1;
+        while !deferred.is_empty() {
+            let p = apply_churn_cap(&current, &target, Some(1), &deferred, cycle).unwrap();
+            assert_eq!(
+                p.moved, 1,
+                "cycle {cycle} must make progress under the lowered cap"
+            );
+            current = p.placement;
+            deferred = p.deferred;
+            cycle += 1;
+            assert!(cycle < 10, "drain must terminate");
+        }
+        assert_eq!(current.holder_lists(), target.holder_lists());
+    }
+
+    #[test]
+    fn cap_dropped_to_zero_freezes_the_queue_and_restoration_drains_it() {
+        let prev = placement(vec![vec![0], vec![0]]);
+        let target = placement(vec![vec![1], vec![2]]);
+        let p0 = apply_churn_cap(&prev, &target, Some(1), &[], 0).unwrap();
+        assert_eq!(p0.moved, 1);
+        assert_eq!(p0.deferred.len(), 1);
+        // Cap collapses to 0: no progress, no wrap, queue intact with
+        // its original age.
+        let frozen = apply_churn_cap(&p0.placement, &target, Some(0), &p0.deferred, 1).unwrap();
+        assert_eq!(frozen.moved, 0);
+        assert_eq!(
+            frozen.deferred, p0.deferred,
+            "queue must survive a zero cap"
+        );
+        assert_eq!(
+            frozen.placement.holder_lists(),
+            p0.placement.holder_lists(),
+            "zero cap must not alter the deployment"
+        );
+        // Cap restored: the queue drains where it left off.
+        let done =
+            apply_churn_cap(&frozen.placement, &target, Some(2), &frozen.deferred, 2).unwrap();
+        assert_eq!(done.moved, 1);
+        assert!(done.deferred.is_empty());
+        assert_eq!(done.placement.holder_lists(), target.holder_lists());
+    }
+
+    #[test]
+    fn appended_videos_get_a_free_first_copy_and_pay_for_the_rest() {
+        // prev covers 1 video; the target's appended video 1 wants two
+        // copies. Its first copy is content ingest (free, lands even
+        // at cap 0 so the hybrid stays structurally valid); the second
+        // is churn and defers.
+        let prev = placement(vec![vec![0]]);
+        let target = placement(vec![vec![0], vec![1, 2]]);
+        let p = apply_churn_cap(&prev, &target, Some(0), &[], 0).unwrap();
+        assert_eq!(p.moved, 0);
+        assert_eq!(p.placement.n_videos(), 2);
+        assert_eq!(p.placement.stores(VideoId::new(1)), &[VhoId::new(1)]);
+        assert_eq!(
+            p.deferred,
+            vec![DeferredMigration {
+                video: VideoId::new(1),
+                copies: 1,
+                since_cycle: 0
+            }]
+        );
+        // With budget the appended video adopts fully at cost 1.
+        let done = apply_churn_cap(&p.placement, &target, Some(1), &p.deferred, 1).unwrap();
+        assert_eq!(done.moved, 1);
+        assert!(done.deferred.is_empty());
+        assert_eq!(done.placement.holder_lists(), target.holder_lists());
+        // A prev *longer* than the target stays a typed error.
+        assert!(apply_churn_cap(&target, &prev, None, &[], 0).is_err());
+    }
+
+    #[test]
     fn removals_and_routing_changes_are_free() {
         let prev = placement(vec![vec![0, 1], vec![0]]);
         let target = placement(vec![vec![0], vec![0]]);
@@ -322,7 +431,11 @@ mod tests {
     fn shape_mismatch_is_a_typed_error() {
         let a = placement(vec![vec![0]]);
         let b = placement(vec![vec![0], vec![1]]);
-        assert!(apply_churn_cap(&a, &b, None, &[], 0).is_err());
+        // prev longer than target: a shrunk video axis never happens
+        // under append-only growth and is refused.
+        assert!(apply_churn_cap(&b, &a, None, &[], 0).is_err());
+        // prev shorter than target is the append path and is fine.
+        assert!(apply_churn_cap(&a, &b, None, &[], 0).is_ok());
     }
 
     #[test]

@@ -55,3 +55,6 @@ pub use state::{
     STATE_KIND, STATE_VERSION,
 };
 pub use supervise::{deployment_sleep, recorded_backoff, RecoveryAction, Watchdog};
+// Re-exported so service callers can build [`ServiceConfig::cycle_deltas`]
+// without importing vod-net directly.
+pub use vod_net::{DeltaOp, WorldDelta};

@@ -44,10 +44,12 @@ use crate::state::{
 };
 use crate::supervise::recorded_backoff;
 
-/// The fixed world the pipeline re-optimizes against: topology (with
-/// link capacities already set), routing, library, the full request
-/// trace, and the physical disk inventory.
-#[derive(Debug)]
+/// The world the pipeline re-optimizes against: topology (with link
+/// capacities already set), routing, library, the full request trace,
+/// and the physical disk inventory. The one-shot pipeline treats it as
+/// fixed; the service clones it and evolves its copy through
+/// [`vod_net::WorldDelta`]s between cycles.
+#[derive(Debug, Clone)]
 pub struct OpsWorld {
     pub net: Network,
     pub paths: PathSet,
@@ -131,6 +133,11 @@ pub enum StepOutcome {
     /// pipeline over the same state dir) resumes from the last
     /// surviving checkpoint.
     SimulatedCrash { cycle: usize },
+    /// A scheduled [`vod_net::WorldDelta`] was applied (service only):
+    /// the world mutated, the deployed placement was repaired under the
+    /// churn cap, and the delta counter advanced — one durable
+    /// transition. `index` is the delta's position in the schedule.
+    DeltaApplied { cycle: usize, index: usize },
     /// All cycles are closed.
     Finished,
 }

@@ -34,8 +34,8 @@ use vod_core::checkpoint::{
 };
 use vod_core::rounding::round_solution;
 use vod_core::{
-    solve_cycle_fractional, CheckpointSpec, EpfConfig, MipInstance, Placement, PlacementCost,
-    ResumeKind, SolverCheckpoint,
+    remap_checkpoint, repair_placement, solve_cycle_fractional, CheckpointSpec, DiskConfig,
+    EpfConfig, MipInstance, Placement, PlacementCost, ResumeKind, SolverCheckpoint,
 };
 use vod_estimate::{estimate_demand, StreamingWindow};
 use vod_json::snapshot::{
@@ -45,7 +45,10 @@ use vod_json::snapshot::{
 use vod_json::Value;
 use vod_model::rng::derive_seed;
 use vod_model::time::DAY;
-use vod_model::{SimTime, TimeWindow, VhoId};
+use vod_model::{
+    Catalog, Gigabytes, SimTime, TimeWindow, VhoId, Video, VideoClass, VideoId, VideoKind,
+};
+use vod_net::{DeltaOp, WorldDelta};
 use vod_sim::{mip_vho_configs, simulate, CacheKind, FaultSchedule, PolicyKind, SimConfig};
 
 use crate::diff::{apply_churn_cap, DeferredMigration};
@@ -60,8 +63,16 @@ use crate::supervise::{recorded_backoff, RecoveryAction, Watchdog};
 
 /// Snapshot-container kind tag for the service state file.
 pub const SERVICE_KIND: &str = "ops-service";
-/// Service state payload version.
-pub const SERVICE_VERSION: u32 = 1;
+/// Service state payload version. v2 added live-reconfiguration state
+/// (applied-delta counter, repair/rejection ledgers, snapshot-failure
+/// accounting); v1 files cold-restart via the version gate.
+pub const SERVICE_VERSION: u32 = 2;
+
+/// MIP disk budget assigned to a storage-dark (decommissioned) VHO.
+/// Must stay positive ([`MipInstance`] rejects zero capacities) but
+/// below the smallest video size, so the solver can never place a
+/// copy there while the node keeps existing on every axis.
+const DARK_DISK_GB: f64 = 1e-6;
 
 /// Cycle seed salt — distinct from the pipeline's `0x0E5F` so solver
 /// checkpoints written by one supervisor can never validate against
@@ -87,6 +98,13 @@ pub struct ServiceConfig {
     /// Fault schedules injected into specific cycles' replay stage
     /// (validated against the world up front).
     pub cycle_faults: Vec<(usize, FaultSchedule)>,
+    /// World deltas applied between cycles, sorted by cycle
+    /// (non-decreasing; several per cycle are applied in order). Each
+    /// is validated against the initial topology up front, applied as
+    /// its own durable transition at the start of its cycle, and the
+    /// deployed placement is repaired under the churn cap
+    /// ([`vod_core::repair`]).
+    pub cycle_deltas: Vec<WorldDelta>,
 }
 
 /// Deterministic chaos injection for drills: forced stage failures,
@@ -140,6 +158,13 @@ pub struct ServiceRecord {
     /// True when the window was served with *no* deployment at all.
     pub stale: bool,
     pub sim: Option<SimSummary>,
+    /// Fingerprints of the feasibility-repair plans executed this cycle
+    /// (one per applied world delta that required repair) — the
+    /// reconfig drill's identity anchor for repair behaviour.
+    pub repairs: Vec<u64>,
+    /// Typed solver-checkpoint rejections surfaced this cycle, each
+    /// prefixed `remap-eligible:` or `foreign:`.
+    pub rejections: Vec<String>,
 }
 
 /// Complete durable service state (persisted after every transition).
@@ -169,6 +194,20 @@ pub struct ServiceState {
     pub resumes: u64,
     pub cold_restarts: u64,
     pub stale_serves: u64,
+    /// Prefix of [`ServiceConfig::cycle_deltas`] already applied. The
+    /// counter is durable and advances atomically with the delta's
+    /// world mutation + repair, so a crash can never re-apply (or
+    /// skip) a delta; construction replays this prefix to rebuild the
+    /// evolved world.
+    pub deltas_applied: usize,
+    /// Lifetime count of failed snapshot writes (the service keeps
+    /// serving from memory and retries; see
+    /// [`DegradeReason::SnapshotUnavailable`]).
+    pub snapshot_failures: u64,
+    /// Repair-plan fingerprints accumulated in the current cycle.
+    pub cycle_repairs: Vec<u64>,
+    /// Checkpoint rejections accumulated in the current cycle.
+    pub cycle_rejections: Vec<String>,
 }
 
 impl ServiceState {
@@ -196,6 +235,10 @@ impl ServiceState {
             resumes: 0,
             cold_restarts: 0,
             stale_serves: 0,
+            deltas_applied: 0,
+            snapshot_failures: 0,
+            cycle_repairs: Vec::new(),
+            cycle_rejections: Vec::new(),
         }
     }
 
@@ -243,6 +286,14 @@ impl ServiceState {
                 (
                     "sim".into(),
                     r.sim.as_ref().map_or(Value::Null, sim_to_value),
+                ),
+                (
+                    "repairs".into(),
+                    Value::Arr(r.repairs.iter().map(|&f| u64_bits_value(f)).collect()),
+                ),
+                (
+                    "rejections".into(),
+                    Value::Arr(r.rejections.iter().map(|s| Value::Str(s.clone())).collect()),
                 ),
             ])
         };
@@ -320,6 +371,32 @@ impl ServiceState {
             ("resumes".into(), u64_bits_value(self.resumes)),
             ("cold_restarts".into(), u64_bits_value(self.cold_restarts)),
             ("stale_serves".into(), u64_bits_value(self.stale_serves)),
+            (
+                "deltas_applied".into(),
+                Value::Num(self.deltas_applied as f64),
+            ),
+            (
+                "snapshot_failures".into(),
+                u64_bits_value(self.snapshot_failures),
+            ),
+            (
+                "cycle_repairs".into(),
+                Value::Arr(
+                    self.cycle_repairs
+                        .iter()
+                        .map(|&f| u64_bits_value(f))
+                        .collect(),
+                ),
+            ),
+            (
+                "cycle_rejections".into(),
+                Value::Arr(
+                    self.cycle_rejections
+                        .iter()
+                        .map(|s| Value::Str(s.clone()))
+                        .collect(),
+                ),
+            ),
         ])
     }
 
@@ -353,6 +430,24 @@ impl ServiceState {
                     .map(Some)
                     .map_err(|e| e.to_string()),
             }
+        };
+        let u64s_of = |x: &Value, what: &str| -> Result<Vec<u64>, String> {
+            x.as_arr()
+                .ok_or_else(|| format!("{what}: expected an array"))?
+                .iter()
+                .map(|f| u64_from_bits_value(f, what).map_err(|e| e.to_string()))
+                .collect()
+        };
+        let strs_of = |x: &Value, what: &str| -> Result<Vec<String>, String> {
+            x.as_arr()
+                .ok_or_else(|| format!("{what}: expected an array"))?
+                .iter()
+                .map(|s| {
+                    s.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("{what}: expected strings"))
+                })
+                .collect()
         };
         let records = field("records")?
             .as_arr()
@@ -395,6 +490,8 @@ impl ServiceState {
                         Value::Null => None,
                         other => Some(sim_from_value(other, "records.sim")?),
                     },
+                    repairs: u64s_of(rf("repairs")?, "records.repairs")?,
+                    rejections: strs_of(rf("rejections")?, "records.rejections")?,
                 })
             })
             .collect::<Result<Vec<_>, _>>()?;
@@ -457,6 +554,16 @@ impl ServiceState {
                 .map_err(|e| e.to_string())?,
             stale_serves: u64_from_bits_value(field("stale_serves")?, "stale_serves")
                 .map_err(|e| e.to_string())?,
+            deltas_applied: field("deltas_applied")?
+                .as_usize()
+                .ok_or("deltas_applied: expected int")?,
+            snapshot_failures: u64_from_bits_value(
+                field("snapshot_failures")?,
+                "snapshot_failures",
+            )
+            .map_err(|e| e.to_string())?,
+            cycle_repairs: u64s_of(field("cycle_repairs")?, "cycle_repairs")?,
+            cycle_rejections: strs_of(field("cycle_rejections")?, "cycle_rejections")?,
         })
     }
 }
@@ -464,8 +571,15 @@ impl ServiceState {
 /// The supervised service loop. Construct with
 /// [`Service::resume_or_start`], drive with [`Service::step`] or
 /// [`Service::run`].
-pub struct Service<'a> {
-    world: &'a OpsWorld,
+pub struct Service {
+    /// The *current* world: the configured base world with the durable
+    /// prefix of [`ServiceConfig::cycle_deltas`] replayed onto it.
+    cur: OpsWorld,
+    /// Storage-dark mask: `dark[i]` = VHO `i` is decommissioned. The
+    /// node stays on every axis (ids never renumber); its MIP disk
+    /// collapses to [`DARK_DISK_GB`] and repair drains its copies
+    /// under the churn cap.
+    dark: Vec<bool>,
     cfg: ServiceConfig,
     plan: ServicePlan,
     state: ServiceState,
@@ -475,9 +589,20 @@ pub struct Service<'a> {
     period_win: StreamingWindow,
     fired_kills: Vec<usize>,
     fired_stage_kills: Vec<(usize, StageId)>,
+    /// True while the durable snapshots lag the in-memory state (disk
+    /// faults). The service keeps serving and every later transition
+    /// retries the full write; a crash while dirty loses only replayable
+    /// work, never determinism.
+    dirty: bool,
+    last_snapshot_error: Option<String>,
+    /// Fractional payload kept in memory when its snapshot write
+    /// failed, so the round stage can proceed without the disk. Not
+    /// durable on purpose: a crash falls back to the retreat-to-solve
+    /// recompute, which is deterministic.
+    mem_fractional: Option<Value>,
 }
 
-impl std::fmt::Debug for Service<'_> {
+impl std::fmt::Debug for Service {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Service")
             .field("cfg", &self.cfg)
@@ -486,14 +611,14 @@ impl std::fmt::Debug for Service<'_> {
     }
 }
 
-impl<'a> Service<'a> {
+impl Service {
     /// Load `service.state` from the state dir and continue, or start
     /// fresh. Corrupt/truncated state = cold restart (counted, then
     /// the whole schedule deterministically replays — which is why a
     /// torn state file still re-converges to identical deployments);
     /// a state file from a different seed is refused.
     pub fn resume_or_start(
-        world: &'a OpsWorld,
+        world: &OpsWorld,
         cfg: ServiceConfig,
         plan: ServicePlan,
     ) -> Result<Self, OpsError> {
@@ -528,6 +653,23 @@ impl<'a> Service<'a> {
                 return invalid(format!("fault schedule for cycle {cycle}: {e}"));
             }
         }
+        // World deltas: structurally valid against the base topology
+        // (node/link axes never shrink, so initial-id validation covers
+        // every later application point) and sorted by cycle.
+        let mut last_delta_cycle = 0usize;
+        for (i, delta) in cfg.cycle_deltas.iter().enumerate() {
+            if let Err(e) = delta.validate(&world.net) {
+                return invalid(format!("world delta {i}: {e}"));
+            }
+            if delta.cycle < last_delta_cycle {
+                return invalid(format!(
+                    "world delta {i} (cycle {}) is out of order: deltas must be \
+                     sorted by cycle",
+                    delta.cycle
+                ));
+            }
+            last_delta_cycle = delta.cycle;
+        }
         std::fs::create_dir_all(&cfg.ops.state_dir).map_err(|e| OpsError::Io {
             what: format!("create {}: {e}", cfg.ops.state_dir.display()),
         })?;
@@ -561,14 +703,32 @@ impl<'a> Service<'a> {
             }
             Err(_) => cold(),
         };
+        if state.deltas_applied > cfg.cycle_deltas.len() {
+            return invalid(format!(
+                "state file records {} applied deltas but the schedule has {}: \
+                 foreign delta schedule",
+                state.deltas_applied,
+                cfg.cycle_deltas.len()
+            ));
+        }
+        // Rebuild the evolved world by replaying the durable prefix of
+        // the delta schedule onto a copy of the base world. The replay
+        // is pure, so a resumed process sees the identical topology,
+        // catalog and dark mask the crashed one had.
+        let mut cur = world.clone();
+        let mut dark = vec![false; world.net.num_nodes()];
+        for delta in &cfg.cycle_deltas[..state.deltas_applied] {
+            apply_world_delta(&mut cur, &mut dark, delta);
+        }
         // The watchdog resumes mid-cycle with the durable tick count,
         // so a restart cannot grant a stalled cycle a fresh budget.
         let mut watchdog = Watchdog::new(cfg.watchdog_budget);
         for _ in 0..state.cycle_attempts {
             let _ = watchdog.tick();
         }
-        let svc = Self {
-            world,
+        let mut svc = Self {
+            cur,
+            dark,
             cfg,
             plan,
             state,
@@ -577,6 +737,9 @@ impl<'a> Service<'a> {
             period_win: StreamingWindow::new(),
             fired_kills: Vec::new(),
             fired_stage_kills: Vec::new(),
+            dirty: false,
+            last_snapshot_error: None,
+            mem_fractional: None,
         };
         svc.persist()?;
         Ok(svc)
@@ -590,13 +753,32 @@ impl<'a> Service<'a> {
     /// Cycles that actually fit in the trace horizon.
     #[must_use]
     pub fn effective_cycles(&self) -> usize {
-        effective_cycles(self.world, &self.cfg.ops)
+        effective_cycles(&self.cur, &self.cfg.ops)
     }
 
-    /// Drive the service to completion. The only error exits are an
-    /// invalid configuration (caught in the constructor) and a state
-    /// directory that stops being writable — cycle-level trouble
-    /// degrades, it never aborts.
+    /// The current (delta-evolved) world the service optimizes against.
+    #[must_use]
+    pub fn world(&self) -> &OpsWorld {
+        &self.cur
+    }
+
+    /// Storage-dark mask over the VHO axis (true = decommissioned).
+    #[must_use]
+    pub fn dark_mask(&self) -> &[bool] {
+        &self.dark
+    }
+
+    /// True while the durable snapshots lag the in-memory state
+    /// because of storage faults.
+    #[must_use]
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Drive the service to completion. The only error exit is an
+    /// invalid configuration (caught in the constructor) — cycle-level
+    /// trouble degrades and storage trouble is served from memory with
+    /// retries; the loop never aborts.
     pub fn run(&mut self) -> Result<&ServiceState, OpsError> {
         while self.step()? != StepOutcome::Finished {}
         Ok(&self.state)
@@ -620,6 +802,16 @@ impl<'a> Service<'a> {
             self.fired_stage_kills.push((cycle, stage));
             return Ok(StepOutcome::SimulatedCrash { cycle });
         }
+        // World deltas land at cycle boundaries, before the first stage
+        // runs. One delta per step (its own durable transition); the
+        // application is deterministic and does not consume watchdog
+        // budget or stage attempts, so killed and unkilled twins count
+        // identically.
+        if stage == StageId::Estimate {
+            if let Some(index) = self.pending_delta() {
+                return self.apply_next_delta(cycle, index);
+            }
+        }
         if self.watchdog.tick() {
             return self.degrade(DegradeReason::Stalled {
                 stage,
@@ -642,6 +834,95 @@ impl<'a> Service<'a> {
             StageId::Validate => self.step_validate(cycle),
             StageId::Simulate => self.step_simulate(cycle),
         }
+    }
+
+    // ---- live reconfiguration --------------------------------------
+
+    /// Index of the next unapplied delta, if it is due at (or before)
+    /// the current cycle.
+    fn pending_delta(&self) -> Option<usize> {
+        let next = self.state.deltas_applied;
+        let delta = self.cfg.cycle_deltas.get(next)?;
+        (delta.cycle <= self.state.cycle).then_some(next)
+    }
+
+    /// Apply one world delta as a single durable transition: mutate the
+    /// evolved world, carry (or discard) warm solver state, repair the
+    /// serving placement under the churn cap, and only then advance the
+    /// durable `deltas_applied` counter — so a crash at any point
+    /// either replays the whole delta or none of it.
+    fn apply_next_delta(&mut self, cycle: usize, index: usize) -> Result<StepOutcome, OpsError> {
+        let Some(delta) = self.cfg.cycle_deltas.get(index).cloned() else {
+            return Ok(StepOutcome::Finished); // unreachable: index came from pending_delta
+        };
+        apply_world_delta(&mut self.cur, &mut self.dark, &delta);
+        // Warm solver state: a capacity-only delta re-blesses the
+        // mid-solve checkpoint via the remap rules (primal iterate
+        // kept, dual bound reset); anything else discards it and the
+        // solve stage falls through to a warm start off the deployed
+        // placement.
+        let ckpt_path = self.solver_ckpt_path();
+        if let Ok(bytes) = read_snapshot(&ckpt_path, CHECKPOINT_KIND, CHECKPOINT_VERSION) {
+            let inst = self.instance_for(cycle);
+            let epf = self.epf_for_cycle(cycle);
+            let remapped = SolverCheckpoint::from_bytes(&bytes)
+                .ok()
+                .and_then(|ck| remap_checkpoint(ck, &inst, &epf).ok());
+            match remapped {
+                Some(ck) => {
+                    let _ = write_snapshot_atomic(
+                        &ckpt_path,
+                        CHECKPOINT_KIND,
+                        CHECKPOINT_VERSION,
+                        &ck.to_bytes(),
+                    );
+                }
+                None => {
+                    let _ = std::fs::remove_file(&ckpt_path);
+                }
+            }
+        }
+        // Feasibility repair of the placement that is *serving right
+        // now*, fed through the same churn-capped diff as a regular
+        // deploy: repair migrations spend the cycle's migration budget,
+        // never exceed it.
+        if let Some((deployed_cycle, deployed)) = self.state.deployed.clone() {
+            let caps = self.mip_caps();
+            let plan = repair_placement(&deployed, &self.cur.catalog, &self.dark, &caps);
+            if !plan.is_noop() {
+                self.state.cycle_repairs.push(plan.fingerprint());
+                let budget = self
+                    .cfg
+                    .churn_cap
+                    .map(|c| c.saturating_sub(self.state.pending_moved));
+                match apply_churn_cap(
+                    &deployed,
+                    &plan.placement,
+                    budget,
+                    &self.state.deferred,
+                    cycle,
+                ) {
+                    Ok(churned) => {
+                        self.state.pending_moved += churned.moved;
+                        self.state.deferred = churned.deferred;
+                        self.state.deployed = Some((deployed_cycle, churned.placement));
+                    }
+                    // Repair preserves the video axis by construction,
+                    // so the diff cannot reject shapes; degrade rather
+                    // than abort if that invariant ever breaks.
+                    Err(what) => return self.degrade(DegradeReason::ValidationFailed { what }),
+                }
+            }
+            if delta.is_capacity_only() {
+                // Warm state survived the reconfiguration: record the
+                // remap rung so drills can assert a capacity tweak
+                // never forces a cold solve.
+                self.push_recovery(RecoveryAction::WarmRemap);
+            }
+        }
+        self.state.deltas_applied = index + 1;
+        self.persist()?;
+        Ok(StepOutcome::DeltaApplied { cycle, index })
     }
 
     // ---- stages -----------------------------------------------------
@@ -675,7 +956,6 @@ impl<'a> Service<'a> {
             Ok(bytes) => SolverCheckpoint::from_bytes(&bytes).ok(),
             Err(_) => None,
         };
-        let had_prior = prior.is_some();
         let mut emitted: u64 = 0;
         let mut killed = false;
         let every = self.cfg.ops.checkpoint_every;
@@ -720,11 +1000,26 @@ impl<'a> Service<'a> {
                     // A checkpoint existed but did not validate for
                     // this (instance, config): it was discarded and
                     // the solve fell through to a cold trajectory.
-                    _ if had_prior => {
+                    // Classify the rejection for the ledger — axes
+                    // intact (the remap-eligible class) vs genuinely
+                    // foreign. Classification only: *using* the
+                    // remapped state here would bless checkpoints the
+                    // chaos twin never saw and break twin identity.
+                    ResumeKind::Rejected { reason } => {
+                        let verdict = match prior.as_ref() {
+                            Some(ck) => match remap_checkpoint(ck.clone(), &inst, &epf) {
+                                Ok(_) => "remap-eligible",
+                                Err(_) => "foreign",
+                            },
+                            None => "foreign",
+                        };
+                        self.state
+                            .cycle_rejections
+                            .push(format!("{verdict}: {reason}"));
                         let _ = std::fs::remove_file(&ckpt_path);
                         self.push_recovery(RecoveryAction::ColdSolve);
                     }
-                    _ => {}
+                    ResumeKind::WarmStart | ResumeKind::Cold => {}
                 }
                 let payload = Value::Obj(vec![
                     ("cycle".into(), Value::Num(cycle as f64)),
@@ -735,15 +1030,23 @@ impl<'a> Service<'a> {
                     ("lower_bound".into(), f64_bits_value(stats.lower_bound)),
                     ("fractional".into(), fractional_to_value(&frac)),
                 ]);
-                write_json_snapshot(
+                // Disk trouble must not fail the stage: on a write
+                // error the round stage consumes the payload from
+                // memory, and a crash before the retry lands falls
+                // back to the deterministic retreat-to-solve
+                // recompute.
+                match write_json_snapshot(
                     &self.fractional_path(),
                     FRACTIONAL_KIND,
                     FRACTIONAL_VERSION,
                     &payload,
-                )
-                .map_err(|e| OpsError::Io {
-                    what: format!("persist fractional: {e}"),
-                })?;
+                ) {
+                    Ok(()) => self.mem_fractional = None,
+                    Err(e) => {
+                        self.note_snapshot_failure(format!("persist fractional: {e}"));
+                        self.mem_fractional = Some(payload);
+                    }
+                }
                 let _ = std::fs::remove_file(&ckpt_path);
                 self.state.target_lower_bound = Some(stats.lower_bound);
                 self.advance(StageId::Round)?;
@@ -759,16 +1062,20 @@ impl<'a> Service<'a> {
     fn step_round(&mut self, cycle: usize) -> Result<StepOutcome, OpsError> {
         let inst = self.instance_for(cycle);
         let token = epf_config_token(&self.epf_for_cycle(cycle));
+        let check = |v: &Value| {
+            let same_cycle = v.get("cycle")?.as_usize()? == cycle;
+            let same_cfg = u64_from_bits_value(v.get("config")?, "config").ok()? == token;
+            if !(same_cycle && same_cfg) {
+                return None;
+            }
+            fractional_from_value(v.get("fractional")?, &inst).ok()
+        };
+        // Durable snapshot first; the in-memory copy is the fallback a
+        // faulted disk leaves behind (same cycle/config gate applies).
         let frac = read_json_snapshot(&self.fractional_path(), FRACTIONAL_KIND, FRACTIONAL_VERSION)
             .ok()
-            .and_then(|v| {
-                let same_cycle = v.get("cycle")?.as_usize()? == cycle;
-                let same_cfg = u64_from_bits_value(v.get("config")?, "config").ok()? == token;
-                if !(same_cycle && same_cfg) {
-                    return None;
-                }
-                fractional_from_value(v.get("fractional")?, &inst).ok()
-            });
+            .and_then(|v| check(&v))
+            .or_else(|| self.mem_fractional.as_ref().and_then(check));
         let Some(frac) = frac else {
             let _ = std::fs::remove_file(self.fractional_path());
             return self.retreat(StageId::Solve, StageId::Round, cycle);
@@ -800,21 +1107,21 @@ impl<'a> Service<'a> {
                 // Bootstrap deployment: there is nothing serving yet,
                 // so the churn cap (an *update* bandwidth bound) does
                 // not apply — the initial fill is an offline bulk load.
-                self.state.pending_moved = 0;
                 self.state.deployed = Some((cycle, target));
             }
             Some((_, prev)) => {
-                let plan = match apply_churn_cap(
-                    prev,
-                    &target,
-                    self.cfg.churn_cap,
-                    &self.state.deferred,
-                    cycle,
-                ) {
+                // Repair migrations executed at the cycle boundary
+                // already consumed part of this cycle's budget.
+                let budget = self
+                    .cfg
+                    .churn_cap
+                    .map(|c| c.saturating_sub(self.state.pending_moved));
+                let plan = match apply_churn_cap(prev, &target, budget, &self.state.deferred, cycle)
+                {
                     Ok(plan) => plan,
                     Err(what) => return self.degrade(DegradeReason::ValidationFailed { what }),
                 };
-                self.state.pending_moved = plan.moved;
+                self.state.pending_moved += plan.moved;
                 self.state.deferred = plan.deferred;
                 self.state.deployed = Some((cycle, plan.placement));
             }
@@ -836,9 +1143,16 @@ impl<'a> Service<'a> {
             self.state.pending_denied = denied;
             self.state.pending_denial = Some(denial);
         }
+        // A cycle that closes while the durable snapshots lag the
+        // in-memory state is visibly degraded — the deployment is
+        // fresh, but a crash right now would replay work.
+        let degraded = self.dirty.then(|| DegradeReason::SnapshotUnavailable {
+            failures: self.state.snapshot_failures,
+            what: self.last_snapshot_error.clone().unwrap_or_default(),
+        });
         let record = ServiceRecord {
             cycle,
-            degraded: None,
+            degraded,
             recoveries: std::mem::take(&mut self.state.cycle_recoveries),
             attempts: self.state.cycle_attempts,
             backoff_ms: self.state.cycle_backoff_ms,
@@ -852,6 +1166,8 @@ impl<'a> Service<'a> {
             denial_rate: self.state.pending_denial,
             stale: false,
             sim: self.state.pending_sim.clone(),
+            repairs: std::mem::take(&mut self.state.cycle_repairs),
+            rejections: std::mem::take(&mut self.state.cycle_rejections),
         };
         self.state.records.push(record);
         self.close_cycle()?;
@@ -922,12 +1238,16 @@ impl<'a> Service<'a> {
                     placement_fnv: self.deployed_fingerprint(),
                     objective: None,
                     lower_bound: None,
-                    moved: 0,
+                    // Boundary repairs may have moved copies even though
+                    // the cycle itself degraded.
+                    moved: self.state.pending_moved,
                     deferred: self.state.deferred.len(),
                     denied,
                     denial_rate: denial,
                     stale: false,
                     sim,
+                    repairs: std::mem::take(&mut self.state.cycle_repairs),
+                    rejections: std::mem::take(&mut self.state.cycle_rejections),
                 }
             }
             None => {
@@ -937,7 +1257,7 @@ impl<'a> Service<'a> {
                 self.state.stale_serves += 1;
                 let (day, end) = self.window_of(cycle);
                 let window = TimeWindow::new(SimTime::new(day * DAY), SimTime::new(end * DAY));
-                let denied = self.world.trace.slice(window).len() as u64;
+                let denied = self.cur.trace.slice(window).len() as u64;
                 ServiceRecord {
                     cycle,
                     degraded: Some(reason),
@@ -954,6 +1274,8 @@ impl<'a> Service<'a> {
                     denial_rate: Some(1.0),
                     stale: true,
                     sim: None,
+                    repairs: std::mem::take(&mut self.state.cycle_repairs),
+                    rejections: std::mem::take(&mut self.state.cycle_rejections),
                 }
             }
         };
@@ -993,24 +1315,55 @@ impl<'a> Service<'a> {
         self.state.cycle_backoff_ms = 0;
         self.state.cycle_solver_resumes = 0;
         self.state.cycle_recoveries.clear();
+        self.state.cycle_repairs.clear();
+        self.state.cycle_rejections.clear();
         self.state.cycle += 1;
         self.state.stage = StageId::Estimate;
         self.watchdog.reset();
+        self.mem_fractional = None;
         let _ = std::fs::remove_file(self.solver_ckpt_path());
         let _ = std::fs::remove_file(self.fractional_path());
         self.persist()
     }
 
-    fn persist(&self) -> Result<(), OpsError> {
-        write_json_snapshot(
+    /// Persist the durable state — *softly*. A failed snapshot write
+    /// (full disk, torn rename, failed fsync) marks the service dirty,
+    /// records a retry backoff, and returns `Ok`: the loop keeps
+    /// serving from memory and every later transition retries the full
+    /// write. Once the disk heals, one successful write makes the
+    /// durable state current again — replaying from an older snapshot
+    /// is deterministic, so nothing is lost but recomputation.
+    fn persist(&mut self) -> Result<(), OpsError> {
+        match write_json_snapshot(
             &self.cfg.ops.state_dir.join("service.state"),
             SERVICE_KIND,
             SERVICE_VERSION,
             &self.state.to_value(),
-        )
-        .map_err(|e| OpsError::Io {
-            what: format!("persist service state: {e}"),
-        })
+        ) {
+            Ok(()) => {
+                self.dirty = false;
+                self.last_snapshot_error = None;
+            }
+            Err(e) => self.note_snapshot_failure(format!("persist service state: {e}")),
+        }
+        Ok(())
+    }
+
+    /// Account one failed snapshot write: dirty flag, lifetime counter,
+    /// recorded (never slept) retry backoff at the current supervision
+    /// coordinate, and the operator-facing reason.
+    fn note_snapshot_failure(&mut self, what: String) {
+        self.dirty = true;
+        self.state.snapshot_failures += 1;
+        let attempt = u32::try_from(self.state.snapshot_failures.min(16)).unwrap_or(16);
+        self.state.cycle_backoff_ms += recorded_backoff(
+            self.state.seed,
+            self.state.cycle,
+            self.state.stage,
+            attempt,
+            self.cfg.ops.backoff_base_ms,
+        );
+        self.last_snapshot_error = Some(what);
     }
 
     fn deployed_fingerprint(&self) -> u64 {
@@ -1023,34 +1376,52 @@ impl<'a> Service<'a> {
     // ---- deterministic inputs --------------------------------------
 
     fn window_of(&self, cycle: usize) -> (u64, u64) {
-        let horizon = self.world.trace.horizon().secs() / DAY;
+        let horizon = self.cur.trace.horizon().secs() / DAY;
         let day = self.cfg.ops.start_day + cycle as u64 * self.cfg.ops.period_days;
         (day, (day + self.cfg.ops.period_days).min(horizon))
     }
 
+    /// Per-VHO MIP disk budgets for the current world: the configured
+    /// disk policy materialized against the evolved catalog, with every
+    /// storage-dark VHO collapsed to [`DARK_DISK_GB`] — present on the
+    /// axis, unable to hold even the smallest video.
+    fn mip_caps(&self) -> Vec<Gigabytes> {
+        let mut caps = self
+            .cur
+            .mip_disk
+            .capacities(&self.cur.net, self.cur.catalog.total_size());
+        for (cap, &is_dark) in caps.iter_mut().zip(&self.dark) {
+            if is_dark {
+                *cap = Gigabytes::new(DARK_DISK_GB);
+            }
+        }
+        caps
+    }
+
     /// Rebuild the cycle's MIP instance from the streaming windows.
-    /// Pure function of the world, the cycle index and the deployed
-    /// placement (the migration anchor), so every attempt and every
-    /// resumed process sees the identical instance.
+    /// Pure function of the (delta-evolved) world, the dark mask, the
+    /// cycle index and the deployed placement (the migration anchor),
+    /// so every attempt and every resumed process sees the identical
+    /// instance.
     fn instance_for(&mut self, cycle: usize) -> MipInstance {
         let (day, end) = self.window_of(cycle);
         let history = self.history_win.advance(
-            &self.world.trace,
+            &self.cur.trace,
             TimeWindow::new(SimTime::new((day - 7) * DAY), SimTime::new(day * DAY)),
         );
         let future = self.period_win.advance(
-            &self.world.trace,
+            &self.cur.trace,
             TimeWindow::new(SimTime::new(day * DAY), SimTime::new(end * DAY)),
         );
         let demand = estimate_demand(
             self.cfg.ops.estimator,
-            &self.world.catalog,
-            self.world.net.num_nodes(),
+            &self.cur.catalog,
+            self.cur.net.num_nodes(),
             &history,
             &future,
             day,
             end - day,
-            &self.world.est,
+            &self.cur.est,
         );
         let pc = self.state.deployed.as_ref().map(|(_, p)| PlacementCost {
             weight: 1.0,
@@ -1058,11 +1429,12 @@ impl<'a> Service<'a> {
             // lint:allow(raw-index): update transfers are anchored at VHO 0 by convention
             origin: VhoId::new(0),
         });
+        let disks = DiskConfig::Explicit(self.mip_caps());
         MipInstance::new(
-            self.world.net.clone(),
-            self.world.catalog.clone(),
+            self.cur.net.clone(),
+            self.cur.catalog.clone(),
             demand,
-            &self.world.mip_disk,
+            &disks,
             1.0,
             0.0,
             pc.as_ref(),
@@ -1088,7 +1460,7 @@ impl<'a> Service<'a> {
     fn replay_window(&mut self, cycle: usize, placement: &Placement) -> (SimSummary, u64, f64) {
         let (day, end) = self.window_of(cycle);
         let future = self.period_win.advance(
-            &self.world.trace,
+            &self.cur.trace,
             TimeWindow::new(SimTime::new(day * DAY), SimTime::new(end * DAY)),
         );
         let faults = self
@@ -1097,12 +1469,15 @@ impl<'a> Service<'a> {
             .iter()
             .find(|(c, _)| *c == cycle)
             .map_or_else(FaultSchedule::empty, |(_, s)| s.clone());
-        let vhos = mip_vho_configs(placement, &self.world.disks, 0.0, CacheKind::Lru);
+        // A dark VHO replays with its zeroed sim disk but keeps serving
+        // whatever leftover copies the churn-capped repair has not yet
+        // drained — graceful decommission, not a cliff.
+        let vhos = mip_vho_configs(placement, &self.cur.disks, 0.0, CacheKind::Lru);
         let policy = PolicyKind::MipRouting(placement.clone());
         let rep = simulate(
-            &self.world.net,
-            &self.world.paths,
-            &self.world.catalog,
+            &self.cur.net,
+            &self.cur.paths,
+            &self.cur.catalog,
             &future,
             &vhos,
             &policy,
@@ -1128,5 +1503,55 @@ impl<'a> Service<'a> {
 
     fn fractional_path(&self) -> PathBuf {
         self.cfg.ops.state_dir.join("fractional.snap")
+    }
+}
+
+/// Apply one validated [`WorldDelta`] to the evolved world, in place.
+/// Pure and total: link ops rescale capacities (edges are never
+/// removed, so the hop-count [`vod_net::PathSet`] stays valid and is
+/// deliberately *not* recomputed), VHO ops flip the dark mask and the
+/// sim-side disk inventory, and appends grow the catalog tail with
+/// seeded metadata. Both the live loop and the resume replay call this
+/// with the same deltas in the same order, which is what makes the
+/// evolved world a pure function of `(base world, applied prefix)`.
+fn apply_world_delta(cur: &mut OpsWorld, dark: &mut [bool], delta: &WorldDelta) {
+    delta.apply_links(&mut cur.net);
+    for op in &delta.ops {
+        match op {
+            DeltaOp::DecommissionVho { vho } => {
+                dark[vho.index()] = true;
+                // Sim-side storage goes to zero outright: the replay
+                // layer has no positivity constraint, and leftover
+                // pinned copies keep serving until repair drains them.
+                cur.disks[vho.index()] = Gigabytes::new(0.0);
+            }
+            DeltaOp::RecommissionVho { vho, disk } => {
+                dark[vho.index()] = false;
+                cur.disks[vho.index()] = *disk;
+            }
+            DeltaOp::AppendVideos { count } => {
+                let start = cur.catalog.len();
+                let mut videos: Vec<Video> = cur.catalog.iter().cloned().collect();
+                for k in 0..*count {
+                    let mix = derive_seed(delta.seed, (start + k) as u64);
+                    let class = VideoClass::ALL
+                        // lint:allow(no-panic-hot-path): mix % 4 < 4
+                        // always converts, and indexes in ALL's bounds.
+                        [usize::try_from(mix % 4).expect("mod 4 fits in usize")];
+                    videos.push(Video {
+                        id: VideoId::from_index(start + k),
+                        class,
+                        // New releases without history: only the
+                        // complementary cache absorbs them until the
+                        // next estimate window sees their demand.
+                        kind: VideoKind::OtherNew,
+                        release_day: 0,
+                        weight: 0.1 + (mix % 100) as f64 / 100.0,
+                    });
+                }
+                cur.catalog = Catalog::new(videos);
+            }
+            DeltaOp::ScaleLink { .. } | DeltaOp::CutLink { .. } => {} // apply_links handled these
+        }
     }
 }

@@ -94,6 +94,11 @@ pub enum DegradeReason {
         ticks: u64,
         budget: u64,
     },
+    /// The cycle closed while its durable snapshots could not be
+    /// written (disk full, I/O errors). The service kept serving from
+    /// memory and keeps retrying with recorded backoff, but crash
+    /// safety was degraded for this cycle and the ledger says so.
+    SnapshotUnavailable { failures: u64, what: String },
 }
 
 impl fmt::Display for DegradeReason {
@@ -115,6 +120,10 @@ impl fmt::Display for DegradeReason {
             } => write!(
                 f,
                 "watchdog: cycle stalled at stage {stage} after {ticks} ticks (budget {budget})"
+            ),
+            Self::SnapshotUnavailable { failures, what } => write!(
+                f,
+                "state snapshots unavailable ({failures} failed writes, serving from memory): {what}"
             ),
         }
     }
@@ -147,6 +156,11 @@ pub(crate) fn reason_to_value(r: &DegradeReason) -> Value {
             ("stage".into(), Value::Str(stage.name().into())),
             ("ticks".into(), u64_bits_value(*ticks)),
             ("budget".into(), u64_bits_value(*budget)),
+        ]),
+        DegradeReason::SnapshotUnavailable { failures, what } => Value::Obj(vec![
+            ("kind".into(), Value::Str("snapshot-unavailable".into())),
+            ("failures".into(), u64_bits_value(*failures)),
+            ("what".into(), Value::Str(what.clone())),
         ]),
     }
 }
@@ -193,6 +207,18 @@ pub(crate) fn reason_from_value(x: &Value) -> Result<DegradeReason, String> {
                 "budget",
             )
             .map_err(|e| e.to_string())?,
+        }),
+        "snapshot-unavailable" => Ok(DegradeReason::SnapshotUnavailable {
+            failures: u64_from_bits_value(
+                x.get("failures").ok_or("degraded.failures: missing")?,
+                "failures",
+            )
+            .map_err(|e| e.to_string())?,
+            what: x
+                .get("what")
+                .and_then(Value::as_str)
+                .ok_or("degraded.what: expected a string")?
+                .to_string(),
         }),
         other => Err(format!("degraded.kind: unknown kind {other:?}")),
     }
@@ -674,6 +700,10 @@ mod tests {
                 stage: StageId::Solve,
                 ticks: 9,
                 budget: 8,
+            },
+            DegradeReason::SnapshotUnavailable {
+                failures: 4,
+                what: "persist service state: snapshot io error".into(),
             },
         ] {
             assert_eq!(reason_from_value(&reason_to_value(&r)).unwrap(), r);

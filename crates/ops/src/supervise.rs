@@ -40,6 +40,10 @@ pub fn recorded_backoff(
 pub enum RecoveryAction {
     /// A mid-solve checkpoint was validated and resumed.
     WarmResume,
+    /// Warm state survived a world delta: the solver state was remapped
+    /// onto the reconfigured instance instead of cold-solving
+    /// ([`vod_core::remap`]). Capacity-only deltas land here.
+    WarmRemap,
     /// A stale/foreign checkpoint was discarded; the solve restarted
     /// cold, seeded from the deployed placement.
     ColdSolve,
@@ -52,8 +56,9 @@ pub enum RecoveryAction {
 }
 
 impl RecoveryAction {
-    pub const ALL: [RecoveryAction; 4] = [
+    pub const ALL: [RecoveryAction; 5] = [
         RecoveryAction::WarmResume,
+        RecoveryAction::WarmRemap,
         RecoveryAction::ColdSolve,
         RecoveryAction::LastGood,
         RecoveryAction::StaleServe,
@@ -63,6 +68,7 @@ impl RecoveryAction {
     pub fn name(self) -> &'static str {
         match self {
             RecoveryAction::WarmResume => "warm-resume",
+            RecoveryAction::WarmRemap => "warm-remap",
             RecoveryAction::ColdSolve => "cold-solve",
             RecoveryAction::LastGood => "last-good",
             RecoveryAction::StaleServe => "stale-serve",

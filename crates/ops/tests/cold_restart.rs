@@ -5,15 +5,33 @@
 //! and the replay after a torn write must land on placements
 //! byte-identical to an uninterrupted run. A state file written under
 //! a different seed must be refused outright.
+//!
+//! The second half drills the *injectable I/O fault shim*
+//! ([`vod_json::faults`]): ENOSPC, torn partial writes, failed fsync
+//! barriers and read EIO, each asserting the atomic-write contract —
+//! a failed write leaves the previous snapshot intact and no `*.tmp`
+//! debris — and that the supervisor degrades an unreadable state file
+//! into a typed cold restart. Every test in this binary holds the
+//! shim gate (even with an empty plan) so a test's fault schedule can
+//! never leak into a concurrently running neighbour.
 #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 
 use std::path::{Path, PathBuf};
 use vod_core::{DiskConfig, EpfConfig};
 use vod_estimate::{EstimateConfig, EstimatorKind};
+use vod_json::faults::{self, FaultPlan as IoFaultPlan, IoFault, ShimHandle};
+use vod_json::snapshot::{read_snapshot, write_snapshot_atomic, SnapshotError};
 use vod_model::Mbps;
 use vod_net::{topologies, PathSet};
 use vod_ops::{FaultPlan, OpsConfig, OpsError, OpsWorld, Pipeline, StepOutcome};
 use vod_trace::{generate_trace, synthesize_library, LibraryConfig, TraceConfig};
+
+/// Hold the process-global shim gate with no faults scheduled: the
+/// test's own snapshot I/O runs clean, and no other test can install
+/// faults underneath it.
+fn io_quiet() -> ShimHandle {
+    faults::install(IoFaultPlan::default())
+}
 
 /// Snapshot container header for the `ops-pipeline` kind: 8B magic +
 /// 1B kind-len + 12B kind + 4B version + 8B payload-len + 8B checksum.
@@ -75,6 +93,7 @@ fn partial_state(dir: &Path, seed: u64, w: &OpsWorld, steps: usize) -> Vec<u8> {
 
 #[test]
 fn torn_header_writes_at_every_offset_cold_restart() {
+    let _io = io_quiet();
     let w = world(60);
     let dir = fresh_dir("torn");
     let clean = partial_state(&dir, 60, &w, 3);
@@ -118,6 +137,7 @@ fn torn_header_writes_at_every_offset_cold_restart() {
 
 #[test]
 fn replay_after_torn_write_matches_uninterrupted_run() {
+    let _io = io_quiet();
     let w = world(61);
 
     let mut base =
@@ -146,6 +166,7 @@ fn replay_after_torn_write_matches_uninterrupted_run() {
 
 #[test]
 fn seed_mismatch_refuses_to_clobber_foreign_state() {
+    let _io = io_quiet();
     let w = world(62);
     let dir = fresh_dir("seed");
     let _ = partial_state(&dir, 62, &w, 2);
@@ -160,4 +181,103 @@ fn seed_mismatch_refuses_to_clobber_foreign_state() {
     }
     let after = std::fs::read(dir.join("pipeline.state")).unwrap();
     assert_eq!(before, after, "refusal must not touch the state file");
+}
+
+// ---------------------------------------------------------------------------
+// Injectable I/O fault shim: the atomic-write contract under ENOSPC,
+// torn partial writes and failed durability barriers.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn injected_write_faults_leave_previous_snapshot_intact() {
+    let dir = fresh_dir("io_write_faults");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("victim.snap");
+    let tmp = dir.join("victim.snap.tmp");
+    // Torn-write offsets cover: nothing landed, mid-header, header
+    // boundary, mid-payload, and longer-than-the-payload (clamped).
+    let cases = [
+        IoFault::WriteEnospc,
+        IoFault::WritePartial { keep: 0 },
+        IoFault::WritePartial { keep: 1 },
+        IoFault::WritePartial { keep: 8 },
+        IoFault::WritePartial { keep: HEADER_LEN },
+        IoFault::WritePartial {
+            keep: HEADER_LEN + 5,
+        },
+        IoFault::WritePartial { keep: 1 << 20 },
+        IoFault::FsyncFail,
+    ];
+    for fault in cases {
+        write_snapshot_atomic(&path, "ops-pipeline", 1, b"previous payload").unwrap();
+        let shim = faults::install(IoFaultPlan::one_write(0, fault));
+        let err = write_snapshot_atomic(&path, "ops-pipeline", 1, b"NEW payload, never visible")
+            .expect_err("the injected fault must fail the write");
+        assert!(matches!(err, SnapshotError::Io { .. }), "{fault}: {err}");
+        assert_eq!(shim.writes_seen(), 1, "{fault}");
+        drop(shim);
+        assert!(!tmp.exists(), "{fault}: stray temp file left behind");
+        assert_eq!(
+            read_snapshot(&path, "ops-pipeline", 1).unwrap(),
+            b"previous payload",
+            "{fault}: destination must keep the old bytes"
+        );
+    }
+}
+
+#[test]
+fn injected_enospc_mid_pipeline_fails_typed_not_torn() {
+    // A full disk mid-run surfaces as a typed Io error from the step
+    // that hit it — and because the write was atomic-or-nothing, the
+    // durable state stays the *previous* transition, which resumes.
+    let w = world(64);
+    let dir = fresh_dir("io_enospc_pipeline");
+    {
+        let _io = io_quiet();
+        let _ = partial_state(&dir, 64, &w, 3);
+    }
+    // The constructor's own persist hits the injected ENOSPC; the
+    // pipeline treats persistence as load-bearing and propagates it as
+    // a typed Io error (the *service* is the layer that soft-persists).
+    let shim = faults::install(IoFaultPlan::one_write(0, IoFault::WriteEnospc));
+    match Pipeline::resume_or_start(&w, config(64, dir.clone()), FaultPlan::default()) {
+        Err(OpsError::Io { what }) => assert!(what.contains("os error 28"), "{what}"),
+        Ok(_) => panic!("ENOSPC on the state write must surface as Io"),
+        Err(other) => panic!("expected Io, got {other:?}"),
+    }
+    drop(shim);
+    let _io = io_quiet();
+    // The disk "healed", and the failed write was atomic-or-nothing:
+    // the same directory resumes from the last durable transition
+    // without a cold restart.
+    let p2 = Pipeline::resume_or_start(&w, config(64, dir), FaultPlan::default()).unwrap();
+    assert_eq!(p2.state().cold_restarts, 0, "state must still be readable");
+    assert!(p2.state().resumes >= 1);
+}
+
+#[test]
+fn injected_read_eio_cold_restarts_then_heals() {
+    let w = world(65);
+    let dir = fresh_dir("io_read_eio");
+    {
+        let _io = io_quiet();
+        let _ = partial_state(&dir, 65, &w, 3);
+    }
+    // Unreadable sector under pipeline.state: the resume degrades to a
+    // typed cold restart instead of propagating or panicking.
+    let shim = faults::install(IoFaultPlan::one_read(0));
+    let p = Pipeline::resume_or_start(&w, config(65, dir.clone()), FaultPlan::default()).unwrap();
+    assert_eq!(
+        p.state().cold_restarts,
+        1,
+        "read EIO must cold-restart, not resume garbage"
+    );
+    drop(p);
+    drop(shim);
+    // The sector heals before the cold restart persisted over it? No —
+    // the cold constructor already rewrote the state. A fresh resume
+    // continues from the cold-restarted state cleanly.
+    let _io = io_quiet();
+    let p2 = Pipeline::resume_or_start(&w, config(65, dir), FaultPlan::default()).unwrap();
+    assert!(p2.state().resumes >= 1);
 }

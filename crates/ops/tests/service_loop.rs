@@ -63,6 +63,7 @@ fn config(seed: u64, dir: PathBuf) -> ServiceConfig {
         cycle_step_budget: None,
         watchdog_budget: 32,
         cycle_faults: Vec::new(),
+        cycle_deltas: Vec::new(),
     }
 }
 
